@@ -1,0 +1,63 @@
+"""Ablation: how many callee-saves registers should webs get?
+
+The paper fixes 6 registers for web coloring (config C) without
+exploring the knob; this ablation sweeps the reserved-register count on
+the large workload and prints the cycle improvement curve.  Diminishing
+returns are expected: webs that do not interfere share registers, so a
+handful of registers goes a long way.
+"""
+
+from repro import (
+    AnalyzerOptions,
+    compile_with_database,
+    run_executable,
+)
+from repro.analyzer.driver import analyze_program
+
+from conftest import print_table
+
+REGISTER_COUNTS = (1, 2, 4, 6, 8, 12)
+
+
+def test_web_register_sweep(paper_results, benchmark):
+    results = paper_results["paopt"]
+    summaries = [r.summary for r in results.phase1]
+    baseline_cycles = results.baseline.cycles
+
+    rows = []
+    improvements = {}
+    for count in REGISTER_COUNTS:
+        options = AnalyzerOptions(
+            global_promotion="webs",
+            coloring="priority",
+            num_web_registers=count,
+        )
+        database = analyze_program(summaries, options)
+        stats = run_executable(
+            compile_with_database(results.phase1, database, 2)
+        )
+        assert stats.output == results.baseline.output, count
+        improvement = 100.0 * (baseline_cycles - stats.cycles) / baseline_cycles
+        improvements[count] = improvement
+        rows.append(
+            (
+                count,
+                database.statistics.webs_colored,
+                f"{improvement:.1f}%",
+            )
+        )
+    print_table(
+        "paopt: web coloring vs number of reserved registers",
+        ["Registers", "Webs colored", "Cycle improvement"],
+        rows,
+    )
+
+    # More registers never hurt much, and one register already helps.
+    assert improvements[1] > 0
+    assert improvements[12] >= improvements[1] - 1.0
+
+    # Benchmark the analyzer at the paper's setting.
+    benchmark(
+        analyze_program, summaries,
+        AnalyzerOptions(global_promotion="webs", num_web_registers=6),
+    )

@@ -1,0 +1,41 @@
+"""Table 3: the benchmark program inventory.
+
+Prints our workload listing next to the paper's originals and benchmarks
+the compiler first phase (the front-end cost of the two-pass system).
+"""
+
+from repro import run_phase1
+from repro.workloads import all_workloads, get_workload
+
+from conftest import print_table
+
+
+def test_table3_program_inventory(benchmark):
+    workloads = all_workloads()
+
+    rows = []
+    for name, workload in workloads.items():
+        rows.append(
+            (
+                name,
+                workload.lines_of_code,
+                f"{workload.paper_counterpart} ({workload.paper_lines})",
+                workload.description,
+            )
+        )
+    print_table(
+        "Table 3: benchmark programs (ours vs the paper's)",
+        ["Name", "LoC", "Paper counterpart (LoC)", "Description"],
+        rows,
+    )
+    assert len(rows) == 7
+
+    # Benchmark: phase 1 over the whole suite's smallest program.
+    dhrystone = get_workload("dhrystone")
+    benchmark(run_phase1, dhrystone.sources, 2)
+
+
+def test_phase1_scales_to_largest_program(benchmark):
+    paopt = get_workload("paopt")
+    results = benchmark(run_phase1, paopt.sources, 2)
+    assert len(results) == len(paopt.sources)

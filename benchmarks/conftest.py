@@ -1,0 +1,187 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+``paper_results`` runs the full experimental matrix once per pytest
+session: every Table 3 workload is compiled at the level-2 baseline and
+under every analyzer configuration A-F, then simulated.  Individual
+benchmark modules print their table from these cached results and use
+``benchmark`` to time a representative kernel of the stage they cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    collect_profile,
+    compile_with_database,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+from repro.machine.simulator import ExecutionStats
+from repro.workloads import all_workloads
+
+CONFIG_LEGEND = {
+    "A": "Spill motion only",
+    "B": "Spill motion w/profile info",
+    "C": "Spill motion & 6 reg coloring",
+    "D": "Spill motion & greedy coloring",
+    "E": "Spill motion & blanket promotion",
+    "F": "Spill motion & 6 reg coloring w/profile info",
+}
+
+
+@dataclass
+class WorkloadResults:
+    """Everything measured for one workload."""
+
+    name: str
+    baseline: ExecutionStats
+    configs: dict = field(default_factory=dict)  # letter -> ExecutionStats
+    databases: dict = field(default_factory=dict)  # letter -> ProgramDatabase
+    phase1: list = field(default_factory=list)
+    profile: object = None
+
+    def cycle_improvement(self, config: str) -> float:
+        stats = self.configs[config]
+        return 100.0 * (self.baseline.cycles - stats.cycles) / self.baseline.cycles
+
+    def singleton_reduction(self, config: str) -> float:
+        stats = self.configs[config]
+        base = max(1, self.baseline.singleton_references)
+        return 100.0 * (base - stats.singleton_references) / base
+
+
+def _run_workload(name, workload) -> WorkloadResults:
+    phase1 = run_phase1(workload.sources, 2)
+    summaries = [r.summary for r in phase1]
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase(), 2),
+        max_cycles=workload.max_cycles,
+    )
+    profile = collect_profile(phase1, max_cycles=workload.max_cycles)
+    results = WorkloadResults(name, baseline, phase1=phase1,
+                              profile=profile)
+    for config in "ABCDEF":
+        options = AnalyzerOptions.config(
+            config, profile if config in "BF" else None
+        )
+        database = analyze_program(summaries, options)
+        stats = run_executable(
+            compile_with_database(phase1, database, 2),
+            max_cycles=workload.max_cycles,
+        )
+        if stats.output != baseline.output:  # pragma: no cover
+            raise AssertionError(
+                f"{name}/{config}: output diverged from baseline"
+            )
+        results.configs[config] = stats
+        results.databases[config] = database
+    return results
+
+
+@pytest.fixture(scope="session")
+def paper_results():
+    """name -> :class:`WorkloadResults` for every Table 3 workload."""
+    results = {}
+    for name, workload in all_workloads().items():
+        results[name] = _run_workload(name, workload)
+    return results
+
+
+FIGURE3_PROCS = {
+    "A": {"calls": {"B": 1, "C": 1}, "refs": {"g3": 10}},
+    "B": {"calls": {"D": 1, "E": 1}, "refs": {"g1": 10, "g3": 10}},
+    "C": {"calls": {"F": 1, "G": 1}, "refs": {"g2": 10, "g3": 10}},
+    "D": {"refs": {"g1": 10}},
+    "E": {"refs": {"g1": 10, "g2": 10}},
+    "F": {"calls": {"H": 1}, "refs": {"g2": 10}},
+    "G": {"calls": {"H": 1}, "refs": {"g2": 10}},
+    "H": {},
+}
+
+
+def figure3_graph():
+    """The paper's Figure 3 call graph, built from synthetic summaries."""
+    from repro.callgraph.graph import CallGraph
+    from repro.frontend.summary import (
+        GlobalSummary,
+        ModuleSummary,
+        ProcedureSummary,
+    )
+
+    summary = ModuleSummary(module_name="fig3")
+    for name, spec in FIGURE3_PROCS.items():
+        summary.procedures.append(
+            ProcedureSummary(
+                name=name,
+                module="fig3",
+                calls=dict(spec.get("calls", {})),
+                global_refs=dict(spec.get("refs", {})),
+                global_stores=dict(spec.get("refs", {})),
+            )
+        )
+    summary.globals = [
+        GlobalSummary(name=g, module="fig3") for g in ("g1", "g2", "g3")
+    ]
+    graph = CallGraph.build([summary])
+    graph.normalize_weights()
+    return graph, summary
+
+
+# Rendered tables accumulate here and are replayed at session end (pytest
+# captures per-test stdout, which would otherwise hide them under
+# --benchmark-only) and written to benchmarks/latest_results.txt.
+_RESULT_LINES: list = []
+
+
+def print_table(title, headers, rows):
+    """Uniform table printer for benchmark output."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [
+        "",
+        title,
+        "-" * len(title),
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    for line in lines:
+        print(line)
+    _RESULT_LINES.extend(lines)
+
+
+def record_note(text):
+    """Print and record a free-form line alongside the tables."""
+    print(text)
+    _RESULT_LINES.append(text)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULT_LINES:
+        return
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "latest_results.txt")
+    with open(path, "w") as handle:
+        handle.write("\n".join(_RESULT_LINES) + "\n")
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line("")
+        reporter.write_line(
+            "================ reproduced paper tables ================"
+        )
+        for line in _RESULT_LINES:
+            reporter.write_line(line)
+        reporter.write_line(
+            f"(also written to {path})"
+        )

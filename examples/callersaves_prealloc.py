@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Caller-saves preallocation (paper section 7.6.2, the [Chow 88] idea).
+
+A hot middle procedure keeps loop state live across calls to small
+leaves.  Under the standard convention, anything live across a call must
+sit in a callee-saves register (entry/exit save + restore).  With
+caller-saves preallocation, the analyzer knows the leaves barely touch
+the caller-saves file, so the state survives the calls in caller-saves
+registers — no save/restore at all.
+
+Every run here executes under the simulator's calling-convention
+checker, which verifies at each return that the callee preserved every
+register outside its declared clobber set.
+
+Run:
+    python examples/callersaves_prealloc.py
+"""
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    Simulator,
+    compile_with_database,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+from repro.target.registers import register_name
+
+SOURCES = {
+    "leaves": """
+        int scale(int x)  { return x * 3 + 1; }
+        int fold(int a, int b) { return (a ^ b) + (a >> 2); }
+    """,
+    "main": """
+        extern int scale(int);
+        extern int fold(int, int);
+
+        // worker is invoked thousands of times; everything it keeps
+        // live across the leaf calls normally costs callee-saves
+        // save/restore on every single invocation.
+        int worker(int seed) {
+          int acc = seed;
+          int bias = seed * 5 + 17;   // live across both calls below
+          int s = scale(seed);
+          acc = fold(acc + bias, s);
+          acc = fold(acc - bias, scale(acc));
+          return acc;
+        }
+
+        int main() {
+          int i;
+          int total = 0;
+          for (i = 0; i < 2000; i++)
+            total += worker(i);
+          print(total);
+          return total & 255;
+        }
+    """,
+}
+
+
+def run_with(options, label):
+    phase1 = run_phase1(SOURCES)
+    summaries = [r.summary for r in phase1]
+    if options is None:
+        database = ProgramDatabase()
+    else:
+        database = analyze_program(summaries, options)
+    executable = compile_with_database(phase1, database)
+    stats = Simulator(
+        executable,
+        check_conventions=True,
+        volatile_registers=database.convention_volatile_registers(),
+    ).run()
+    return stats, database
+
+
+def main() -> None:
+    baseline, _ = run_with(None, "standard convention")
+
+    options = AnalyzerOptions(
+        global_promotion="none",
+        spill_code_motion=False,
+        caller_saves_preallocation=True,
+    )
+    improved, database = run_with(options, "with preallocation")
+    assert improved.output == baseline.output
+
+    print("what the analyzer learned about the leaves:")
+    for name in ("scale", "fold"):
+        used = sorted(database.get(name).subtree_caller_used)
+        names = " ".join(register_name(r) for r in used)
+        print(f"  call tree of {name:>5} clobbers only: {names}")
+
+    print(f"\n{'metric':>24}  {'standard':>10}  {'prealloc':>10}")
+    for label, attribute in [
+        ("cycles", "cycles"),
+        ("singleton references", "singleton_references"),
+    ]:
+        print(
+            f"{label:>24}  {getattr(baseline, attribute):>10,}  "
+            f"{getattr(improved, attribute):>10,}"
+        )
+    gain = 100.0 * (baseline.cycles - improved.cycles) / baseline.cycles
+    print(f"\ncycle improvement: {gain:.1f}%  "
+          f"(validated by the calling-convention checker)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper's worked example: Figure 3's call graph, Table 1's
+reference sets, and Table 2's webs — built from an actual Tiny-C
+program whose call graph is exactly the figure's.
+
+Run:
+    python examples/paper_example.py
+"""
+
+from repro import AnalyzerOptions, compile_program, run_executable
+from repro.analyzer.options import AnalyzerOptions
+from repro.analyzer.webs import WebOptions
+from repro.callgraph.dataflow import compute_reference_sets, eligible_globals
+from repro.callgraph.graph import CallGraph
+
+# Tiny-C realization of Figure 3: procedures A..H, globals g1..g3, with
+# A -> B, C; B -> D, E; C -> F, G; F, G -> H.
+SOURCES = {
+    "figure3": """
+        int g1, g2, g3;
+
+        int H(int x) { return x + 1; }
+        int F(int x) { g2 += x;       return H(g2); }
+        int G(int x) { g2 -= x;       return H(g2); }
+        int D(int x) { g1 += x;       return g1; }
+        int E(int x) { g1 += g2 + x;  g2 = g2 * 2 - g1 + x; return g2 & 1023; }
+        int B(int x) { g1 = x; g3 += D(x) + E(x); return g3; }
+        int C(int x) { g2 = x; g3 += F(x) + G(x); return g3; }
+        int A(int n) {
+          int i;
+          int acc = 0;
+          for (i = 0; i < n; i++) {
+            g3 = i;
+            acc += B(i) + C(i);
+          }
+          return acc;
+        }
+        // main references no globals, so A's P_REF stays empty and the
+        // reference sets match the paper's Table 1 exactly.
+        int main() {
+          int r = A(25);
+          print(r);
+          return r & 255;
+        }
+    """,
+}
+
+
+def show(values):
+    return " ".join(sorted(values)) if values else "(empty)"
+
+
+def main() -> None:
+    options = AnalyzerOptions(
+        num_web_registers=2,  # the paper colors the example with two
+        web_options=WebOptions(min_lref_ratio=0.0,
+                               min_single_node_refs=0.0),
+    )
+    result = compile_program(SOURCES, analyzer_options=options)
+
+    summaries = result.summaries
+    graph = CallGraph.build(summaries)
+    graph.normalize_weights()
+    eligible = eligible_globals(summaries)
+    sets = compute_reference_sets(graph, eligible)
+
+    print("Table 1: reference sets")
+    print(f"{'Procedure':<10} {'L_REF':<12} {'C_REF':<12} {'P_REF':<12}")
+    for name in "ABCDEFGH":
+        print(
+            f"{name:<10} {show(sets.l_ref[name]):<12} "
+            f"{show(sets.c_ref[name]):<12} {show(sets.p_ref[name]):<12}"
+        )
+
+    print("\nTable 2: webs (from the analyzer's database)")
+    print(f"{'Web':<5} {'Variable':<9} {'Nodes':<12} {'Register':<9} "
+          f"{'Entries'}")
+    for web in sorted(result.database.webs, key=lambda w: w.web_id):
+        register = f"r{web.register}" if web.register else "-"
+        print(
+            f"{web.web_id:<5} {web.variable:<9} "
+            f"{' '.join(sorted(web.nodes)):<12} {register:<9} "
+            f"{' '.join(sorted(web.entry_nodes))}"
+        )
+
+    stats = run_executable(result.executable)
+    print("\nprogram output:", stats.output.split())
+    registers_used = {
+        w.register for w in result.database.webs if w.register
+    }
+    print(f"webs colored with {len(registers_used)} register(s): "
+          f"{sorted(registers_used)}")
+    for web in result.database.webs:
+        if web.discarded_reason:
+            print(
+                f"note: web {web.web_id} ({web.variable} in "
+                f"{' '.join(sorted(web.nodes))}) was not promoted: "
+                f"{web.discarded_reason} — with real frequencies the "
+                f"entry load/store exactly cancels the references saved, "
+                f"so the priority heuristic (section 4.1.3) declines it"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Profile-guided interprocedural register allocation (configs B and F).
+
+The paper's analyzer can consume gprof-style call counts instead of its
+compile-time heuristics.  This example builds a program whose *static*
+shape misleads the heuristics — the syntactically-hot path is dynamically
+cold — collects a profile with the simulator, and compares the analyzer's
+cluster decisions and the resulting cycle counts.
+
+Run:
+    python examples/profile_guided.py
+"""
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    collect_profile,
+    compile_with_database,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+
+# rare_path is wrapped in a loop (statically hot); common_path is called
+# straight-line (statically cold) but the condition sends nearly all
+# dynamic calls its way.
+SOURCES = {
+    "paths": """
+        int rare_hits;
+        int common_hits;
+
+        int crunch(int x) { return (x * 17 + 5) & 1023; }
+
+        int rare_path(int x) {
+          int i;
+          int acc = 0;
+          for (i = 0; i < 50; i++) acc += crunch(x + i);
+          rare_hits++;
+          return acc;
+        }
+
+        int common_path(int x) {
+          int a = crunch(x);
+          int b = crunch(x + 1);
+          common_hits++;
+          return a + b;
+        }
+    """,
+    "main": """
+        extern int rare_path(int);
+        extern int common_path(int);
+        extern int rare_hits;
+        extern int common_hits;
+
+        int main() {
+          int i;
+          int total = 0;
+          for (i = 0; i < 3000; i++) {
+            if (i % 500 == 0)
+              total += rare_path(i);    // 6 dynamic calls
+            else
+              total += common_path(i);  // 2994 dynamic calls
+          }
+          print(total);
+          print(rare_hits);
+          print(common_hits);
+          return 0;
+        }
+    """,
+}
+
+
+def main() -> None:
+    phase1 = run_phase1(SOURCES)
+    summaries = [r.summary for r in phase1]
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase())
+    )
+
+    # Step 1: instrumented run (the gprof step).
+    profile = collect_profile(phase1)
+    print("profiled call counts:")
+    for name in ("rare_path", "common_path", "crunch"):
+        print(f"  {name:>12}: {profile.node_count(name):,} calls")
+
+    # Step 2: heuristic (config C) vs profile-guided (config F).
+    results = {}
+    for label, options in [
+        ("heuristic (C)", AnalyzerOptions.config("C")),
+        ("profiled  (F)", AnalyzerOptions.config("F", profile)),
+    ]:
+        database = analyze_program(summaries, options)
+        stats = run_executable(compile_with_database(phase1, database))
+        assert stats.output == baseline.output
+        results[label] = (stats, database)
+
+    print(f"\n{'configuration':>15}  {'cycles':>10}  {'improvement':>11}")
+    print(f"{'level 2 only':>15}  {baseline.cycles:>10,}  {'-':>11}")
+    for label, (stats, _) in results.items():
+        gain = 100.0 * (baseline.cycles - stats.cycles) / baseline.cycles
+        print(f"{label:>15}  {stats.cycles:>10,}  {gain:>10.1f}%")
+
+    print(
+        "\nAs in the paper (section 6.2), procedure-level profiles move "
+        "the numbers only\nslightly: the analyzer's normalized heuristic "
+        "counts are already competitive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a two-module Tiny-C program with and without
+interprocedural register allocation, and compare the paper's metrics.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import AnalyzerOptions, compile_and_run, compile_program
+
+# A small program in the paper's setting: a global counter maintained by
+# procedures in one module, driven by a loop in another module.
+SOURCES = {
+    "counter": """
+        // Module 1: a counter abstraction over a global.
+        int count;
+        int bump(int by) { count += by; return count; }
+        int reset()      { count = 0; return 0; }
+    """,
+    "main": """
+        // Module 2: the driver.
+        extern int bump(int);
+        extern int reset();
+        extern int count;
+
+        int main() {
+          int round;
+          int total = 0;
+          for (round = 0; round < 50; round++) {
+            int i;
+            reset();
+            for (i = 0; i < 20; i++) bump(i);
+            total += count;
+          }
+          print(total);
+          return 0;
+        }
+    """,
+}
+
+
+def main() -> None:
+    # Level-2 baseline: classical intraprocedural optimization only.
+    baseline = compile_and_run(SOURCES)
+
+    # The paper's config C: spill code motion + web coloring with 6
+    # reserved callee-saves registers.
+    result = compile_program(
+        SOURCES, analyzer_options=AnalyzerOptions.config("C")
+    )
+    from repro import run_executable
+
+    promoted = run_executable(result.executable)
+
+    assert promoted.output == baseline.output  # semantics preserved
+
+    print("program output:", baseline.output.strip())
+    print()
+    print(f"{'metric':>28}  {'level 2':>10}  {'level 2 + IPA':>13}")
+    for label, attribute in [
+        ("cycles", "cycles"),
+        ("instructions", "instructions"),
+        ("memory references", "memory_references"),
+        ("singleton references", "singleton_references"),
+    ]:
+        base_value = getattr(baseline, attribute)
+        ipa_value = getattr(promoted, attribute)
+        print(f"{label:>28}  {base_value:>10,}  {ipa_value:>13,}")
+    gain = 100.0 * (baseline.cycles - promoted.cycles) / baseline.cycles
+    print(f"\ncycle improvement: {gain:.1f}%")
+
+    # Where did it come from?  The analyzer's decisions are inspectable.
+    bump = result.database.get("bump")
+    for promoted_global in bump.promoted:
+        print(
+            f"\n'count' lives in r{promoted_global.register} inside the "
+            f"web covering bump/reset"
+            f" (entry node: {promoted_global.is_entry})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reusable program analyses: dominators, liveness, loops, frequencies."""
+
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.frequency import (
+    FunctionUsage,
+    analyze_function_usage,
+    block_weight,
+    estimate_callee_saves_need,
+)
+from repro.analysis.liveness import (
+    LivenessResult,
+    compute_ir_liveness,
+    compute_liveness,
+)
+from repro.analysis.loops import (
+    NaturalLoop,
+    compute_cfg_dominators,
+    find_natural_loops,
+    loop_nesting_depths,
+)
+
+__all__ = [
+    "DominatorTree",
+    "FunctionUsage",
+    "LivenessResult",
+    "NaturalLoop",
+    "analyze_function_usage",
+    "block_weight",
+    "compute_cfg_dominators",
+    "compute_dominators",
+    "compute_ir_liveness",
+    "compute_liveness",
+    "estimate_callee_saves_need",
+    "find_natural_loops",
+    "loop_nesting_depths",
+]

@@ -1,0 +1,147 @@
+"""Generic dominator computation (Cooper-Harvey-Kennedy).
+
+Used in two places:
+
+* on function CFGs, for natural-loop detection;
+* on the program *call graph*, where the paper's cluster definition
+  (section 4.2.1) requires "node D dominates node N iff every path from
+  each start node to N includes D".
+
+The call-graph case can have multiple start nodes, which we handle by
+adding a virtual root with edges to every start node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Optional, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+_VIRTUAL_ROOT = object()
+
+
+class DominatorTree:
+    """Immediate-dominator mapping over a rooted graph.
+
+    ``idom[n]`` is the immediate dominator of ``n``; the (possibly
+    virtual) root has no entry.  Nodes unreachable from the roots do not
+    appear at all.
+    """
+
+    def __init__(self, idom: dict, roots: set):
+        self._idom = idom
+        self._roots = roots
+
+    @property
+    def reachable_nodes(self) -> set:
+        return set(self._idom) | self._roots
+
+    def immediate_dominator(self, node):
+        """The unique immediate dominator, or ``None`` for roots/virtual."""
+        parent = self._idom.get(node)
+        if parent is _VIRTUAL_ROOT:
+            return None
+        return parent
+
+    def dominates(self, a, b) -> bool:
+        """True if ``a`` dominates ``b`` (reflexively)."""
+        current = b
+        while current is not None and current is not _VIRTUAL_ROOT:
+            if current == a:
+                return True
+            current = self._idom.get(current)
+        return False
+
+    def strictly_dominates(self, a, b) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominators_of(self, node) -> list:
+        """All dominators of ``node``, nearest first (including itself)."""
+        chain = []
+        current = node
+        while current is not None and current is not _VIRTUAL_ROOT:
+            chain.append(current)
+            current = self._idom.get(current)
+        return chain
+
+
+def compute_dominators(
+    nodes: Iterable[Node],
+    roots: Iterable[Node],
+    successors: Callable[[Node], Iterable[Node]],
+) -> DominatorTree:
+    """Compute the dominator tree of a graph with one or more roots."""
+    root_set = set(roots)
+    all_nodes = list(nodes)
+
+    def virtual_successors(node):
+        if node is _VIRTUAL_ROOT:
+            return root_set
+        return successors(node)
+
+    # Reverse postorder from the virtual root.
+    postorder: list = []
+    visited: set = set()
+
+    def dfs(start) -> None:
+        stack = [(start, iter(virtual_successors(start)))]
+        visited.add(start)
+        while stack:
+            node, succ_iter = stack[-1]
+            advanced = False
+            for successor in succ_iter:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append(
+                        (successor, iter(virtual_successors(successor)))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    dfs(_VIRTUAL_ROOT)
+    rpo = list(reversed(postorder))
+    rpo_index = {node: index for index, node in enumerate(rpo)}
+
+    predecessors: dict = {node: [] for node in rpo}
+    for node in rpo:
+        for successor in virtual_successors(node):
+            if successor in predecessors:
+                predecessors[successor].append(node)
+
+    idom: dict = {_VIRTUAL_ROOT: _VIRTUAL_ROOT}
+
+    def intersect(a, b):
+        while a is not b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node is _VIRTUAL_ROOT:
+                continue
+            candidates = [p for p in predecessors[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) is not new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    del idom[_VIRTUAL_ROOT]
+    # Nodes whose idom is the virtual root are only dominated by themselves.
+    result = {
+        node: parent for node, parent in idom.items()
+    }
+    reachable_roots = {n for n in root_set if n in visited}
+    _ = all_nodes  # documented parameter; reachability comes from the DFS
+    return DominatorTree(result, reachable_roots)

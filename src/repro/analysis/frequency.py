@@ -1,0 +1,172 @@
+"""Static frequency estimation over IR.
+
+The compiler first phase estimates (paper section 3 and 6):
+
+* per-procedure global-variable reference frequencies,
+* per-procedure call frequencies to each callee,
+* the number of callee-saves registers the procedure will need.
+
+Following the prototype described in section 6, "usage counts and call
+frequencies were determined based on the location of each reference or
+call in the control flow hierarchy": a reference at loop nesting depth
+``d`` is weighted ``FREQUENCY_BASE ** d``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.liveness import compute_ir_liveness
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Call,
+    CallIndirect,
+    LoadAddr,
+    LoadGlobal,
+    StoreGlobal,
+)
+from repro.ir.values import Temp
+
+FREQUENCY_BASE = 10
+MAX_WEIGHTED_DEPTH = 6
+
+
+def block_weight(loop_depth: int) -> int:
+    """Static execution-frequency weight of a block at ``loop_depth``."""
+    return FREQUENCY_BASE ** min(loop_depth, MAX_WEIGHTED_DEPTH)
+
+
+@dataclass
+class FunctionUsage:
+    """Static usage facts for one procedure.
+
+    Attributes:
+        global_refs: qualified global name -> weighted reference count.
+        global_stores: subset of the above that are writes.
+        calls: callee qualified name -> weighted call count (direct calls).
+        address_taken_functions: function names whose address this
+            procedure computes (potential indirect-call targets).
+        makes_indirect_calls: True if any indirect call site exists.
+        callee_saves_needed: estimated callee-saves register demand.
+    """
+
+    global_refs: Counter = field(default_factory=Counter)
+    global_stores: Counter = field(default_factory=Counter)
+    calls: Counter = field(default_factory=Counter)
+    address_taken_functions: set[str] = field(default_factory=set)
+    makes_indirect_calls: bool = False
+    indirect_call_freq: int = 0
+    callee_saves_needed: int = 0
+    caller_saves_needed: int = 0
+    max_call_args: int = 0
+
+
+def analyze_function_usage(function: IRFunction) -> FunctionUsage:
+    """Collect weighted reference/call counts and register-need estimate."""
+    usage = FunctionUsage()
+    for block in function.blocks.values():
+        weight = block_weight(block.loop_depth)
+        for instruction in block.instructions:
+            if isinstance(instruction, LoadGlobal):
+                usage.global_refs[instruction.symbol] += weight
+            elif isinstance(instruction, StoreGlobal):
+                usage.global_refs[instruction.symbol] += weight
+                usage.global_stores[instruction.symbol] += weight
+            elif isinstance(instruction, Call):
+                if not instruction.is_builtin:
+                    usage.calls[instruction.callee] += weight
+                    usage.max_call_args = max(
+                        usage.max_call_args, len(instruction.args)
+                    )
+            elif isinstance(instruction, CallIndirect):
+                usage.makes_indirect_calls = True
+                usage.indirect_call_freq += weight
+                usage.max_call_args = max(
+                    usage.max_call_args, len(instruction.args)
+                )
+            elif isinstance(instruction, LoadAddr) and instruction.is_function:
+                usage.address_taken_functions.add(instruction.symbol)
+    usage.callee_saves_needed = estimate_callee_saves_need(function)
+    usage.caller_saves_needed = estimate_caller_saves_need(function)
+    return usage
+
+
+def estimate_caller_saves_need(function: IRFunction) -> int:
+    """Estimate how many caller-saves registers the procedure needs.
+
+    Values *not* live across calls can use caller-saves registers; the
+    demand is the maximum number of such values simultaneously live at
+    any point.  Used by the caller-saves preallocation extension (paper
+    section 7.6.2): the analyzer propagates each procedure's caller-saves
+    usage bottom-up so callers can keep values in caller-saves registers
+    across calls that do not touch them.
+    """
+    liveness = compute_ir_liveness(function)
+    across = _temps_live_across_calls(function, liveness)
+    peak = 0
+    for block in function.blocks.values():
+        live: set[Temp] = {
+            t for t in liveness.live_out(block.label) if t not in across
+        }
+        peak = max(peak, len(live))
+        instructions = list(block.instructions)
+        if block.terminator is not None:
+            instructions.append(block.terminator)
+        for instruction in reversed(instructions):
+            for defined in instruction.defs():
+                live.discard(defined)
+            for used in instruction.uses():
+                if isinstance(used, Temp) and used not in across:
+                    live.add(used)
+            peak = max(peak, len(live))
+    return peak
+
+
+def _temps_live_across_calls(function: IRFunction, liveness) -> set:
+    across: set[Temp] = set()
+    for block in function.blocks.values():
+        instructions = list(block.instructions)
+        if block.terminator is not None:
+            instructions.append(block.terminator)
+        live: set[Temp] = set(liveness.live_out(block.label))
+        for instruction in reversed(instructions):
+            if isinstance(instruction, (Call, CallIndirect)) and not (
+                isinstance(instruction, Call) and instruction.is_builtin
+            ):
+                across |= live - set(instruction.defs())
+            for defined in instruction.defs():
+                live.discard(defined)
+            for used in instruction.uses():
+                if isinstance(used, Temp):
+                    live.add(used)
+    return across
+
+
+def estimate_callee_saves_need(function: IRFunction) -> int:
+    """Estimate how many callee-saves registers the procedure needs.
+
+    A temp that is live across some call must survive the call, so it
+    wants a callee-saves register.  The estimate is the number of distinct
+    temps live across any call site — the same quantity the paper's first
+    phase records in the summary file for the spill-code-motion
+    preallocation (section 4.2.4).
+    """
+    liveness = compute_ir_liveness(function)
+    live_across_calls: set[Temp] = set()
+    for block in function.blocks.values():
+        instructions = list(block.instructions)
+        if block.terminator is not None:
+            instructions.append(block.terminator)
+        live: set[Temp] = set(liveness.live_out(block.label))
+        # Walk backward so "live after the call" is available at the call.
+        for instruction in reversed(instructions):
+            if isinstance(instruction, (Call, CallIndirect)):
+                after = live - set(instruction.defs())
+                live_across_calls |= after
+            for defined in instruction.defs():
+                live.discard(defined)
+            for used in instruction.uses():
+                if isinstance(used, Temp):
+                    live.add(used)
+    return len(live_across_calls)

@@ -1,0 +1,162 @@
+"""Backward liveness analysis.
+
+Written generically over any block graph whose instructions expose
+``uses()``/``defs()``: both the IR (:mod:`repro.ir`) and the PRISM machine
+code (:mod:`repro.backend`) satisfy the protocol, so the same engine
+drives IR dead-code elimination and the backend's register allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, TypeVar
+
+Value = TypeVar("Value", bound=Hashable)
+
+
+@dataclass
+class BlockLiveness:
+    """Liveness facts for one block."""
+
+    live_in: set = field(default_factory=set)
+    live_out: set = field(default_factory=set)
+    use: set = field(default_factory=set)
+    define: set = field(default_factory=set)
+
+
+class LivenessResult:
+    """Per-block liveness sets, plus per-instruction iteration support."""
+
+    def __init__(self, blocks: dict[str, BlockLiveness]):
+        self.blocks = blocks
+
+    def live_in(self, label: str) -> set:
+        return self.blocks[label].live_in
+
+    def live_out(self, label: str) -> set:
+        return self.blocks[label].live_out
+
+
+def compute_liveness(
+    labels: Iterable[str],
+    successors: Callable[[str], Iterable[str]],
+    block_instructions: Callable[[str], list],
+    is_trackable: Callable[[object], bool],
+) -> LivenessResult:
+    """Run backward liveness to a fixpoint.
+
+    Args:
+        labels: All block labels.
+        successors: Label -> successor labels.
+        block_instructions: Label -> instruction list *including* the
+            terminator (each exposing ``uses()``/``defs()``).
+        is_trackable: Filter for operand values to track (e.g. "is a
+            Temp" or "is a virtual register").
+    """
+    facts: dict[str, BlockLiveness] = {}
+    label_list = list(labels)
+    for label in label_list:
+        fact = BlockLiveness()
+        # Scan backward to compute upward-exposed uses and kills.
+        for instruction in reversed(block_instructions(label)):
+            for defined in instruction.defs():
+                fact.use.discard(defined)
+                fact.define.add(defined)
+            for used in instruction.uses():
+                if is_trackable(used):
+                    fact.use.add(used)
+        facts[label] = fact
+
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(label_list):
+            fact = facts[label]
+            live_out: set = set()
+            for successor in successors(label):
+                live_out |= facts[successor].live_in
+            live_in = fact.use | (live_out - fact.define)
+            if live_out != fact.live_out or live_in != fact.live_in:
+                fact.live_out = live_out
+                fact.live_in = live_in
+                changed = True
+    return LivenessResult(facts)
+
+
+class _ReturnProxy:
+    """Wraps a Return terminator so pinned temps count as used by it."""
+
+    def __init__(self, terminator, extra_uses: list):
+        self._terminator = terminator
+        self._extra = extra_uses
+
+    def uses(self) -> list:
+        return list(self._terminator.uses()) + self._extra
+
+    def defs(self) -> list:
+        return []
+
+
+class _CallProxy:
+    """Wraps a call so pinned temps count as both used and redefined.
+
+    A promoted global lives in a register that the *callee* may read and
+    write (that is the whole point of web promotion), so from the
+    caller's perspective every non-builtin call both uses and clobbers
+    the pinned temp.
+    """
+
+    def __init__(self, call, pinned: list):
+        self._call = call
+        self._pinned = pinned
+
+    def uses(self) -> list:
+        return list(self._call.uses()) + self._pinned
+
+    def defs(self) -> list:
+        return list(self._call.defs()) + self._pinned
+
+
+def _is_user_call(instruction) -> bool:
+    from repro.ir.instructions import Call, CallIndirect
+
+    if isinstance(instruction, CallIndirect):
+        return True
+    return isinstance(instruction, Call) and not instruction.is_builtin
+
+
+def compute_ir_liveness(function) -> LivenessResult:
+    """Liveness of temps over an :class:`repro.ir.IRFunction`.
+
+    Temps pinned to physical registers (promoted globals) are live at
+    every return: the register's value is the global variable as far as
+    callers are concerned.
+    """
+    from repro.ir.instructions import Return
+    from repro.ir.values import Temp
+
+    pinned = list(function.pinned_temps)
+
+    def block_instructions(label: str) -> list:
+        block = function.blocks[label]
+        if pinned:
+            instructions = [
+                _CallProxy(instruction, pinned)
+                if _is_user_call(instruction)
+                else instruction
+                for instruction in block.instructions
+            ]
+        else:
+            instructions = list(block.instructions)
+        if isinstance(block.terminator, Return) and pinned:
+            instructions.append(_ReturnProxy(block.terminator, pinned))
+        elif block.terminator is not None:
+            instructions.append(block.terminator)
+        return instructions
+
+    return compute_liveness(
+        function.blocks.keys(),
+        lambda label: function.blocks[label].successors(),
+        block_instructions,
+        lambda value: isinstance(value, Temp),
+    )

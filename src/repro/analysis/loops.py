@@ -1,0 +1,73 @@
+"""Natural-loop detection on IR control-flow graphs.
+
+The IR builder already records *syntactic* loop depth on each block (the
+front end only produces structured control flow), and the frequency
+heuristics use that.  This module recovers loops from the graph itself —
+back edges with respect to the dominator tree — and is used by tests to
+cross-check the syntactic depths and by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.ir.function import IRFunction
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: a header and the set of member block labels."""
+
+    header: str
+    body: set[str] = field(default_factory=set)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+
+def compute_cfg_dominators(function: IRFunction) -> DominatorTree:
+    """Dominator tree of a function's CFG."""
+    return compute_dominators(
+        function.blocks.keys(),
+        [function.entry_label],
+        lambda label: function.blocks[label].successors(),
+    )
+
+
+def find_natural_loops(function: IRFunction) -> list[NaturalLoop]:
+    """All natural loops, one per back edge (merged per header)."""
+    dominators = compute_cfg_dominators(function)
+    predecessors = function.predecessors()
+    loops: dict[str, NaturalLoop] = {}
+    for block in function.blocks.values():
+        for successor in block.successors():
+            if dominators.dominates(successor, block.label):
+                loop = loops.setdefault(successor, NaturalLoop(successor))
+                _collect_loop_body(successor, block.label, predecessors, loop)
+    return list(loops.values())
+
+
+def _collect_loop_body(
+    header: str,
+    latch: str,
+    predecessors: dict[str, list[str]],
+    loop: NaturalLoop,
+) -> None:
+    loop.body.add(header)
+    worklist = [latch]
+    while worklist:
+        label = worklist.pop()
+        if label in loop.body:
+            continue
+        loop.body.add(label)
+        worklist.extend(predecessors[label])
+
+
+def loop_nesting_depths(function: IRFunction) -> dict[str, int]:
+    """Graph-derived loop nesting depth for every block label."""
+    depths = {label: 0 for label in function.blocks}
+    for loop in find_natural_loops(function):
+        for label in loop.body:
+            depths[label] += 1
+    return depths

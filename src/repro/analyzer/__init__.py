@@ -1,0 +1,45 @@
+"""The program analyzer: webs, clusters, register usage sets, database."""
+
+from repro.analyzer.clusters import Cluster, ClusterOptions, identify_clusters
+from repro.analyzer.coloring import (
+    color_webs_greedy,
+    color_webs_priority,
+    compute_web_priority,
+    select_blanket_globals,
+)
+from repro.analyzer.database import (
+    AnalyzerStatistics,
+    ProcedureDirectives,
+    ProgramDatabase,
+    PromotedGlobal,
+    default_directives,
+)
+from repro.analyzer.driver import analyze_program
+from repro.analyzer.interference import WebInterferenceGraph
+from repro.analyzer.options import PAPER_CONFIGS, AnalyzerOptions
+from repro.analyzer.regsets import RegisterSets, compute_register_sets
+from repro.analyzer.webs import Web, WebOptions, identify_webs
+
+__all__ = [
+    "AnalyzerOptions",
+    "AnalyzerStatistics",
+    "Cluster",
+    "ClusterOptions",
+    "PAPER_CONFIGS",
+    "ProcedureDirectives",
+    "ProgramDatabase",
+    "PromotedGlobal",
+    "RegisterSets",
+    "Web",
+    "WebInterferenceGraph",
+    "WebOptions",
+    "analyze_program",
+    "color_webs_greedy",
+    "color_webs_priority",
+    "compute_register_sets",
+    "compute_web_priority",
+    "default_directives",
+    "identify_clusters",
+    "identify_webs",
+    "select_blanket_globals",
+]

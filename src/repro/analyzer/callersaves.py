@@ -1,0 +1,122 @@
+"""Caller-saves register preallocation (paper section 7.6.2, last
+paragraph; the technique of [Chow 88]).
+
+The analyzer preallocates caller-saves registers bottom-up over the call
+graph: each procedure is assigned a *prefix* of a fixed caller-saves
+selection order sized by its estimated demand, and the total caller-saves
+usage of the call tree rooted at each procedure is propagated to its
+callers.  The compiler second phase can then keep values live in
+caller-saves registers across calls whose callee subtree does not use
+them — the classic win that pure convention-based allocation forfeits.
+
+Limitations (acknowledged by the paper): procedures on recursive call
+chains and targets of indirect calls cannot be exploited; their subtree
+usage is the full caller-saves set.  Likewise for exported procedures of
+partial call graphs and any call to a procedure outside the analyzed
+graph.
+
+The backend cooperates by allocating caller-saves registers strictly in
+the same selection order and only from the assigned prefix (plus the
+argument registers it needs for outgoing calls), so the propagated
+subtree sets are sound upper bounds on what a call can clobber.
+"""
+
+from __future__ import annotations
+
+from repro.callgraph.graph import EXTERNAL_CALLER, CallGraph
+from repro.target.registers import (
+    ARG_REGISTERS,
+    CALLER_SAVES,
+    MAX_REG_ARGS,
+    RV,
+)
+
+# Fixed selection order: non-argument caller-saves first (r8..r15), then
+# the argument registers — so low-demand procedures leave the argument
+# registers least disturbed.
+SELECTION_ORDER = tuple(
+    sorted(CALLER_SAVES - set(ARG_REGISTERS) - {RV})
+    + list(ARG_REGISTERS)
+)
+
+# The first-phase demand estimate is computed on the IR; instruction
+# selection introduces additional short-lived temporaries (address
+# computations, materialized constants, argument shuttling), so the
+# allocation prefix is padded to avoid starving the backend into
+# needless callee-saves traffic.
+PREFIX_MARGIN = 4
+
+
+def allocation_prefix(count: int) -> tuple:
+    """The first ``count`` caller-saves registers in selection order."""
+    return SELECTION_ORDER[: max(0, min(count, len(SELECTION_ORDER)))]
+
+
+def arg_registers_for(arg_count: int) -> set:
+    """Argument registers written when making a call with ``arg_count``
+    arguments."""
+    return set(ARG_REGISTERS[: min(arg_count, MAX_REG_ARGS)])
+
+
+def compute_subtree_caller_usage(
+    graph: CallGraph,
+) -> tuple:
+    """Compute per-procedure caller-saves facts.
+
+    Returns ``(own_prefix, subtree_used)`` where ``own_prefix[P]`` is the
+    ordered register prefix procedure P may allocate from, and
+    ``subtree_used[P]`` is the set of standard caller-saves registers the
+    call tree rooted at P may clobber (RV always included — every call
+    produces a result or scratches it).
+    """
+    full = frozenset(CALLER_SAVES)
+    own_prefix: dict[str, tuple] = {}
+    subtree_used: dict[str, frozenset] = {}
+
+    # Procedures whose subtree cannot be bounded: recursive components,
+    # indirect-call targets (callable from anywhere), and the partial
+    # graph pseudo caller.
+    unbounded: set = set(graph.recursive_nodes())
+    unbounded |= set(graph.indirect_targets)
+    if EXTERNAL_CALLER in graph.nodes:
+        unbounded.add(EXTERNAL_CALLER)
+
+    for name, node in graph.nodes.items():
+        need = getattr(node.summary, "caller_saves_needed", 0)
+        own_prefix[name] = allocation_prefix(need + PREFIX_MARGIN)
+
+    # Bottom-up over the SCC condensation (components come out of
+    # Tarjan's in reverse topological order: callees before callers).
+    components = graph.strongly_connected_components()
+    for component in components:
+        is_recursive = len(component) > 1 or any(
+            name in graph.nodes[name].successors for name in component
+        )
+        for name in component:
+            node = graph.nodes[name]
+            if name in unbounded or is_recursive:
+                subtree_used[name] = full
+                continue
+            used = {RV}
+            used.update(own_prefix[name])
+            used |= arg_registers_for(
+                getattr(node.summary, "max_call_args", 0)
+            )
+            # Incoming parameter registers: the procedure may keep its
+            # parameters (or other values) allocated right in them, and
+            # a caller whose argument move was coalesced could otherwise
+            # believe the register survives the call.
+            used |= arg_registers_for(
+                getattr(node.summary, "num_params", MAX_REG_ARGS)
+            )
+            if node.summary.makes_indirect_calls:
+                subtree_used[name] = full
+                continue
+            bounded = True
+            for callee in node.summary.calls:
+                if callee not in graph.nodes:
+                    bounded = False  # unknown callee: assume the worst
+                    break
+                used |= subtree_used.get(callee, full)
+            subtree_used[name] = frozenset(used) if bounded else full
+    return own_prefix, subtree_used

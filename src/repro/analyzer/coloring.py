@@ -1,0 +1,162 @@
+"""Web coloring: assigning callee-saves registers to webs.
+
+Three strategies, matching the configurations of the paper's Table 4:
+
+* **priority coloring** (configs C/F) — webs are sorted by a priority
+  that weighs the dynamic references saved inside the web against the
+  load/store traffic added at web entry nodes, then greedily colored out
+  of a fixed pool of N callee-saves registers (the paper reserved 6);
+* **greedy coloring** (config D) — tries to color as many webs as
+  possible *without* reserving any of the callee-saves registers required
+  by any individual member procedure: each web may only use registers
+  beyond its members' own estimated callee-saves demand, but the pool is
+  the full callee-saves file;
+* **blanket promotion** (config E) — the [Wall 86] comparison: the N most
+  frequently referenced eligible globals each get a register dedicated
+  over the *entire* program.
+
+Register numbering: web registers are taken from the top of the
+callee-saves file downward, which keeps them maximally out of the way of
+the spill-code-motion preallocation (which prefers low-numbered
+callee-saves registers first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analyzer.interference import WebInterferenceGraph
+from repro.analyzer.webs import Web
+from repro.callgraph.graph import CallGraph
+from repro.target.registers import CALLEE_SAVES
+
+# Cost/benefit weights for the priority heuristic: a promoted reference
+# saves the address setup + memory access (2 instructions); each call of
+# a web entry node costs an entry load and (usually) an exit store plus
+# the save/restore of the dedicated register.
+REFERENCE_GAIN = 2.0
+ENTRY_CALL_COST = 4.0
+
+
+def web_register_pool(count: int) -> list:
+    """The ``count`` callee-saves registers reserved for web coloring."""
+    return sorted(CALLEE_SAVES, reverse=True)[:count]
+
+
+def compute_web_priority(web: Web, graph: CallGraph) -> float:
+    """Estimated dynamic benefit of promoting ``web`` (section 4.1.3)."""
+    benefit = 0.0
+    for name in web.nodes:
+        node = graph.nodes[name]
+        local_refs = node.summary.global_refs.get(web.variable, 0)
+        benefit += REFERENCE_GAIN * local_refs * max(node.weight, 1.0)
+    entry_cost = 0.0
+    for name in web.entry_nodes(graph):
+        entry_cost += ENTRY_CALL_COST * max(graph.nodes[name].weight, 1.0)
+    return benefit - entry_cost
+
+
+def color_webs_priority(
+    webs: list,
+    interference: WebInterferenceGraph,
+    graph: CallGraph,
+    num_registers: int = 6,
+) -> None:
+    """Priority-based coloring out of a fixed register pool.
+
+    Mutates ``web.register`` (None stays for uncolored webs) and
+    ``web.priority``.
+    """
+    pool = web_register_pool(num_registers)
+    live = [web for web in webs if web.is_live]
+    for web in live:
+        web.priority = compute_web_priority(web, graph)
+    colored: dict[int, Web] = {}
+    for web in sorted(live, key=lambda w: (-w.priority, w.web_id)):
+        if web.priority <= 0:
+            web.discarded_reason = "non-positive-priority"
+            continue
+        taken = {
+            colored[n].register
+            for n in interference.neighbors(web)
+            if n in colored
+        }
+        register = next((r for r in pool if r not in taken), None)
+        if register is not None:
+            web.register = register
+            colored[web.web_id] = web
+
+
+def color_webs_greedy(
+    webs: list,
+    interference: WebInterferenceGraph,
+    graph: CallGraph,
+) -> None:
+    """Greedy coloring constrained by member procedures' register needs.
+
+    A web may only use callee-saves registers beyond the maximum
+    ``callee_saves_needed`` estimate over its member procedures — i.e. it
+    never reserves a register some member wants for its own locals.  The
+    pool is the entire callee-saves file, so *more* webs usually get
+    colored, but webs whose members are register-hungry (often the most
+    important ones) may fail — exactly the behaviour the paper reports
+    for config D.
+    """
+    callee_sorted = sorted(CALLEE_SAVES, reverse=True)
+    live = [web for web in webs if web.is_live]
+    for web in live:
+        web.priority = compute_web_priority(web, graph)
+    colored: dict[int, Web] = {}
+    for web in sorted(live, key=lambda w: (-w.priority, w.web_id)):
+        if web.priority <= 0:
+            web.discarded_reason = "non-positive-priority"
+            continue
+        max_need = max(
+            (graph.nodes[name].summary.callee_saves_needed
+             for name in web.nodes),
+            default=0,
+        )
+        allowed = callee_sorted[: max(0, len(callee_sorted) - max_need)]
+        taken = {
+            colored[n].register
+            for n in interference.neighbors(web)
+            if n in colored
+        }
+        register = next((r for r in allowed if r not in taken), None)
+        if register is not None:
+            web.register = register
+            colored[web.web_id] = web
+
+
+@dataclass
+class BlanketPromotion:
+    """One global dedicated a register over the whole program."""
+
+    variable: str
+    register: int
+    needs_store: bool = True
+
+
+def select_blanket_globals(
+    webs: list, graph: CallGraph, count: int = 6
+) -> list:
+    """Pick the ``count`` hottest eligible globals (by summing the
+    priorities of their webs, as the paper did by "analyzing the
+    prioritized web list") and dedicate one register to each."""
+    totals: dict[str, float] = {}
+    for web in webs:
+        if web.discarded_reason not in (None, "sparse",
+                                        "single-node-low-frequency"):
+            continue
+        totals[web.variable] = totals.get(web.variable, 0.0) + max(
+            compute_web_priority(web, graph), 0.0
+        )
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    pool = web_register_pool(count)
+    selected = []
+    for (variable, total), register in zip(ranked[:count], pool):
+        if total <= 0:
+            continue
+        selected.append(BlanketPromotion(variable, register))
+    return selected

@@ -1,0 +1,268 @@
+"""The program analyzer (paper section 4).
+
+``analyze_program`` is the tool's entry point: it reads every module's
+summary file, builds the call graph, runs global variable promotion (web
+identification + interference + coloring, or blanket promotion) and spill
+code motion (clusters + register usage sets), and emits the program
+database of per-procedure directives for the compiler second phase.
+
+The analyzer never touches code — exactly as in the paper, all decisions
+flow through the database.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from repro.analyzer.clusters import identify_clusters
+from repro.analyzer.coloring import (
+    color_webs_greedy,
+    color_webs_priority,
+    compute_web_priority,
+    select_blanket_globals,
+)
+from repro.analyzer.database import (
+    ClusterRecord,
+    ProcedureDirectives,
+    ProgramDatabase,
+    PromotedGlobal,
+    WebRecord,
+)
+from repro.analyzer.interference import WebInterferenceGraph
+from repro.analyzer.options import AnalyzerOptions
+from repro.analyzer.regsets import compute_register_sets
+from repro.analyzer.webs import identify_webs
+from repro.callgraph.dataflow import compute_reference_sets, eligible_globals
+from repro.callgraph.graph import CallGraph
+from repro.frontend.summary import ModuleSummary
+
+
+def analyze_program(
+    summaries: Iterable[ModuleSummary],
+    options: Optional[AnalyzerOptions] = None,
+) -> ProgramDatabase:
+    """Run the full analyzer and return the program database."""
+    summaries = list(summaries)
+    options = options or AnalyzerOptions()
+    database = ProgramDatabase()
+
+    exported = options.exported_procedures
+    graph = CallGraph.build(
+        summaries, set(exported) if exported is not None else None
+    )
+    graph.normalize_weights(options.profile)
+
+    eligible = eligible_globals(summaries)
+    eligible -= set(options.externally_visible_globals)
+    total_globals = sum(len(s.globals) for s in summaries)
+    database.statistics.eligible_globals = len(eligible)
+    database.statistics.ineligible_globals = total_globals - len(eligible)
+
+    promoted_per_proc: dict[str, list] = defaultdict(list)
+    web_reserved: dict[str, set] = defaultdict(set)
+
+    if options.global_promotion == "webs":
+        _run_web_promotion(
+            graph, summaries, eligible, options, database,
+            promoted_per_proc, web_reserved,
+        )
+    elif options.global_promotion == "blanket":
+        if exported is not None:
+            raise ValueError(
+                "blanket promotion requires the whole program: with "
+                "unknown outside callers there is no program entry at "
+                "which to load the dedicated registers"
+            )
+        _run_blanket_promotion(
+            graph, summaries, eligible, options, database,
+            promoted_per_proc, web_reserved,
+        )
+    elif options.global_promotion != "none":
+        raise ValueError(
+            f"unknown promotion mode {options.global_promotion!r}"
+        )
+
+    roots: set = set()
+    if options.spill_code_motion:
+        dominators = graph.dominator_tree()
+        clusters = identify_clusters(
+            graph, dominators, options.profile, options.cluster_options
+        )
+        roots = {cluster.root for cluster in clusters}
+        register_sets = compute_register_sets(
+            graph, clusters, dominators, web_reserved
+        )
+        database.clusters = [
+            ClusterRecord(cluster.root, frozenset(cluster.members))
+            for cluster in clusters
+        ]
+        database.statistics.clusters = len(clusters)
+        database.statistics.cluster_nodes = sum(
+            len(cluster.members) for cluster in clusters
+        )
+    else:
+        register_sets = compute_register_sets(graph, [], None, web_reserved)
+
+    from repro.callgraph.graph import EXTERNAL_CALLER
+
+    caller_prefixes: dict = {}
+    subtree_caller: dict = {}
+    if options.caller_saves_preallocation:
+        from repro.analyzer.callersaves import compute_subtree_caller_usage
+
+        caller_prefixes, subtree_caller = compute_subtree_caller_usage(
+            graph
+        )
+
+    from repro.target.registers import CALLER_SAVES
+
+    for name in sorted(graph.nodes):
+        if name == EXTERNAL_CALLER:
+            continue
+        sets = register_sets[name]
+        database.put(
+            ProcedureDirectives(
+                name=name,
+                free=frozenset(sets.free),
+                caller=frozenset(sets.caller),
+                callee=frozenset(sets.callee),
+                mspill=frozenset(sets.mspill),
+                promoted=tuple(
+                    sorted(promoted_per_proc.get(name, []),
+                           key=lambda p: p.name)
+                ),
+                is_cluster_root=name in roots,
+                caller_prefix=caller_prefixes.get(name),
+                subtree_caller_used=subtree_caller.get(
+                    name, frozenset(CALLER_SAVES)
+                ),
+            )
+        )
+    return database
+
+
+def _static_modules(summaries) -> dict:
+    return {
+        g.name: g.module
+        for summary in summaries
+        for g in summary.globals
+        if g.is_static
+    }
+
+
+def _web_needs_store(web, graph: CallGraph) -> bool:
+    return any(
+        graph.nodes[name].summary.global_stores.get(web.variable, 0) > 0
+        for name in web.nodes
+    )
+
+
+def _run_web_promotion(
+    graph, summaries, eligible, options, database,
+    promoted_per_proc, web_reserved,
+) -> None:
+    sets = compute_reference_sets(graph, eligible)
+    webs = identify_webs(
+        graph, sets, eligible, options.web_options,
+        _static_modules(summaries),
+    )
+    database.statistics.total_webs = len(webs)
+    database.statistics.webs_discarded_sparse = sum(
+        1 for w in webs if w.discarded_reason == "sparse"
+    )
+    database.statistics.webs_discarded_single_low = sum(
+        1 for w in webs if w.discarded_reason == "single-node-low-frequency"
+    )
+    database.statistics.webs_discarded_static_cross_module = sum(
+        1 for w in webs if w.discarded_reason == "static-cross-module-entry"
+    )
+    database.statistics.webs_considered = sum(1 for w in webs if w.is_live)
+
+    interference = WebInterferenceGraph(webs)
+    if options.coloring == "greedy":
+        color_webs_greedy(webs, interference, graph)
+    elif options.coloring == "priority":
+        color_webs_priority(
+            webs, interference, graph, options.num_web_registers
+        )
+    else:
+        raise ValueError(f"unknown coloring mode {options.coloring!r}")
+    database.statistics.webs_colored = sum(
+        1 for w in webs if w.register is not None
+    )
+
+    for web in webs:
+        database.webs.append(
+            WebRecord(
+                web_id=web.web_id,
+                variable=web.variable,
+                nodes=frozenset(web.nodes),
+                entry_nodes=frozenset(web.entry_nodes(graph)),
+                register=web.register,
+                interferes_with=frozenset(interference.neighbors(web))
+                if web.is_live
+                else frozenset(),
+                priority=web.priority,
+                discarded_reason=web.discarded_reason,
+            )
+        )
+        if web.register is None:
+            continue
+        needs_store = _web_needs_store(web, graph)
+        entries = web.entry_nodes(graph)
+        for name in web.nodes:
+            wrap: tuple = ()
+            if web.from_split:
+                from repro.analyzer.webs import wrap_targets_for
+
+                wrap = tuple(
+                    sorted(wrap_targets_for(graph, sets, web, name))
+                )
+            promoted_per_proc[name].append(
+                PromotedGlobal(
+                    name=web.variable,
+                    register=web.register,
+                    is_entry=name in entries,
+                    needs_store=needs_store,
+                    wrap_callees=wrap,
+                )
+            )
+            web_reserved[name].add(web.register)
+
+
+def _run_blanket_promotion(
+    graph, summaries, eligible, options, database,
+    promoted_per_proc, web_reserved,
+) -> None:
+    """The [Wall 86]-style comparison: one register per hot global over
+    the whole program, loaded at the start nodes."""
+    sets = compute_reference_sets(graph, eligible)
+    webs = identify_webs(
+        graph, sets, eligible, options.web_options,
+        _static_modules(summaries),
+    )
+    database.statistics.total_webs = len(webs)
+    for web in webs:
+        web.priority = compute_web_priority(web, graph)
+    selections = select_blanket_globals(webs, graph, options.blanket_count)
+    start_nodes = set(graph.start_nodes())
+    all_nodes = set(graph.nodes)
+    for selection in selections:
+        needs_store = any(
+            graph.nodes[name].summary.global_stores.get(
+                selection.variable, 0
+            ) > 0
+            for name in all_nodes
+        )
+        for name in all_nodes:
+            promoted_per_proc[name].append(
+                PromotedGlobal(
+                    name=selection.variable,
+                    register=selection.register,
+                    is_entry=name in start_nodes,
+                    needs_store=needs_store,
+                )
+            )
+            web_reserved[name].add(selection.register)
+    database.statistics.webs_colored = len(selections)

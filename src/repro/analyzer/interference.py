@@ -1,0 +1,42 @@
+"""Web interference graph (paper section 4.1.3).
+
+Two webs *interfere* when they share a call graph node — they would need
+the same procedure to dedicate two registers to two different globals at
+once if colored alike.  Webs for the same variable never interfere (web
+construction makes them disjoint and merges overlaps).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analyzer.webs import Web
+
+
+class WebInterferenceGraph:
+    """Adjacency over live (non-discarded) webs."""
+
+    def __init__(self, webs: list):
+        self.webs = [web for web in webs if web.is_live]
+        self._neighbors: dict[int, set] = defaultdict(set)
+        by_node: dict[str, list] = defaultdict(list)
+        for web in self.webs:
+            for name in web.nodes:
+                by_node[name].append(web)
+        for sharing in by_node.values():
+            for i, web in enumerate(sharing):
+                for other in sharing[i + 1:]:
+                    if web.web_id == other.web_id:
+                        continue
+                    self._neighbors[web.web_id].add(other.web_id)
+                    self._neighbors[other.web_id].add(web.web_id)
+
+    def neighbors(self, web: Web) -> set:
+        """IDs of webs interfering with ``web``."""
+        return set(self._neighbors.get(web.web_id, set()))
+
+    def degree(self, web: Web) -> int:
+        return len(self._neighbors.get(web.web_id, set()))
+
+    def interferes(self, a: Web, b: Web) -> bool:
+        return b.web_id in self._neighbors.get(a.web_id, set())

@@ -1,0 +1,89 @@
+"""Program analyzer options, including the paper's Table 4 configurations.
+
+===========  ==============================================================
+Config       Meaning (Table 4)
+===========  ==============================================================
+``A``        spill code motion only, heuristic call counts
+``B``        spill code motion only, profiled call counts
+``C``        spill motion + web coloring with 6 reserved registers
+``D``        spill motion + greedy web coloring
+``E``        spill motion + blanket promotion of the 6 hottest globals
+``F``        config C with profiled call counts
+===========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analyzer.clusters import ClusterOptions
+from repro.analyzer.webs import WebOptions
+
+PAPER_CONFIGS = ("A", "B", "C", "D", "E", "F")
+
+
+@dataclass
+class AnalyzerOptions:
+    """Everything that steers one analyzer run."""
+
+    global_promotion: str = "webs"  # "webs" | "blanket" | "none"
+    coloring: str = "priority"  # "priority" | "greedy"
+    num_web_registers: int = 6
+    blanket_count: int = 6
+    spill_code_motion: bool = True
+    profile: Optional[object] = None  # ProfileData
+    web_options: WebOptions = field(default_factory=WebOptions)
+    cluster_options: ClusterOptions = field(default_factory=ClusterOptions)
+    # Partial call graphs (section 7.2): when not None, the analyzer only
+    # sees part of the program; the listed procedures may be invoked by
+    # unknown outside callers (e.g. a library's exported entry points).
+    exported_procedures: Optional[frozenset] = None
+    # Globals that outside code may access directly; they become
+    # ineligible for promotion (the paper's third partial-graph
+    # assumption, made explicit).
+    externally_visible_globals: frozenset = frozenset()
+    # Caller-saves preallocation (section 7.6.2 / [Chow 88]): propagate
+    # each procedure's caller-saves register usage bottom-up so callers
+    # can keep values in caller-saves registers across calls whose
+    # subtree never touches them.
+    caller_saves_preallocation: bool = False
+
+    @classmethod
+    def config(cls, letter: str, profile=None) -> "AnalyzerOptions":
+        """The paper's Table 4 configuration presets.
+
+        Configs B and F require ``profile`` (a
+        :class:`~repro.machine.profiler.ProfileData`).
+        """
+        letter = letter.upper()
+        if letter == "A":
+            return cls(global_promotion="none", spill_code_motion=True)
+        if letter == "B":
+            if profile is None:
+                raise ValueError("config B requires profile data")
+            return cls(
+                global_promotion="none",
+                spill_code_motion=True,
+                profile=profile,
+            )
+        if letter == "C":
+            return cls(
+                global_promotion="webs",
+                coloring="priority",
+                num_web_registers=6,
+            )
+        if letter == "D":
+            return cls(global_promotion="webs", coloring="greedy")
+        if letter == "E":
+            return cls(global_promotion="blanket", blanket_count=6)
+        if letter == "F":
+            if profile is None:
+                raise ValueError("config F requires profile data")
+            return cls(
+                global_promotion="webs",
+                coloring="priority",
+                num_web_registers=6,
+                profile=profile,
+            )
+        raise ValueError(f"unknown configuration {letter!r}")

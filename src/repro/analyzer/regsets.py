@@ -1,0 +1,238 @@
+"""Register usage set computation (paper sections 4.2.3-4.2.4, Figure 6).
+
+For every procedure, four disjoint register sets steer the second phase's
+allocator:
+
+* ``FREE``   — usable without save/restore, may hold values across calls;
+* ``CALLER`` — usable without save/restore, clobbered at calls;
+* ``CALLEE`` — must be saved/restored if used, survive calls;
+* ``MSPILL`` — saved/restored unconditionally at cluster roots (the
+  root executes the spill code for the whole cluster).
+
+Cluster roots are processed bottom-up so spill code migrates upward:
+when a parent cluster reaches a child root whose ``MSPILL`` registers are
+still available along every path from the parent root, those registers
+move into the parent root's ``MSPILL`` — the save/restore climbs the call
+graph (section 4.2.4).
+
+Two deliberate strengthenings over the paper's Figure 6 pseudocode:
+
+* at a child root, the newly freed registers are also removed from its
+  ``AVAIL`` set before successors intersect it, so a child root that is
+  not a leaf of the parent cluster cannot leak its FREE registers to its
+  own successors (the paper assumes child roots are leaves);
+* registers reserved for promoted global webs anywhere in a cluster are
+  excluded from the root's ``AVAIL`` (the conservative rule of section
+  7.6.2's discussion) *and* from every procedure's standard sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.dominators import DominatorTree
+from repro.analyzer.clusters import Cluster
+from repro.callgraph.graph import CallGraph
+from repro.target.registers import CALLEE_SAVES, CALLER_SAVES
+
+
+@dataclass
+class RegisterSets:
+    """Mutable per-procedure usage sets during analysis."""
+
+    free: set = field(default_factory=set)
+    caller: set = field(default_factory=set)
+    callee: set = field(default_factory=set)
+    mspill: set = field(default_factory=set)
+
+
+def compute_register_sets(
+    graph: CallGraph,
+    clusters: list,
+    dominators: Optional[DominatorTree] = None,
+    web_reserved: Optional[dict] = None,
+) -> dict:
+    """Compute FREE/CALLER/CALLEE/MSPILL for every procedure.
+
+    Args:
+        graph: Program call graph.
+        clusters: Clusters from :func:`identify_clusters`.
+        dominators: Call-graph dominator tree (recomputed if omitted).
+        web_reserved: procedure name -> set of registers reserved for
+            promoted globals in that procedure.
+
+    Returns:
+        name -> :class:`RegisterSets`.
+    """
+    if dominators is None:
+        dominators = graph.dominator_tree()
+    web_reserved = web_reserved or {}
+
+    sets: dict[str, RegisterSets] = {}
+    for name in graph.nodes:
+        reserved = set(web_reserved.get(name, ()))
+        sets[name] = RegisterSets(
+            free=set(),
+            caller=set(CALLER_SAVES),
+            callee=set(CALLEE_SAVES) - reserved,
+            mspill=set(),
+        )
+
+    roots = {cluster.root for cluster in clusters}
+    avail: dict[str, set] = {}
+
+    for cluster in _bottom_up(clusters, dominators):
+        _process_cluster(graph, cluster, roots, sets, avail, web_reserved)
+    return sets
+
+
+def _bottom_up(clusters: list, dominators: DominatorTree) -> list:
+    """Deepest (in the dominator tree) cluster roots first, so nested
+    clusters are processed before the clusters containing them."""
+
+    def depth(name: str) -> int:
+        return len(dominators.dominators_of(name))
+
+    return sorted(clusters, key=lambda c: (-depth(c.root), c.root))
+
+
+def _cluster_register_order(child_mspill: set) -> list:
+    """Selection order for preallocation: registers *not* in a child
+    root's MSPILL first, so those stay available for upward motion."""
+    return sorted(CALLEE_SAVES, key=lambda r: (r in child_mspill, r))
+
+
+def _process_cluster(
+    graph: CallGraph,
+    cluster: Cluster,
+    roots: set,
+    sets: dict,
+    avail: dict,
+    web_reserved: dict,
+) -> None:
+    root = cluster.root
+    members = cluster.members
+    all_nodes = cluster.all_nodes
+
+    child_mspill: set = set()
+    for name in members:
+        if name in roots:
+            child_mspill |= sets[name].mspill
+    order = _cluster_register_order(child_mspill)
+
+    reserved_in_cluster: set = set()
+    for name in all_nodes:
+        reserved_in_cluster |= set(web_reserved.get(name, ()))
+
+    # Root's own callee-saves selection: take the registers *least*
+    # attractive for preallocation (end of the priority order), skipping
+    # web-reserved registers.
+    selectable = [r for r in order if r not in reserved_in_cluster]
+    need = graph.nodes[root].summary.callee_saves_needed
+    root_sets = sets[root]
+    root_callee = set(selectable[max(0, len(selectable) - need):])
+    root_sets.callee = root_callee
+    avail[root] = set(selectable) - root_callee
+
+    used: set = set()
+    visited: set = {root}
+    # Topological sweep over the (acyclic) cluster subgraph.
+    pending = set(members)
+    while pending:
+        progressed = False
+        for name in sorted(pending):
+            predecessors = set(graph.nodes[name].predecessors)
+            if not predecessors <= visited:
+                continue
+            _preallocate_node(
+                graph, name, roots, sets, avail, order, used
+            )
+            visited.add(name)
+            pending.discard(name)
+            progressed = True
+            break
+        if not progressed:  # pragma: no cover - clusters are acyclic
+            raise AssertionError(
+                f"cluster {root}: could not order members {pending}"
+            )
+
+    root_sets.mspill |= used
+    # Post-pass (Figure 7): callee-saves registers the root spills that
+    # remain available at an intermediate node can serve as extra
+    # caller-saves registers there.
+    for name in members:
+        if name in roots:
+            continue
+        sets[name].caller |= avail[name] & root_sets.mspill
+
+
+def _preallocate_node(
+    graph: CallGraph,
+    name: str,
+    roots: set,
+    sets: dict,
+    avail: dict,
+    order: list,
+    used: set,
+) -> None:
+    node_avail: Optional[set] = None
+    for predecessor in graph.nodes[name].predecessors:
+        pred_avail = avail.get(predecessor, set())
+        node_avail = (
+            set(pred_avail) if node_avail is None else node_avail & pred_avail
+        )
+    node_avail = node_avail or set()
+    node_sets = sets[name]
+
+    if name in roots:
+        # A nested cluster root: move its spill code upward.
+        moved = node_sets.mspill & node_avail
+        used |= moved
+        node_sets.mspill -= node_avail
+        freed = node_sets.callee & node_avail
+        used |= freed
+        node_sets.free |= freed
+        node_sets.callee -= freed
+        # Strengthening: the child's FREE registers may hold values
+        # across its calls, so its in-cluster successors must not
+        # preallocate them.
+        avail[name] = node_avail - node_sets.free
+    else:
+        need = graph.nodes[name].summary.callee_saves_needed
+        taken = _get_registers(need, node_avail, order)
+        node_sets.free |= taken
+        node_avail -= taken
+        node_sets.callee -= taken | node_avail
+        used |= taken
+        avail[name] = node_avail
+
+
+def _get_registers(count: int, available: set, order: list) -> set:
+    """Figure 6's Get_Registers: up to ``count`` registers from
+    ``available`` in the cluster's priority order."""
+    chosen: set = set()
+    for register in order:
+        if len(chosen) >= count:
+            break
+        if register in available:
+            chosen.add(register)
+    return chosen
+
+
+def check_register_set_invariants(sets: dict, roots: set) -> None:
+    """Assert disjointness and placement rules.  Used by tests."""
+    for name, rs in sets.items():
+        groups = [rs.free, rs.caller, rs.callee, rs.mspill]
+        for i, a in enumerate(groups):
+            for b in groups[i + 1:]:
+                if a & b:
+                    raise AssertionError(
+                        f"{name}: register sets overlap: {a & b}"
+                    )
+        if rs.mspill and name not in roots:
+            raise AssertionError(
+                f"{name}: MSPILL non-empty at a non-root"
+            )
+        if not rs.caller >= set():
+            raise AssertionError  # pragma: no cover

@@ -1,0 +1,474 @@
+"""Web identification for global variable promotion (paper section 4.1).
+
+A *web* for a global variable is a minimal subgraph of the call graph such
+that the variable is referenced in no ancestor and no descendant of the
+subgraph.  Webs let one callee-saves register serve different globals in
+disjoint call-graph regions.
+
+The construction follows Figure 2 of the paper:
+
+1. candidate web entry nodes have the variable in ``L_REF`` but not
+   ``P_REF``;
+2. the web expands downward through successors that have the variable in
+   ``L_REF`` or ``C_REF``;
+3. for correctness, any node with both internal and external
+   predecessors pulls its external predecessors into the web (repeat to
+   fixpoint) — otherwise an entry node invoked from inside the web would
+   reload a stale value, or an internal node could be invoked while the
+   dedicated register is uninitialized;
+4. overlapping webs for the same variable are merged.
+
+Nodes on recursive call chains can be missed by step 1 (the variable is
+in ``P_REF`` all around the cycle); the paper's fix — adopted here — is
+to seed a separate web with each such cycle and enlarge it for
+correctness.
+
+After construction, webs are screened the way the paper's prototype
+screens them (section 6.2): webs that are too *sparse* (low ratio of
+referencing nodes to total nodes) and single-node webs with infrequent
+access are discarded, as are webs for ``static`` globals whose entry
+nodes fall outside the defining module (section 7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.callgraph.dataflow import ReferenceSets
+from repro.callgraph.graph import CallGraph
+
+
+@dataclass
+class Web:
+    """One live range of a global over the call graph.
+
+    ``from_split`` marks webs produced by sparse-web splitting (section
+    7.6.1): such webs may have referencing ancestors/descendants outside
+    themselves, so their members must save/restore the promoted register
+    around calls that can reach other webs of the same variable.
+    """
+
+    web_id: int
+    variable: str
+    nodes: set = field(default_factory=set)
+    discarded_reason: Optional[str] = None
+    register: Optional[int] = None
+    priority: float = 0.0
+    from_split: bool = False
+
+    def entry_nodes(self, graph: CallGraph) -> set:
+        """Nodes of the web with no predecessor inside the web."""
+        return {
+            name
+            for name in self.nodes
+            if not any(
+                p in self.nodes for p in graph.nodes[name].predecessors
+            )
+        }
+
+    @property
+    def is_live(self) -> bool:
+        return self.discarded_reason is None
+
+
+@dataclass
+class WebOptions:
+    """Screening thresholds (paper section 6.2) and the optional
+    sparse-web splitting extension (section 7.6.1)."""
+
+    min_lref_ratio: float = 0.25  # discard sparser webs
+    min_single_node_refs: float = 2.0  # weighted refs for 1-node webs
+    discard_cross_module_static_entries: bool = True
+    # Section 7.6.1: instead of discarding a sparse web, try breaking it
+    # into tight sub-webs that save/restore around external calls.
+    split_sparse_webs: bool = False
+    split_lref_ratio: float = 0.5  # webs sparser than this are split
+
+
+def identify_webs(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    eligible: set,
+    options: Optional[WebOptions] = None,
+    static_modules: Optional[dict] = None,
+) -> list[Web]:
+    """Compute all webs for all eligible globals.
+
+    Args:
+        graph: The program call graph.
+        sets: L_REF/P_REF/C_REF reference sets.
+        eligible: Eligible global names.
+        options: Screening thresholds.
+        static_modules: Qualified name -> defining module, for statics
+            (used by the cross-module entry discard rule).
+    """
+    options = options or WebOptions()
+    webs: list[Web] = []
+    next_id = [1]
+
+    for variable in sorted(eligible):
+        variable_webs: list[Web] = []
+        for name in sorted(graph.nodes):
+            if variable not in sets.l_ref[name]:
+                continue
+            if variable in sets.p_ref[name]:
+                continue
+            if any(name in web.nodes for web in variable_webs):
+                continue
+            web = _grow_web(graph, sets, variable, {name}, next_id)
+            variable_webs = _merge_overlapping(
+                graph, sets, variable, variable_webs, web, next_id
+            )
+        _add_recursive_cycle_webs(
+            graph, sets, variable, variable_webs, next_id
+        )
+        if options.split_sparse_webs:
+            variable_webs = _split_sparse_webs(
+                graph, sets, variable, variable_webs, options, next_id
+            )
+        webs.extend(variable_webs)
+
+    _screen_webs(graph, sets, webs, options, static_modules or {})
+    return webs
+
+
+def _grow_web(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    seeds: set,
+    next_id: list,
+) -> Web:
+    """Figure 2: expand from ``seeds`` and close over predecessors."""
+    web = Web(next_id[0], variable)
+    next_id[0] += 1
+    pending = set(seeds)
+    while True:
+        for seed in sorted(pending):
+            _expand_web(graph, sets, web, seed, variable)
+        # Nodes with both internal and external predecessors violate the
+        # entry-node conditions; pull the external predecessors in.
+        problematic_preds: set = set()
+        for name in web.nodes:
+            predecessors = set(graph.nodes[name].predecessors)
+            internal = predecessors & web.nodes
+            external = predecessors - web.nodes
+            if internal and external:
+                problematic_preds |= external
+        if not problematic_preds:
+            return web
+        pending = problematic_preds
+
+
+def _expand_web(
+    graph: CallGraph, sets: ReferenceSets, web: Web, start: str, variable: str
+) -> None:
+    """Figure 2's Expand_Web: downward closure over C_REF/L_REF."""
+    worklist = [start]
+    while worklist:
+        name = worklist.pop()
+        if name in web.nodes:
+            continue
+        web.nodes.add(name)
+        for successor in graph.successors(name):
+            if successor in web.nodes:
+                continue
+            if (
+                variable in sets.c_ref[successor]
+                or variable in sets.l_ref[successor]
+            ):
+                worklist.append(successor)
+
+
+def _merge_overlapping(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    existing: list,
+    new_web: Web,
+    next_id: list,
+) -> list:
+    """Merge ``new_web`` with any existing web it overlaps, re-closing
+    the result (the union of two closed webs may violate the entry-node
+    conditions, so the closure is re-run)."""
+    overlapping = [w for w in existing if w.nodes & new_web.nodes]
+    remaining = [w for w in existing if not (w.nodes & new_web.nodes)]
+    if not overlapping:
+        return existing + [new_web]
+    seeds = set(new_web.nodes)
+    for web in overlapping:
+        seeds |= web.nodes
+    merged = _grow_web(graph, sets, variable, seeds, next_id)
+    # The merged web may now overlap webs it previously did not.
+    return _merge_overlapping(
+        graph, sets, variable, remaining, merged, next_id
+    )
+
+
+def _add_recursive_cycle_webs(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    variable_webs: list,
+    next_id: list,
+) -> None:
+    """Cover referencing nodes missed because they sit in recursive
+    cycles whose entry paths never reference the variable."""
+    covered: set = set()
+    for web in variable_webs:
+        covered |= web.nodes
+    uncovered = [
+        name
+        for name in sorted(graph.nodes)
+        if variable in sets.l_ref[name] and name not in covered
+    ]
+    if not uncovered:
+        return
+    component_of: dict[str, list] = {}
+    for component in graph.strongly_connected_components():
+        for name in component:
+            component_of[name] = component
+    seen: set = set()
+    for name in uncovered:
+        if name in seen:
+            continue
+        if any(name in web.nodes for web in variable_webs):
+            continue
+        seeds = set(component_of[name])
+        seen |= seeds
+        web = _grow_web(graph, sets, variable, seeds, next_id)
+        variable_webs[:] = _merge_overlapping(
+            graph, sets, variable, variable_webs, web, next_id
+        )
+
+
+def _split_sparse_webs(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    variable_webs: list,
+    options: WebOptions,
+    next_id: list,
+) -> list:
+    """Section 7.6.1: break sparse webs into tight sub-webs.
+
+    A web whose referencing nodes are isolated at the ends of long call
+    chains dedicates a register over many procedures that never touch
+    the variable.  Splitting re-grows webs that expand only through
+    *referencing* successors; members of the resulting sub-webs must
+    save/restore the register around calls that can reach the variable
+    elsewhere (the compiler second phase inserts that code from the
+    ``wrap_callees`` directives).
+
+    A web is left intact when splitting yields a single piece, when any
+    member makes indirect calls (an indirect call could land both inside
+    and outside the sub-web, and no single convention handles both), or
+    when the pieces re-merge during the correctness closure.
+    """
+    result = []
+    for web in variable_webs:
+        referencing = {
+            name for name in web.nodes if variable in sets.l_ref[name]
+        }
+        ratio = len(referencing) / max(1, len(web.nodes))
+        if ratio >= options.split_lref_ratio:
+            result.append(web)
+            continue
+        if any(
+            graph.nodes[name].summary.makes_indirect_calls
+            for name in web.nodes
+        ):
+            result.append(web)
+            continue
+        pieces: list = []
+        for seed in sorted(referencing):
+            if any(seed in piece.nodes for piece in pieces):
+                continue
+            piece = _grow_tight_web(graph, sets, variable, seed, next_id)
+            pieces = _merge_overlapping_tight(pieces, piece)
+        if len(pieces) < 2:
+            result.append(web)
+            continue
+        for piece in pieces:
+            piece.from_split = True
+            result.append(piece)
+    return result
+
+
+def _grow_tight_web(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    seed: str,
+    next_id: list,
+) -> Web:
+    """Grow a web that expands only through referencing successors, then
+    close it over predecessors as usual."""
+    web = Web(next_id[0], variable)
+    next_id[0] += 1
+    pending = {seed}
+    while True:
+        worklist = sorted(pending)
+        pending = set()
+        while worklist:
+            name = worklist.pop()
+            if name in web.nodes:
+                continue
+            web.nodes.add(name)
+            for successor in graph.successors(name):
+                if (
+                    successor not in web.nodes
+                    and variable in sets.l_ref[successor]
+                ):
+                    worklist.append(successor)
+        # Correctness closure: internal nodes may not have external
+        # predecessors alongside internal ones.
+        problematic: set = set()
+        for name in web.nodes:
+            predecessors = set(graph.nodes[name].predecessors)
+            internal = predecessors & web.nodes
+            external = predecessors - web.nodes
+            if internal and external:
+                problematic |= external
+        if not problematic:
+            return web
+        pending = problematic
+
+
+def _merge_overlapping_tight(pieces: list, new_piece: Web) -> list:
+    """Union-merge tight pieces that overlap (closure may join them)."""
+    merged_nodes = set(new_piece.nodes)
+    remaining = []
+    for piece in pieces:
+        if piece.nodes & merged_nodes:
+            merged_nodes |= piece.nodes
+        else:
+            remaining.append(piece)
+    new_piece.nodes = merged_nodes
+    return remaining + [new_piece]
+
+
+def wrap_targets_for(
+    graph: CallGraph, sets: ReferenceSets, web: Web, member: str
+) -> frozenset:
+    """Callees of ``member`` around which a split web must save/restore
+    the promoted register: direct callees outside the web from which the
+    variable is reachable."""
+    variable = web.variable
+    return frozenset(
+        callee
+        for callee in graph.nodes[member].successors
+        if callee not in web.nodes
+        and (
+            variable in sets.l_ref[callee]
+            or variable in sets.c_ref[callee]
+        )
+    )
+
+
+def _screen_webs(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    webs: list,
+    options: WebOptions,
+    static_modules: dict,
+) -> None:
+    from repro.callgraph.graph import EXTERNAL_CALLER
+
+    for web in webs:
+        if EXTERNAL_CALLER in web.nodes:
+            # Partial call graph (section 7.2): the web's correctness
+            # closure absorbed the unknown outside caller, so the web
+            # cannot be promoted (no real entry procedure exists there).
+            web.discarded_reason = "external-caller"
+            continue
+        referencing = [
+            name for name in web.nodes if web.variable in sets.l_ref[name]
+        ]
+        if not referencing:  # pragma: no cover - defensive
+            web.discarded_reason = "sparse"
+            continue
+        if len(web.nodes) == 1:
+            name = next(iter(web.nodes))
+            node = graph.nodes[name]
+            weighted = (
+                node.summary.global_refs.get(web.variable, 0) * node.weight
+            )
+            if weighted < options.min_single_node_refs:
+                web.discarded_reason = "single-node-low-frequency"
+                continue
+        elif len(referencing) / len(web.nodes) < options.min_lref_ratio:
+            web.discarded_reason = "sparse"
+            continue
+        if (
+            options.discard_cross_module_static_entries
+            and web.variable in static_modules
+        ):
+            defining = static_modules[web.variable]
+            entries = web.entry_nodes(graph)
+            entry_modules = {
+                graph.nodes[name].summary.module for name in entries
+            }
+            if entry_modules - {defining}:
+                web.discarded_reason = "static-cross-module-entry"
+
+
+def check_web_invariants(graph: CallGraph, sets: ReferenceSets,
+                         webs: list) -> None:
+    """Assert the section 4.1.2 correctness conditions.  Used by tests.
+
+    * entry nodes have no predecessors inside the web;
+    * non-entry nodes have no predecessors outside the web;
+    * no ancestor/descendant outside the web references the variable;
+    * webs of the same variable are disjoint.
+    """
+    by_variable: dict[str, list] = {}
+    for web in webs:
+        by_variable.setdefault(web.variable, []).append(web)
+    for variable, group in by_variable.items():
+        for i, web in enumerate(group):
+            for other in group[i + 1:]:
+                if web.nodes & other.nodes:
+                    raise AssertionError(
+                        f"webs {web.web_id} and {other.web_id} for "
+                        f"{variable!r} overlap"
+                    )
+    for web in webs:
+        entries = web.entry_nodes(graph)
+        for name in web.nodes:
+            predecessors = set(graph.nodes[name].predecessors)
+            internal = predecessors & web.nodes
+            external = predecessors - web.nodes
+            if name in entries:
+                if internal:
+                    raise AssertionError(
+                        f"web {web.web_id}: entry {name} has internal "
+                        f"predecessors {internal}"
+                    )
+            elif external:
+                raise AssertionError(
+                    f"web {web.web_id}: internal node {name} has external "
+                    f"predecessors {external}"
+                )
+        if web.from_split:
+            # Split webs deliberately tolerate referencing ancestors and
+            # descendants; save/restore around wrapped calls handles the
+            # value transfer (section 7.6.1).
+            continue
+        for name in graph.nodes:
+            if name in web.nodes:
+                continue
+            if web.variable not in sets.l_ref[name]:
+                continue
+            # A referencing node outside the web must be neither an
+            # ancestor nor a descendant of the web via referencing paths.
+            # Sufficient check: it must not be adjacent to the web.
+            neighbors = set(graph.nodes[name].predecessors) | set(
+                graph.nodes[name].successors
+            )
+            if neighbors & web.nodes:
+                raise AssertionError(
+                    f"web {web.web_id} for {web.variable!r}: outside "
+                    f"referencing node {name} is adjacent to the web"
+                )

@@ -1,0 +1,23 @@
+"""Compiler second phase: IR + program database -> object modules."""
+
+from repro.backend.finalize import finalize_frame
+from repro.backend.isel import select_function
+from repro.backend.mir import MachineBlock, MachineFunction
+from repro.backend.object import ObjectFunction, ObjectModule, emit_function
+from repro.backend.phase2 import compile_module_phase2
+from repro.backend.promotion import apply_web_promotion
+from repro.backend.regalloc import RegisterAllocationError, allocate_function
+
+__all__ = [
+    "MachineBlock",
+    "MachineFunction",
+    "ObjectFunction",
+    "ObjectModule",
+    "RegisterAllocationError",
+    "allocate_function",
+    "apply_web_promotion",
+    "compile_module_phase2",
+    "emit_function",
+    "finalize_frame",
+    "select_function",
+]

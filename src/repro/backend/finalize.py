@@ -1,0 +1,103 @@
+"""Frame finalization: prologue/epilogue insertion and offset resolution.
+
+Runs after register allocation, when the spill count and the set of
+registers needing save/restore are finally known.  This is where the
+paper's spill-code placement rules become actual instructions:
+
+* **CALLEE** registers are saved/restored only if used (standard
+  convention);
+* **MSPILL** registers are saved/restored unconditionally at cluster
+  roots — the root executes the spill code on behalf of the whole
+  cluster (section 4.2.3);
+* registers holding promoted globals are saved/restored only at *web
+  entry* procedures; everywhere else in the web the save/restore is
+  suppressed (section 5);
+* RP is saved iff the procedure makes calls.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mir import MachineFunction
+from repro.target import isa
+from repro.target.frame import FrameLayout, FrameLoc
+from repro.target.registers import RP, SP
+
+
+def finalize_frame(machine: MachineFunction) -> FrameLayout:
+    """Insert prologue/epilogue and resolve symbolic frame offsets."""
+    directives = machine.directives
+    saved = set(machine.used_registers) & set(directives.callee)
+    if directives.is_cluster_root:
+        saved |= set(directives.mspill)
+    else:
+        saved |= set(machine.used_registers) & set(directives.mspill)
+    for promoted in directives.promoted:
+        if promoted.is_entry:
+            saved.add(promoted.register)
+        else:
+            saved.discard(promoted.register)
+
+    layout = FrameLayout(
+        slot_sizes=machine.slot_sizes,
+        num_spills=machine.num_spills,
+        saved_registers=sorted(saved),
+        save_rp=machine.makes_calls,
+        max_outgoing_args=machine.max_outgoing_args,
+    )
+    machine.saved_registers = sorted(saved)
+
+    prologue: list[isa.MInstr] = []
+    if layout.frame_size > 0:
+        prologue.append(isa.ALUI("-", SP, SP, layout.frame_size))
+    if machine.makes_calls:
+        prologue.append(
+            isa.STW(RP, SP, FrameLoc("saved_rp"), singleton=True)
+        )
+    for register in sorted(saved):
+        prologue.append(
+            isa.STW(register, SP, FrameLoc("saved_reg", register),
+                    singleton=True)
+        )
+
+    epilogue: list[isa.MInstr] = []
+    for register in sorted(saved):
+        epilogue.append(
+            isa.LDW(register, SP, FrameLoc("saved_reg", register),
+                    singleton=True)
+        )
+    if machine.makes_calls:
+        epilogue.append(
+            isa.LDW(RP, SP, FrameLoc("saved_rp"), singleton=True)
+        )
+    if layout.frame_size > 0:
+        epilogue.append(isa.ALUI("+", SP, SP, layout.frame_size))
+
+    entry = machine.entry
+    entry.instructions = prologue + entry.instructions
+    exit_block = machine.exit
+    ret_index = next(
+        i
+        for i, instruction in enumerate(exit_block.instructions)
+        if isinstance(instruction, isa.RET)
+    )
+    exit_block.instructions = (
+        exit_block.instructions[:ret_index]
+        + epilogue
+        + exit_block.instructions[ret_index:]
+    )
+
+    _resolve_offsets(machine, layout)
+    return layout
+
+
+def _resolve_offsets(machine: MachineFunction, layout: FrameLayout) -> None:
+    for block in machine.blocks.values():
+        for instruction in block.instructions:
+            if isinstance(instruction, (isa.LDW, isa.STW)) and isinstance(
+                instruction.offset, FrameLoc
+            ):
+                instruction.offset = layout.resolve(instruction.offset)
+            elif isinstance(instruction, isa.ALUI) and isinstance(
+                instruction.imm, FrameLoc
+            ):
+                instruction.imm = layout.resolve(instruction.imm)

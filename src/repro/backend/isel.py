@@ -1,0 +1,466 @@
+"""Instruction selection: IR -> PRISM machine IR.
+
+Selection is mostly one-to-one, with a few pattern optimizations that
+materially affect the paper's cycle metrics:
+
+* **compare-and-branch fusion** — a comparison whose only use is the
+  block's conditional jump becomes a single ``BC`` (PA-RISC ``COMB``);
+* **immediate forms** — ALU operations with a constant operand use
+  ``ALUI``;
+* **per-block address/constant caching** — repeated ``LDA`` of the same
+  symbol or ``LDI`` of the same constant within a block reuse one vreg
+  (the "base register set up" the paper's section 6.2 talks about).
+
+Calling convention: the first four arguments travel in r4-r7, the rest in
+the caller's outgoing-overflow frame area; the result returns in RV.
+The clobber set attached to each call comes from the procedure's register
+usage directives: ``CALLER ∪ MSPILL ∪ {RV, RP}`` (section 4.2.3 semantics
+— FREE and CALLEE registers are preserved across calls).
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.database import ProcedureDirectives
+from repro.backend.mir import MachineBlock, MachineFunction
+from repro.ir import arith
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallIndirect,
+    CJump,
+    FrameAddr,
+    Jump,
+    Load,
+    LoadAddr,
+    LoadGlobal,
+    Move,
+    Return,
+    Store,
+    StoreGlobal,
+    UnOp,
+)
+from repro.ir.values import Const, Operand, Temp
+from repro.target import isa
+from repro.target.frame import FrameLoc
+from repro.target.registers import (
+    ARG_REGISTERS,
+    MAX_REG_ARGS,
+    RP,
+    RV,
+    SP,
+    ZERO,
+)
+
+_ALUI_OPS = {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
+
+
+class InstructionSelector:
+    """Translates one IR function to machine IR.
+
+    When a program database is supplied and carries caller-saves
+    preallocation data (section 7.6.2), direct calls get *per-callee*
+    clobber sets — the callee subtree's actual caller-saves usage —
+    instead of the full caller-saves convention.
+    """
+
+    def __init__(self, function: IRFunction, directives: ProcedureDirectives,
+                 database=None):
+        self._ir = function
+        self._database = database
+        self.machine = MachineFunction(
+            function.name,
+            directives,
+            function.return_type,
+            function.source_module,
+        )
+        self.machine.num_params = len(function.params)
+        self._temp_regs: dict[Temp, isa.VReg] = {}
+        self._slot_index = {
+            id(slot): index for index, slot in enumerate(function.frame_slots)
+        }
+        self.machine.slot_sizes = [
+            slot.size_words for slot in function.frame_slots
+        ]
+        self._use_counts = _count_temp_uses(function)
+        self._call_clobbers = sorted(
+            set(directives.caller) | set(directives.mspill) | {RV, RP}
+        )
+        # Registers every call clobbers regardless of callee: the spill
+        # motion machinery's non-standard caller registers plus MSPILL.
+        from repro.target.registers import CALLER_SAVES
+
+        self._clobber_floor = (
+            (set(directives.caller) - set(CALLER_SAVES))
+            | set(directives.mspill)
+            | {RV, RP}
+        )
+        # Per-block caches, reset at each block boundary.
+        self._const_cache: dict[int, isa.VReg] = {}
+        self._symbol_cache: dict[tuple, isa.VReg] = {}
+        self._pending_compare: dict[Temp, tuple] = {}
+        self._block: MachineBlock | None = None
+        pinned = getattr(function, "pinned_temps", {})
+        self._pinned: dict[Temp, isa.VReg] = {}
+        for temp, register in pinned.items():
+            vreg = self.machine.new_vreg(f"pin.{temp.hint or temp.uid}")
+            self.machine.precolored[vreg] = register
+            self._pinned[temp] = vreg
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _emit(self, instruction: isa.MInstr) -> None:
+        assert self._block is not None
+        self._block.append(instruction)
+
+    def _reg_of_temp(self, temp: Temp) -> isa.VReg:
+        if temp in self._pinned:
+            return self._pinned[temp]
+        if temp not in self._temp_regs:
+            self._temp_regs[temp] = self.machine.new_vreg(temp.hint)
+        return self._temp_regs[temp]
+
+    def _reg_of(self, operand: Operand) -> isa.Reg:
+        """Materialize an operand into a register."""
+        if isinstance(operand, Const):
+            if operand.value == 0:
+                return ZERO
+            if operand.value in self._const_cache:
+                return self._const_cache[operand.value]
+            vreg = self.machine.new_vreg()
+            self._emit(isa.LDI(vreg, operand.value))
+            self._const_cache[operand.value] = vreg
+            return vreg
+        return self._reg_of_temp(operand)
+
+    def _address_of_symbol(self, symbol: str, is_function: bool) -> isa.Reg:
+        key = (symbol, is_function)
+        if key in self._symbol_cache:
+            return self._symbol_cache[key]
+        vreg = self.machine.new_vreg()
+        self._emit(isa.LDA(vreg, symbol, is_function))
+        self._symbol_cache[key] = vreg
+        return vreg
+
+    def _invalidate_block_caches(self) -> None:
+        self._const_cache = {}
+        self._symbol_cache = {}
+        self._pending_compare = {}
+
+    # -- driver ---------------------------------------------------------
+
+    def select(self) -> MachineFunction:
+        for ir_block in self._ir.block_order():
+            label = ir_block.label
+            self.machine.add_block(label, ir_block.loop_depth)
+        exit_block = self.machine.add_block(self.machine.exit_label)
+        self._select_body()
+        live_out = [RV] if self._ir.return_type != "void" else []
+        exit_block.append(isa.RET(live_out))
+        return self.machine
+
+    def _select_body(self) -> None:
+        for ir_block in self._ir.block_order():
+            self._block = self.machine.blocks[ir_block.label]
+            self._invalidate_block_caches()
+            if ir_block.label == self._ir.entry_label:
+                self._emit_parameter_moves()
+            branch_only = self._branch_only_compares(ir_block)
+            for instruction in ir_block.instructions:
+                if (
+                    isinstance(instruction, BinOp)
+                    and instruction.dst in branch_only
+                ):
+                    ra = self._reg_of(instruction.lhs)
+                    rb = self._reg_of(instruction.rhs)
+                    self._pending_compare[instruction.dst] = (
+                        instruction.op,
+                        ra,
+                        rb,
+                    )
+                    continue
+                self._select_instruction(instruction)
+            self._select_terminator(ir_block)
+
+    def _branch_only_compares(self, ir_block) -> set[Temp]:
+        """Comparison temps used exactly once, by this block's CJump."""
+        terminator = ir_block.terminator
+        if not isinstance(terminator, CJump):
+            return set()
+        cond = terminator.cond
+        if not isinstance(cond, Temp) or self._use_counts.get(cond, 0) != 1:
+            return set()
+        compare_index = None
+        for index, instruction in enumerate(ir_block.instructions):
+            if (
+                isinstance(instruction, BinOp)
+                and instruction.dst is cond
+                and instruction.op in arith.COMPARISON_OPS
+            ):
+                compare_index = index
+        if compare_index is None:
+            return set()
+        # Fusing defers the comparison to the branch, so its operands must
+        # not be redefined between the compare and the block end.
+        compare = ir_block.instructions[compare_index]
+        operand_temps = {
+            operand for operand in (compare.lhs, compare.rhs)
+            if isinstance(operand, Temp)
+        }
+        pinned_operands = operand_temps & set(self._ir.pinned_temps)
+        for instruction in ir_block.instructions[compare_index + 1:]:
+            for defined in instruction.defs():
+                if defined in operand_temps or defined is cond:
+                    return set()
+            if pinned_operands and isinstance(
+                instruction, (Call, CallIndirect)
+            ):
+                if not (isinstance(instruction, Call)
+                        and instruction.is_builtin):
+                    # A call may rewrite the promoted global's register.
+                    return set()
+        return {cond}
+
+    def _emit_parameter_moves(self) -> None:
+        for index, param in enumerate(self._ir.params):
+            vreg = self._reg_of_temp(param)
+            if index < MAX_REG_ARGS:
+                self._emit(isa.MOV(vreg, ARG_REGISTERS[index]))
+            else:
+                self._emit(
+                    isa.LDW(vreg, SP, FrameLoc("incoming", index),
+                            singleton=True)
+                )
+
+    # -- instructions ---------------------------------------------------
+
+    def _select_instruction(self, instruction) -> None:
+        if isinstance(instruction, Move):
+            self._select_move(instruction)
+        elif isinstance(instruction, BinOp):
+            self._select_binop(instruction)
+        elif isinstance(instruction, UnOp):
+            self._select_unop(instruction)
+        elif isinstance(instruction, LoadGlobal):
+            base = self._address_of_symbol(instruction.symbol, False)
+            self._emit(
+                isa.LDW(self._reg_of_temp(instruction.dst), base, 0,
+                        singleton=True)
+            )
+        elif isinstance(instruction, StoreGlobal):
+            base = self._address_of_symbol(instruction.symbol, False)
+            self._emit(
+                isa.STW(self._reg_of(instruction.src), base, 0,
+                        singleton=True)
+            )
+        elif isinstance(instruction, LoadAddr):
+            source = self._address_of_symbol(
+                instruction.symbol, instruction.is_function
+            )
+            self._emit(isa.MOV(self._reg_of_temp(instruction.dst), source))
+        elif isinstance(instruction, FrameAddr):
+            index = self._slot_index[id(instruction.slot)]
+            self._emit(
+                isa.ALUI(
+                    "+",
+                    self._reg_of_temp(instruction.dst),
+                    SP,
+                    FrameLoc("slot", index),
+                )
+            )
+        elif isinstance(instruction, Load):
+            self._emit(
+                isa.LDW(
+                    self._reg_of_temp(instruction.dst),
+                    self._reg_of(instruction.addr),
+                    instruction.offset,
+                    instruction.singleton,
+                )
+            )
+        elif isinstance(instruction, Store):
+            self._emit(
+                isa.STW(
+                    self._reg_of(instruction.src),
+                    self._reg_of(instruction.addr),
+                    instruction.offset,
+                    instruction.singleton,
+                )
+            )
+        elif isinstance(instruction, Call):
+            self._select_call(instruction)
+        elif isinstance(instruction, CallIndirect):
+            self._select_call_indirect(instruction)
+        else:  # pragma: no cover
+            raise TypeError(f"cannot select {instruction!r}")
+
+    def _select_move(self, instruction: Move) -> None:
+        dst = self._reg_of_temp(instruction.dst)
+        if isinstance(instruction.src, Const):
+            self._emit(isa.LDI(dst, instruction.src.value))
+        else:
+            self._emit(isa.MOV(dst, self._reg_of_temp(instruction.src)))
+        # dst is redefined; any cached const/symbol living in it is fine
+        # (caches hold their own vregs), but a pending compare using dst
+        # would now read the wrong value — those are same-block only and
+        # consumed by the terminator, so redefinition cannot intervene
+        # (each temp is defined once per block by construction).
+
+    def _select_binop(self, instruction: BinOp) -> None:
+        dst = self._reg_of_temp(instruction.dst)
+        op, lhs, rhs = instruction.op, instruction.lhs, instruction.rhs
+        if op in arith.COMPARISON_OPS:
+            self._emit(
+                isa.CMP(op, dst, self._reg_of(lhs), self._reg_of(rhs))
+            )
+            return
+        if isinstance(rhs, Const) and op in _ALUI_OPS:
+            self._emit(isa.ALUI(op, dst, self._reg_of(lhs), rhs.value))
+            return
+        if (
+            isinstance(lhs, Const)
+            and op in arith.COMMUTATIVE_OPS
+            and op in _ALUI_OPS
+        ):
+            self._emit(isa.ALUI(op, dst, self._reg_of(rhs), lhs.value))
+            return
+        self._emit(isa.ALU(op, dst, self._reg_of(lhs), self._reg_of(rhs)))
+
+    def _select_unop(self, instruction: UnOp) -> None:
+        dst = self._reg_of_temp(instruction.dst)
+        operand = self._reg_of(instruction.operand)
+        if instruction.op == "-":
+            self._emit(isa.ALU("-", dst, ZERO, operand))
+        elif instruction.op == "~":
+            self._emit(isa.ALUI("^", dst, operand, -1))
+        elif instruction.op == "!":
+            self._emit(isa.CMP("==", dst, operand, ZERO))
+        else:  # pragma: no cover
+            raise ValueError(f"unknown unary op {instruction.op!r}")
+
+    def _select_call_common(self, args: list[Operand]) -> list[int]:
+        """Evaluate arguments and move them into place; returns the
+        physical argument registers used."""
+        regs = [self._reg_of(arg) for arg in args]
+        used: list[int] = []
+        for index, reg in enumerate(regs):
+            if index < MAX_REG_ARGS:
+                target = ARG_REGISTERS[index]
+                self._emit(isa.MOV(target, reg))
+                used.append(target)
+            else:
+                self._emit(
+                    isa.STW(reg, SP, FrameLoc("outgoing", index),
+                            singleton=True)
+                )
+        self.machine.makes_calls = True
+        self.machine.max_outgoing_args = max(
+            self.machine.max_outgoing_args, len(args)
+        )
+        return used
+
+    def _after_call(self, dst: Temp | None) -> None:
+        # Re-materializing constants/addresses after a call is cheaper than
+        # keeping them alive across it (they would need callee-saves homes).
+        # Deferred compare-and-branch state survives: vreg values are not
+        # changed by calls, only the rematerialization caches are dropped.
+        self._const_cache = {}
+        self._symbol_cache = {}
+        if dst is not None:
+            self._emit(isa.MOV(self._reg_of_temp(dst), RV))
+
+    def _clobbers_for_callee(self, callee: str) -> list:
+        if self._database is None:
+            return list(self._call_clobbers)
+        callee_directives = self._database.get(callee)
+        if callee_directives.caller_prefix is None:
+            # No preallocation data: assume the full convention.
+            return list(self._call_clobbers)
+        return sorted(
+            set(callee_directives.subtree_caller_used)
+            | self._clobber_floor
+        )
+
+    def _select_call(self, instruction: Call) -> None:
+        if instruction.is_builtin:
+            reg = self._reg_of(instruction.args[0])
+            self._emit(isa.SYS(instruction.callee, reg))
+            return
+        used = self._select_call_common(instruction.args)
+        self._emit(
+            isa.BL(
+                instruction.callee,
+                used,
+                self._clobbers_for_callee(instruction.callee),
+            )
+        )
+        self._after_call(instruction.dst)
+
+    def _select_call_indirect(self, instruction: CallIndirect) -> None:
+        target = self._reg_of(instruction.target)
+        used = self._select_call_common(instruction.args)
+        self._emit(
+            isa.BLR(target, used, list(self._call_clobbers))
+        )
+        self._after_call(instruction.dst)
+
+    # -- terminators ------------------------------------------------------
+
+    def _select_terminator(self, ir_block) -> None:
+        terminator = ir_block.terminator
+        if isinstance(terminator, Jump):
+            self._emit(isa.B(terminator.target))
+        elif isinstance(terminator, CJump):
+            self._select_cjump(terminator)
+        elif isinstance(terminator, Return):
+            if terminator.value is not None:
+                if isinstance(terminator.value, Const):
+                    self._emit(isa.LDI(RV, terminator.value.value))
+                else:
+                    self._emit(
+                        isa.MOV(RV, self._reg_of_temp(terminator.value))
+                    )
+            self._emit(isa.B(self.machine.exit_label))
+        else:  # pragma: no cover
+            raise TypeError(f"cannot select terminator {terminator!r}")
+
+    def _select_cjump(self, terminator: CJump) -> None:
+        cond = terminator.cond
+        if isinstance(cond, Const):
+            taken = (
+                terminator.true_target
+                if cond.value != 0
+                else terminator.false_target
+            )
+            self._emit(isa.B(taken))
+            return
+        if cond in self._pending_compare:
+            op, ra, rb = self._pending_compare.pop(cond)
+            self._emit(isa.BC(op, ra, rb, terminator.true_target))
+        else:
+            self._emit(
+                isa.BC("!=", self._reg_of_temp(cond), ZERO,
+                       terminator.true_target)
+            )
+        self._emit(isa.B(terminator.false_target))
+
+
+def _count_temp_uses(function: IRFunction) -> dict[Temp, int]:
+    counts: dict[Temp, int] = {}
+    for block in function.blocks.values():
+        items = list(block.instructions)
+        if block.terminator is not None:
+            items.append(block.terminator)
+        for instruction in items:
+            for used in instruction.uses():
+                if isinstance(used, Temp):
+                    counts[used] = counts.get(used, 0) + 1
+    return counts
+
+
+def select_function(
+    function: IRFunction,
+    directives: ProcedureDirectives,
+    database=None,
+) -> MachineFunction:
+    """Run instruction selection on one IR function."""
+    return InstructionSelector(function, directives, database).select()

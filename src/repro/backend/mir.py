@@ -1,0 +1,139 @@
+"""Machine IR: PRISM instructions organized in basic blocks.
+
+Between instruction selection and emission, a procedure is a
+:class:`MachineFunction` — labelled blocks of :class:`~repro.target.isa`
+instructions with explicit control flow (every block ends with branches
+and/or falls through to nothing; there is no implicit fallthrough until
+final layout).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analyzer.database import ProcedureDirectives
+from repro.target.isa import B, BC, MInstr, RET, VReg
+
+
+class MachineBlock:
+    """One machine basic block."""
+
+    def __init__(self, label: str, loop_depth: int = 0):
+        self.label = label
+        self.instructions: list[MInstr] = []
+        self.loop_depth = loop_depth
+
+    def append(self, instruction: MInstr) -> None:
+        self.instructions.append(instruction)
+
+    def successors(self) -> list[str]:
+        """Branch targets of the block's control-flow tail."""
+        targets: list[str] = []
+        for instruction in self.instructions:
+            targets.extend(instruction.successors())
+        return targets
+
+    def __repr__(self) -> str:
+        return f"<mblock {self.label}: {len(self.instructions)} instrs>"
+
+
+class MachineFunction:
+    """A procedure in machine form."""
+
+    def __init__(
+        self,
+        name: str,
+        directives: ProcedureDirectives,
+        return_type: str = "int",
+        source_module: str = "",
+    ):
+        self.name = name
+        self.directives = directives
+        self.return_type = return_type
+        self.source_module = source_module
+        self.blocks: dict[str, MachineBlock] = {}
+        self.entry_label = "entry"
+        self.exit_label = "exit"
+        self.slot_sizes: list[int] = []
+        self.makes_calls = False
+        self.max_outgoing_args = 0
+        self.num_params = 0
+        self.num_spills = 0
+        self.saved_registers: list[int] = []
+        # VReg -> physical register for pinned values (promoted globals).
+        self.precolored: dict[VReg, int] = {}
+        # Physical registers in use after allocation.
+        self.used_registers: set[int] = set()
+        self._next_vreg = 0
+
+    def new_vreg(self, hint: str = "") -> VReg:
+        self._next_vreg += 1
+        return VReg(self._next_vreg, hint)
+
+    def add_block(self, label: str, loop_depth: int = 0) -> MachineBlock:
+        if label in self.blocks:
+            raise ValueError(f"duplicate machine block {label!r}")
+        block = MachineBlock(label, loop_depth)
+        self.blocks[label] = block
+        return block
+
+    @property
+    def entry(self) -> MachineBlock:
+        return self.blocks[self.entry_label]
+
+    @property
+    def exit(self) -> MachineBlock:
+        return self.blocks[self.exit_label]
+
+    def iter_instructions(self) -> Iterator[MInstr]:
+        for block in self.blocks.values():
+            yield from block.instructions
+
+    def predecessors(self) -> dict[str, list[str]]:
+        preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+        for block in self.blocks.values():
+            for successor in block.successors():
+                preds[successor].append(block.label)
+        return preds
+
+    def layout_order(self) -> list[MachineBlock]:
+        """Emission order: entry first, exit last, others in between."""
+        order = [self.blocks[self.entry_label]]
+        for label, block in self.blocks.items():
+            if label not in (self.entry_label, self.exit_label):
+                order.append(block)
+        if self.exit_label in self.blocks and self.exit_label != self.entry_label:
+            order.append(self.blocks[self.exit_label])
+        return order
+
+    def format(self) -> str:
+        lines = [f"mfunc {self.name}:"]
+        for block in self.layout_order():
+            lines.append(f"  {block.label}:")
+            for instruction in block.instructions:
+                lines.append(f"    {instruction!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<mfunc {self.name}: {len(self.blocks)} blocks>"
+
+
+def validate_machine_function(function: MachineFunction) -> None:
+    """Sanity checks: branch targets exist, exit block returns."""
+    for block in function.blocks.values():
+        for instruction in block.instructions:
+            for target in instruction.successors():
+                if target not in function.blocks:
+                    raise ValueError(
+                        f"{function.name}/{block.label}: branch to unknown "
+                        f"label {target!r}"
+                    )
+        seen_control_flow = False
+        for instruction in block.instructions:
+            if isinstance(instruction, (B, BC, RET)):
+                seen_control_flow = True
+            elif seen_control_flow:
+                raise ValueError(
+                    f"{function.name}/{block.label}: instruction "
+                    f"{instruction!r} after control flow"
+                )

@@ -1,0 +1,54 @@
+"""Compiler second phase (paper section 5).
+
+Consumes the intermediate representation produced by the first phase plus
+the program database produced by the analyzer, and produces an object
+module:
+
+1. apply web promotion rewrites from the database,
+2. re-run the local optimization fixpoint to clean up,
+3. instruction selection against the PRISM target,
+4. graph-coloring register allocation under the directive sets,
+5. frame finalization (spill code placement per CALLEE/MSPILL/web rules),
+6. emission to an object module.
+
+Because all interprocedural decisions live in the database, modules can be
+compiled independently and in any order.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.database import ProgramDatabase
+from repro.backend.finalize import finalize_frame
+from repro.backend.isel import select_function
+from repro.backend.mir import validate_machine_function
+from repro.backend.object import ObjectModule, emit_module
+from repro.backend.promotion import apply_web_promotion
+from repro.backend.regalloc import allocate_function
+from repro.ir.module import IRModule
+from repro.opt.pipeline import _local_fixpoint
+
+
+def compile_module_phase2(
+    module: IRModule,
+    database: ProgramDatabase,
+    opt_level: int = 2,
+) -> ObjectModule:
+    """Translate one IR module to an object module."""
+    machine_functions = []
+    for function in module.functions.values():
+        directives = database.get(function.name)
+        changed = apply_web_promotion(function, directives)
+        if changed and opt_level >= 1:
+            _local_fixpoint(function)
+        machine = select_function(function, directives, database)
+        allocate_function(machine)
+        finalize_frame(machine)
+        validate_machine_function(machine)
+        machine_functions.append(machine)
+    return emit_module(
+        module.name,
+        machine_functions,
+        list(module.globals.values()),
+        module.extern_globals,
+        module.extern_functions,
+    )

@@ -1,0 +1,128 @@
+"""Web promotion rewriting (compiler second phase, paper section 5).
+
+For each global promoted in the current procedure (per the program
+database):
+
+* every ``LoadGlobal``/``StoreGlobal`` of the global becomes a register
+  move to/from a temp pinned to the web's dedicated callee-saves register;
+* at *web entry* procedures, the global is loaded from memory into the
+  register at the entry point and (when some web procedure modifies it)
+  stored back at every exit point;
+* everywhere in the web the register is reserved — the analyzer already
+  removed it from the procedure's FREE/CALLER/CALLEE/MSPILL sets, and the
+  frame finalizer suppresses its save/restore except at entry nodes.
+
+The rewrite runs before the local optimization fixpoint, so the moves it
+introduces are cleaned up by copy propagation and DCE.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.database import ProcedureDirectives
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Call,
+    LoadGlobal,
+    Move,
+    Return,
+    StoreGlobal,
+)
+from repro.ir.values import Temp
+
+
+def apply_web_promotion(
+    function: IRFunction, directives: ProcedureDirectives
+) -> bool:
+    """Rewrite promoted-global accesses; returns True if anything changed."""
+    if not directives.promoted:
+        return False
+    pinned_for: dict[str, Temp] = {}
+    for promoted in directives.promoted:
+        temp = function.new_temp(f"web.{promoted.name}")
+        function.pinned_temps[temp] = promoted.register
+        pinned_for[promoted.name] = temp
+
+    for block in function.blocks.values():
+        out = []
+        for instruction in block.instructions:
+            if (
+                isinstance(instruction, LoadGlobal)
+                and instruction.symbol in pinned_for
+            ):
+                out.append(
+                    Move(instruction.dst, pinned_for[instruction.symbol])
+                )
+            elif (
+                isinstance(instruction, StoreGlobal)
+                and instruction.symbol in pinned_for
+            ):
+                out.append(
+                    Move(pinned_for[instruction.symbol], instruction.src)
+                )
+            else:
+                out.append(instruction)
+        block.instructions = out
+
+    # Web entry nodes: load at entry, store back at exits.
+    entry_loads = []
+    exit_stores = []
+    for promoted in directives.promoted:
+        if not promoted.is_entry:
+            continue
+        temp = pinned_for[promoted.name]
+        entry_loads.append(LoadGlobal(temp, promoted.name))
+        if promoted.needs_store:
+            exit_stores.append((promoted.name, temp))
+    if entry_loads:
+        entry = function.entry
+        entry.instructions = entry_loads + entry.instructions
+    if exit_stores:
+        for block in function.blocks.values():
+            if isinstance(block.terminator, Return):
+                for name, temp in exit_stores:
+                    block.instructions.append(StoreGlobal(name, temp))
+
+    # Split webs (section 7.6.1): around calls that can reach the
+    # variable outside this web, write the register back to memory
+    # (when the web modifies it) and reload it afterwards.
+    wrapped = [
+        promoted for promoted in directives.promoted
+        if promoted.wrap_callees
+    ]
+    if wrapped:
+        _wrap_external_calls(function, wrapped, pinned_for)
+    return True
+
+
+def _wrap_external_calls(
+    function: IRFunction, wrapped: list, pinned_for: dict
+) -> None:
+    for block in function.blocks.values():
+        out = []
+        for instruction in block.instructions:
+            if (
+                isinstance(instruction, Call)
+                and not instruction.is_builtin
+            ):
+                needing = [
+                    p for p in wrapped
+                    if instruction.callee in p.wrap_callees
+                ]
+                for promoted in needing:
+                    if promoted.needs_store:
+                        out.append(
+                            StoreGlobal(
+                                promoted.name,
+                                pinned_for[promoted.name],
+                            )
+                        )
+                out.append(instruction)
+                for promoted in needing:
+                    out.append(
+                        LoadGlobal(
+                            pinned_for[promoted.name], promoted.name
+                        )
+                    )
+            else:
+                out.append(instruction)
+        block.instructions = out

@@ -1,0 +1,16 @@
+"""Program call graph and interprocedural reference dataflow."""
+
+from repro.callgraph.dataflow import (
+    ReferenceSets,
+    compute_reference_sets,
+    eligible_globals,
+)
+from repro.callgraph.graph import CallGraph, CallGraphNode
+
+__all__ = [
+    "CallGraph",
+    "CallGraphNode",
+    "ReferenceSets",
+    "compute_reference_sets",
+    "eligible_globals",
+]

@@ -1,0 +1,133 @@
+"""Interprocedural reference-set dataflow (paper section 4.1.2).
+
+For every procedure P and the set of globals *eligible* for promotion:
+
+* ``L_REF[P]`` — globals P accesses directly (from the summary files);
+* ``P_REF[P]`` — globals accessed somewhere on a call chain from a start
+  node to P (exclusive of P);
+* ``C_REF[P]`` — globals accessed somewhere on a call chain starting at
+  P (exclusive of P).
+
+The fixpoint equations::
+
+    P_REF[P] = U over predecessors i of P:  P_REF[i] U L_REF[i]
+    C_REF[P] = U over successors  i of P:  C_REF[i] U L_REF[i]
+
+As the paper notes, C_REF converges fastest bottom-up (reverse
+postorder reversed) and P_REF top-down (reverse postorder); both are
+iterated to a fixpoint because call graphs contain cycles.
+
+The equations are only correct for unaliased globals, which is exactly
+the eligibility criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import CallGraph
+
+
+@dataclass
+class ReferenceSets:
+    """The computed L_REF / P_REF / C_REF sets."""
+
+    l_ref: dict = field(default_factory=dict)  # name -> frozenset[str]
+    p_ref: dict = field(default_factory=dict)
+    c_ref: dict = field(default_factory=dict)
+
+
+def compute_reference_sets(
+    graph: CallGraph, eligible: set
+) -> ReferenceSets:
+    """Run the dataflow over ``graph`` restricted to ``eligible`` globals."""
+    l_ref: dict[str, set] = {}
+    for name, node in graph.nodes.items():
+        l_ref[name] = {
+            g for g in node.summary.global_refs if g in eligible
+        }
+
+    order = _reverse_postorder(graph)
+
+    # P_REF: top-down propagation.
+    p_ref: dict[str, set] = {name: set() for name in graph.nodes}
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            incoming: set = set()
+            for predecessor in graph.nodes[name].predecessors:
+                incoming |= p_ref[predecessor]
+                incoming |= l_ref[predecessor]
+            if incoming != p_ref[name]:
+                p_ref[name] = incoming
+                changed = True
+
+    # C_REF: bottom-up propagation.
+    c_ref: dict[str, set] = {name: set() for name in graph.nodes}
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(order):
+            outgoing: set = set()
+            for successor in graph.nodes[name].successors:
+                outgoing |= c_ref[successor]
+                outgoing |= l_ref[successor]
+            if outgoing != c_ref[name]:
+                c_ref[name] = outgoing
+                changed = True
+
+    return ReferenceSets(
+        l_ref={name: frozenset(values) for name, values in l_ref.items()},
+        p_ref={name: frozenset(values) for name, values in p_ref.items()},
+        c_ref={name: frozenset(values) for name, values in c_ref.items()},
+    )
+
+
+def _reverse_postorder(graph: CallGraph) -> list[str]:
+    """Reverse postorder from the start nodes (callers before callees,
+    cycles aside); unreachable nodes are appended at the end."""
+    visited: set[str] = set()
+    postorder: list[str] = []
+
+    def dfs(root: str) -> None:
+        stack = [(root, iter(graph.successors(root)))]
+        visited.add(root)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    for start in graph.start_nodes():
+        if start not in visited:
+            dfs(start)
+    for name in sorted(graph.nodes):
+        if name not in visited:
+            dfs(name)
+    return list(reversed(postorder))
+
+
+def eligible_globals(summaries) -> set:
+    """Globals eligible for interprocedural promotion (section 4.1.2).
+
+    A global is eligible iff it is a word-sized scalar and no module ever
+    computed its address (no aliasing).
+    """
+    eligible: set[str] = set()
+    aliased: set[str] = set()
+    for module_summary in summaries:
+        aliased.update(module_summary.aliased_globals)
+        for var in module_summary.globals:
+            if var.is_scalar_word and not var.address_taken:
+                eligible.add(var.name)
+            else:
+                aliased.add(var.name)
+    return eligible - aliased

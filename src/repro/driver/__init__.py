@@ -1,0 +1,19 @@
+"""End-to-end compilation pipeline."""
+
+from repro.driver.pipeline import (
+    CompilationResult,
+    collect_profile,
+    compile_and_run,
+    compile_program,
+    compile_with_database,
+    run_phase1,
+)
+
+__all__ = [
+    "CompilationResult",
+    "collect_profile",
+    "compile_and_run",
+    "compile_program",
+    "compile_with_database",
+    "run_phase1",
+]

@@ -1,0 +1,133 @@
+"""End-to-end compilation driver (paper Figure 1).
+
+The full two-pass flow::
+
+    sources --phase 1--> (IR modules, summary files)
+    summary files --program analyzer--> program database
+    (IR modules, database) --phase 2--> object modules
+    object modules --linker--> executable
+    executable --PRISM simulator--> output + statistics
+
+``compile_program`` runs everything; the intermediate artifacts are all
+exposed so experiments can rerun only the stages they vary.  Because the
+paper's Table 4 compiles the *same* program under seven analyzer
+configurations, :func:`run_phase1` / :func:`compile_with_database` let
+benchmarks share the phase-1 work: phase 2 deep-copies the IR so one
+phase-1 result can feed many configurations.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.analyzer.database import ProgramDatabase
+from repro.analyzer.driver import analyze_program
+from repro.analyzer.options import AnalyzerOptions
+from repro.backend.phase2 import compile_module_phase2
+from repro.frontend.phase1 import Phase1Result, compile_module_phase1
+from repro.linker.link import Executable, link
+from repro.machine.profiler import ProfileData
+from repro.machine.simulator import ExecutionStats, run_executable
+
+Sources = Union[dict, list]
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one full compilation."""
+
+    executable: Executable
+    database: ProgramDatabase
+    phase1_results: list = field(default_factory=list)
+    objects: list = field(default_factory=list)
+
+    @property
+    def summaries(self) -> list:
+        return [result.summary for result in self.phase1_results]
+
+
+def _normalize_sources(sources: Sources) -> list:
+    if isinstance(sources, dict):
+        return sorted(sources.items())
+    return list(sources)
+
+
+def run_phase1(sources: Sources, opt_level: int = 2) -> list:
+    """Compiler first phase over every module."""
+    return [
+        compile_module_phase1(text, name, opt_level)
+        for name, text in _normalize_sources(sources)
+    ]
+
+
+def compile_with_database(
+    phase1_results: list,
+    database: ProgramDatabase,
+    opt_level: int = 2,
+) -> Executable:
+    """Compiler second phase + link, leaving phase-1 results intact."""
+    objects = []
+    for result in phase1_results:
+        ir_module = copy.deepcopy(result.ir_module)
+        objects.append(
+            compile_module_phase2(ir_module, database, opt_level)
+        )
+    return link(objects)
+
+
+def compile_program(
+    sources: Sources,
+    opt_level: int = 2,
+    analyzer_options: Optional[AnalyzerOptions] = None,
+) -> CompilationResult:
+    """Compile a whole program.
+
+    Args:
+        sources: ``{module_name: source_text}`` or a list of pairs.
+        opt_level: 0 (none) / 1 (local) / 2 (global; the paper's baseline).
+        analyzer_options: ``None`` disables interprocedural register
+            allocation entirely (the level-2 baseline); otherwise the
+            program analyzer runs with these options.
+    """
+    phase1_results = run_phase1(sources, opt_level)
+    if analyzer_options is not None:
+        database = analyze_program(
+            [result.summary for result in phase1_results],
+            analyzer_options,
+        )
+    else:
+        database = ProgramDatabase()
+    objects = []
+    for result in phase1_results:
+        ir_module = copy.deepcopy(result.ir_module)
+        objects.append(
+            compile_module_phase2(ir_module, database, opt_level)
+        )
+    executable = link(objects)
+    return CompilationResult(executable, database, phase1_results, objects)
+
+
+def compile_and_run(
+    sources: Sources,
+    opt_level: int = 2,
+    analyzer_options: Optional[AnalyzerOptions] = None,
+    max_cycles: int = 200_000_000,
+) -> ExecutionStats:
+    """Compile and simulate in one call."""
+    result = compile_program(sources, opt_level, analyzer_options)
+    return run_executable(result.executable, max_cycles)
+
+
+def collect_profile(
+    phase1_results: list,
+    opt_level: int = 2,
+    max_cycles: int = 200_000_000,
+) -> ProfileData:
+    """The gprof step: run the level-2 binary and harvest call counts."""
+    executable = compile_with_database(
+        phase1_results, ProgramDatabase(), opt_level
+    )
+    stats = run_executable(executable, max_cycles)
+    return ProfileData.from_stats(stats)

@@ -1,0 +1,21 @@
+"""Compiler first phase: source -> IR + summary files."""
+
+from repro.frontend.phase1 import (
+    Phase1Result,
+    compile_module_phase1,
+    summarize_module,
+)
+from repro.frontend.summary import (
+    GlobalSummary,
+    ModuleSummary,
+    ProcedureSummary,
+)
+
+__all__ = [
+    "GlobalSummary",
+    "ModuleSummary",
+    "Phase1Result",
+    "ProcedureSummary",
+    "compile_module_phase1",
+    "summarize_module",
+]

@@ -1,0 +1,89 @@
+"""Compiler first phase (paper section 3).
+
+Parses and analyzes one source module, lowers it to IR, runs the
+requested optimization level, and collects the summary records the
+program analyzer consumes.  Following the paper's prototype (section 6),
+summaries are generated *after* optimization "to obtain better heuristic
+information on usage counts ... and estimates for callee-saves register
+requirements".
+
+The optimized :class:`~repro.ir.IRModule` plays the role of the paper's
+intermediate file, handed to the second phase unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.frequency import analyze_function_usage
+from repro.frontend.summary import (
+    GlobalSummary,
+    ModuleSummary,
+    ProcedureSummary,
+)
+from repro.ir.builder import lower_module
+from repro.ir.instructions import LoadAddr
+from repro.ir.module import IRModule
+from repro.ir.verifier import verify_module
+from repro.lang.sema import analyze_source
+from repro.opt.pipeline import optimize_module
+
+
+@dataclass
+class Phase1Result:
+    """The first phase's two outputs for one module."""
+
+    ir_module: IRModule
+    summary: ModuleSummary
+
+
+def compile_module_phase1(
+    source: str, module_name: str, opt_level: int = 2
+) -> Phase1Result:
+    """Front end + optimization + summary collection for one module."""
+    module_info = analyze_source(source, module_name)
+    ir_module = lower_module(module_info)
+    verify_module(ir_module)
+    optimize_module(ir_module, opt_level)
+    verify_module(ir_module)
+    summary = summarize_module(ir_module)
+    return Phase1Result(ir_module, summary)
+
+
+def summarize_module(ir_module: IRModule) -> ModuleSummary:
+    """Collect the summary file from (optimized) module IR."""
+    summary = ModuleSummary(module_name=ir_module.name)
+    aliased: set[str] = set()
+    for function in ir_module.functions.values():
+        usage = analyze_function_usage(function)
+        summary.procedures.append(
+            ProcedureSummary(
+                name=function.name,
+                module=ir_module.name,
+                global_refs=dict(usage.global_refs),
+                global_stores=dict(usage.global_stores),
+                calls=dict(usage.calls),
+                address_taken_procs=sorted(usage.address_taken_functions),
+                makes_indirect_calls=usage.makes_indirect_calls,
+                indirect_call_freq=usage.indirect_call_freq,
+                callee_saves_needed=usage.callee_saves_needed,
+                caller_saves_needed=usage.caller_saves_needed,
+                max_call_args=usage.max_call_args,
+                num_params=len(function.params),
+            )
+        )
+        for instruction in function.iter_instructions():
+            if isinstance(instruction, LoadAddr) and not instruction.is_function:
+                aliased.add(instruction.symbol)
+    for var in ir_module.globals.values():
+        summary.globals.append(
+            GlobalSummary(
+                name=var.name,
+                module=ir_module.name,
+                is_scalar_word=var.is_scalar_word,
+                address_taken=var.address_taken or var.name in aliased,
+                is_static=var.is_static,
+            )
+        )
+    summary.aliased_globals = sorted(aliased)
+    return summary

@@ -1,0 +1,37 @@
+"""Typed three-address intermediate representation.
+
+Public surface:
+
+* :mod:`repro.ir.values` — :class:`Temp`, :class:`Const` operands.
+* :mod:`repro.ir.instructions` — the instruction set and terminators.
+* :mod:`repro.ir.function` / :mod:`repro.ir.module` — containers.
+* :mod:`repro.ir.builder` — AST -> IR lowering.
+* :mod:`repro.ir.printer` — textual dumps.
+* :mod:`repro.ir.verifier` — structural invariant checks.
+* :mod:`repro.ir.arith` — the single source of truth for Tiny-C's 32-bit
+  arithmetic semantics.
+"""
+
+from repro.ir.builder import lower_module, lower_source
+from repro.ir.function import BasicBlock, IRFunction
+from repro.ir.module import GlobalVar, IRModule
+from repro.ir.printer import format_function, format_module
+from repro.ir.values import Const, Operand, Temp
+from repro.ir.verifier import IRVerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "Const",
+    "GlobalVar",
+    "IRFunction",
+    "IRModule",
+    "IRVerificationError",
+    "Operand",
+    "Temp",
+    "format_function",
+    "format_module",
+    "lower_module",
+    "lower_source",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,121 @@
+"""32-bit two's-complement arithmetic shared by the optimizer and simulator.
+
+Tiny-C integers are 32-bit signed words with C semantics (truncating
+division, arithmetic right shift, shift counts masked to 5 bits, wraparound
+on overflow).  Every component that evaluates arithmetic — constant
+folding, the IR interpreter, and the PRISM machine simulator — goes through
+these helpers so they can never disagree.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+INT_MIN = -(1 << (WORD_BITS - 1))
+INT_MAX = (1 << (WORD_BITS - 1)) - 1
+
+
+class DivisionByZeroError(ArithmeticError):
+    """Raised when a simulated program divides by zero."""
+
+
+def wrap32(value: int) -> int:
+    """Wrap an arbitrary Python int to a signed 32-bit value."""
+    value &= WORD_MASK
+    if value > INT_MAX:
+        value -= 1 << WORD_BITS
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """View a signed 32-bit value as unsigned."""
+    return value & WORD_MASK
+
+
+def c_div(a: int, b: int) -> int:
+    """C89/C99 truncating division."""
+    if b == 0:
+        raise DivisionByZeroError("division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return wrap32(quotient)
+
+
+def c_rem(a: int, b: int) -> int:
+    """C remainder: ``a - (a / b) * b`` with truncating division."""
+    if b == 0:
+        raise DivisionByZeroError("remainder by zero")
+    return wrap32(a - c_div(a, b) * b)
+
+
+def eval_binop(op: str, a: int, b: int) -> int:
+    """Evaluate a Tiny-C binary operator on signed 32-bit operands."""
+    if op == "+":
+        return wrap32(a + b)
+    if op == "-":
+        return wrap32(a - b)
+    if op == "*":
+        return wrap32(a * b)
+    if op == "/":
+        return c_div(a, b)
+    if op == "%":
+        return c_rem(a, b)
+    if op == "&":
+        return wrap32(a & b)
+    if op == "|":
+        return wrap32(a | b)
+    if op == "^":
+        return wrap32(a ^ b)
+    if op == "<<":
+        return wrap32(a << (b & 31))
+    if op == ">>":
+        return wrap32(a >> (b & 31))
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def eval_unop(op: str, a: int) -> int:
+    """Evaluate a Tiny-C unary operator on a signed 32-bit operand."""
+    if op == "-":
+        return wrap32(-a)
+    if op == "~":
+        return wrap32(~a)
+    if op == "!":
+        return int(a == 0)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+# Comparison operators and their negations, used when inverting branches.
+COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+NEGATED_COMPARISON = {
+    "==": "!=",
+    "!=": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+SWAPPED_COMPARISON = {
+    "==": "==",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+COMMUTATIVE_OPS = {"+", "*", "&", "|", "^", "==", "!="}

@@ -1,0 +1,667 @@
+"""AST -> IR lowering.
+
+Lowering decisions that matter downstream:
+
+* Scalar locals and parameters that are never address-taken live in temps
+  (virtual registers).  Address-taken scalars and local arrays live in
+  frame slots and are accessed through ``FrameAddr`` + ``Load``/``Store``.
+* Scalar globals are accessed with ``LoadGlobal``/``StoreGlobal`` (tagged
+  as *singleton* memory references); array elements and pointer
+  dereferences use explicit address arithmetic and are not singleton.
+* ``&&``/``||``/``!``/comparisons in branching positions lower directly to
+  control flow; in value positions they materialize 0/1.
+* Every local scalar is defined (zero-initialized when the program does
+  not initialize it) so program behaviour is deterministic and identical
+  across all optimization configurations — the master differential-testing
+  oracle relies on this.
+* The machine is word-addressed: ``&a[i]`` is ``&a + i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+from repro.lang.sema import (
+    BuiltinSymbol,
+    FunctionSymbol,
+    GlobalSymbol,
+    LocalSymbol,
+    ModuleInfo,
+)
+from repro.ir import arith
+from repro.ir.function import BasicBlock, IRFunction
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallIndirect,
+    CJump,
+    FrameAddr,
+    FrameSlot,
+    Jump,
+    Load,
+    LoadAddr,
+    LoadGlobal,
+    Move,
+    Return,
+    Store,
+    StoreGlobal,
+    UnOp,
+)
+from repro.ir.module import GlobalVar, IRModule
+from repro.ir.values import Const, Operand, Temp
+
+
+@dataclass
+class _TempLValue:
+    temp: Temp
+
+
+@dataclass
+class _GlobalLValue:
+    symbol_name: str
+
+
+@dataclass
+class _MemLValue:
+    addr: Operand
+    offset: int = 0
+    singleton: bool = False
+
+
+_LValue = Union[_TempLValue, _GlobalLValue, _MemLValue]
+
+
+class FunctionLowerer:
+    """Lowers one function definition to an :class:`IRFunction`."""
+
+    def __init__(self, module_info: ModuleInfo, ir_module: IRModule,
+                 symbol: FunctionSymbol, definition: ast.FunctionDef):
+        self._info = module_info
+        self._ir_module = ir_module
+        self._symbol = symbol
+        self._definition = definition
+        self.function = IRFunction(
+            symbol.qualified_name, symbol.return_type, module_info.name
+        )
+        self._current: BasicBlock = self.function.add_entry_block()
+        self._temps: dict[int, Temp] = {}  # LocalSymbol.uid -> Temp
+        self._slots: dict[int, FrameSlot] = {}  # LocalSymbol.uid -> FrameSlot
+        self._break_stack: list[str] = []
+        self._continue_stack: list[str] = []
+        self._loop_depth = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _emit(self, instruction) -> None:
+        self._current.append(instruction)
+
+    def _new_block(self, hint: str = "") -> BasicBlock:
+        return self.function.new_block(hint, self._loop_depth)
+
+    def _switch_to(self, block: BasicBlock) -> None:
+        self._current = block
+
+    def _terminate(self, terminator) -> None:
+        if not self._current.is_terminated:
+            self._current.terminator = terminator
+
+    def _jump_to(self, block: BasicBlock) -> None:
+        self._terminate(Jump(block.label))
+        self._switch_to(block)
+
+    def _new_temp(self, hint: str = "") -> Temp:
+        return self.function.new_temp(hint)
+
+    # -- entry ------------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        info = next(
+            fi for fi in self._info.function_infos
+            if fi.definition is self._definition
+        )
+        for local in info.params:
+            param_temp = self._new_temp(local.name)
+            self.function.params.append(param_temp)
+            if local.address_taken:
+                slot = self.function.add_frame_slot(
+                    FrameSlot(local.name, 1, None, is_scalar=True)
+                )
+                self._slots[local.uid] = slot
+                addr = self._new_temp(f"{local.name}.addr")
+                self._emit(FrameAddr(addr, slot))
+                self._emit(Store(addr, param_temp, 0, singleton=True))
+            else:
+                self._temps[local.uid] = param_temp
+        assert self._definition.body is not None
+        self._lower_block(self._definition.body)
+        self._finish_function()
+        self.function.remove_unreachable_blocks()
+        return self.function
+
+    def _finish_function(self) -> None:
+        for block in self.function.blocks.values():
+            if not block.is_terminated:
+                if self.function.return_type == "void":
+                    block.terminator = Return(None)
+                else:
+                    block.terminator = Return(Const(0))
+
+    # -- statements ---------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if self._current.is_terminated:
+            # Unreachable code after return/break/continue: skip it.
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._lower_expr_for_effect(stmt.expr)
+        elif isinstance(stmt, ast.LocalDecl):
+            self._lower_local_decl(stmt)
+        elif isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = None
+            if stmt.value is not None:
+                value = self._lower_expr(stmt.value)
+            self._terminate(Return(value))
+        elif isinstance(stmt, ast.BreakStmt):
+            self._terminate(Jump(self._break_stack[-1]))
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._terminate(Jump(self._continue_stack[-1]))
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:  # pragma: no cover
+            raise SemanticError("cannot lower statement", stmt.location)
+
+    def _lower_local_decl(self, decl: ast.LocalDecl) -> None:
+        local = decl.symbol
+        assert isinstance(local, LocalSymbol)
+        if local.is_array or local.address_taken:
+            slot = self.function.add_frame_slot(
+                FrameSlot(local.name, local.size_words, None,
+                          is_scalar=not local.is_array)
+            )
+            self._slots[local.uid] = slot
+            if local.is_array and decl.array_init is not None:
+                addr = self._new_temp(f"{local.name}.addr")
+                self._emit(FrameAddr(addr, slot))
+                values = list(decl.array_init)
+                values += [0] * (local.size_words - len(values))
+                for index, value in enumerate(values):
+                    self._emit(
+                        Store(addr, Const(arith.wrap32(value)), index)
+                    )
+            elif not local.is_array:
+                init = self._lower_expr(decl.init) if decl.init else Const(0)
+                addr = self._new_temp(f"{local.name}.addr")
+                self._emit(FrameAddr(addr, slot))
+                self._emit(Store(addr, init, 0, singleton=True))
+        else:
+            temp = self._new_temp(local.name)
+            self._temps[local.uid] = temp
+            init = self._lower_expr(decl.init) if decl.init else Const(0)
+            self._emit(Move(temp, init))
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        then_block = self._new_block("then")
+        join_block = self._new_block("endif")
+        else_block = self._new_block("else") if stmt.else_body else join_block
+        self._lower_condition(stmt.cond, then_block.label, else_block.label)
+        self._switch_to(then_block)
+        self._lower_stmt(stmt.then_body)
+        self._terminate(Jump(join_block.label))
+        if stmt.else_body is not None:
+            self._switch_to(else_block)
+            self._lower_stmt(stmt.else_body)
+            self._terminate(Jump(join_block.label))
+        self._switch_to(join_block)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        self._loop_depth += 1
+        head = self._new_block("while.head")
+        body = self._new_block("while.body")
+        self._loop_depth -= 1
+        exit_block = self._new_block("while.end")
+        self._terminate(Jump(head.label))
+        self._switch_to(head)
+        self._loop_depth += 1
+        self._lower_condition(stmt.cond, body.label, exit_block.label)
+        self._switch_to(body)
+        self._break_stack.append(exit_block.label)
+        self._continue_stack.append(head.label)
+        self._lower_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self._terminate(Jump(head.label))
+        self._loop_depth -= 1
+        self._switch_to(exit_block)
+
+    def _lower_do_while(self, stmt: ast.DoWhileStmt) -> None:
+        self._loop_depth += 1
+        body = self._new_block("do.body")
+        cond_block = self._new_block("do.cond")
+        self._loop_depth -= 1
+        exit_block = self._new_block("do.end")
+        self._terminate(Jump(body.label))
+        self._switch_to(body)
+        self._loop_depth += 1
+        self._break_stack.append(exit_block.label)
+        self._continue_stack.append(cond_block.label)
+        self._lower_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self._terminate(Jump(cond_block.label))
+        self._switch_to(cond_block)
+        self._lower_condition(stmt.cond, body.label, exit_block.label)
+        self._loop_depth -= 1
+        self._switch_to(exit_block)
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        if stmt.init is not None:
+            self._lower_expr_for_effect(stmt.init)
+        self._loop_depth += 1
+        head = self._new_block("for.head")
+        body = self._new_block("for.body")
+        step_block = self._new_block("for.step")
+        self._loop_depth -= 1
+        exit_block = self._new_block("for.end")
+        self._terminate(Jump(head.label))
+        self._switch_to(head)
+        self._loop_depth += 1
+        if stmt.cond is not None:
+            self._lower_condition(stmt.cond, body.label, exit_block.label)
+        else:
+            self._terminate(Jump(body.label))
+        self._switch_to(body)
+        self._break_stack.append(exit_block.label)
+        self._continue_stack.append(step_block.label)
+        self._lower_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self._terminate(Jump(step_block.label))
+        self._switch_to(step_block)
+        if stmt.step is not None:
+            self._lower_expr_for_effect(stmt.step)
+        self._terminate(Jump(head.label))
+        self._loop_depth -= 1
+        self._switch_to(exit_block)
+
+    # -- conditions -----------------------------------------------------
+
+    def _lower_condition(self, expr: ast.Expr, true_label: str,
+                         false_label: str) -> None:
+        """Lower ``expr`` as a branch, short-circuiting where possible."""
+        if isinstance(expr, ast.BinaryExpr) and expr.op == "&&":
+            middle = self._new_block("and.rhs")
+            self._lower_condition(expr.lhs, middle.label, false_label)
+            self._switch_to(middle)
+            self._lower_condition(expr.rhs, true_label, false_label)
+            return
+        if isinstance(expr, ast.BinaryExpr) and expr.op == "||":
+            middle = self._new_block("or.rhs")
+            self._lower_condition(expr.lhs, true_label, middle.label)
+            self._switch_to(middle)
+            self._lower_condition(expr.rhs, true_label, false_label)
+            return
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "!":
+            self._lower_condition(expr.operand, false_label, true_label)
+            return
+        value = self._lower_expr(expr)
+        if isinstance(value, Const):
+            target = true_label if value.value != 0 else false_label
+            self._terminate(Jump(target))
+            return
+        self._terminate(CJump(value, true_label, false_label))
+
+    # -- expressions ------------------------------------------------------
+
+    def _lower_expr_for_effect(self, expr: ast.Expr) -> None:
+        """Lower an expression whose value is discarded."""
+        if isinstance(expr, ast.CallExpr):
+            self._lower_call(expr, want_value=False)
+            return
+        if isinstance(expr, ast.AssignExpr):
+            self._lower_assign(expr)
+            return
+        if isinstance(expr, ast.IncDecExpr):
+            self._lower_incdec(expr, want_value=False)
+            return
+        if isinstance(expr, (ast.IntLiteral, ast.NameExpr)):
+            return  # pure, no effect
+        self._lower_expr(expr)
+
+    def _lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLiteral):
+            return Const(arith.wrap32(expr.value))
+        if isinstance(expr, ast.NameExpr):
+            return self._lower_name_value(expr)
+        if isinstance(expr, ast.UnaryExpr):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.AssignExpr):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.IncDecExpr):
+            result = self._lower_incdec(expr, want_value=True)
+            assert result is not None
+            return result
+        if isinstance(expr, ast.CallExpr):
+            result = self._lower_call(expr, want_value=True)
+            assert result is not None
+            return result
+        if isinstance(expr, ast.IndexExpr):
+            addr, offset = self._lower_element_addr(expr)
+            dst = self._new_temp()
+            self._emit(Load(dst, addr, offset))
+            return dst
+        if isinstance(expr, ast.CondExpr):
+            return self._lower_ternary(expr)
+        raise SemanticError("cannot lower expression", expr.location)
+
+    def _lower_name_value(self, expr: ast.NameExpr) -> Operand:
+        symbol = expr.symbol
+        if isinstance(symbol, LocalSymbol):
+            if symbol.uid in self._temps:
+                return self._temps[symbol.uid]
+            slot = self._slots[symbol.uid]
+            addr = self._new_temp(f"{symbol.name}.addr")
+            self._emit(FrameAddr(addr, slot))
+            if symbol.is_array:
+                return addr  # array decays to its address
+            dst = self._new_temp(symbol.name)
+            self._emit(Load(dst, addr, 0, singleton=True))
+            return dst
+        if isinstance(symbol, GlobalSymbol):
+            self._note_extern_global(symbol)
+            if symbol.is_array:
+                dst = self._new_temp()
+                self._emit(LoadAddr(dst, symbol.qualified_name))
+                return dst
+            dst = self._new_temp(symbol.name)
+            self._emit(LoadGlobal(dst, symbol.qualified_name))
+            return dst
+        if isinstance(symbol, FunctionSymbol):
+            self._note_extern_function(symbol)
+            dst = self._new_temp(symbol.name)
+            self._emit(LoadAddr(dst, symbol.qualified_name, is_function=True))
+            return dst
+        raise SemanticError(
+            f"{expr.name!r} cannot be used as a value here", expr.location
+        )
+
+    def _lower_unary(self, expr: ast.UnaryExpr) -> Operand:
+        if expr.op == "&":
+            addr, offset = self._lower_address_of(expr.operand)
+            if offset == 0:
+                return addr
+            dst = self._new_temp()
+            self._emit(BinOp(dst, "+", addr, Const(offset)))
+            return dst
+        if expr.op == "*":
+            pointer = self._lower_expr(expr.operand)
+            dst = self._new_temp()
+            self._emit(Load(dst, pointer, 0))
+            return dst
+        operand = self._lower_expr(expr.operand)
+        if isinstance(operand, Const):
+            return Const(arith.eval_unop(expr.op, operand.value))
+        dst = self._new_temp()
+        self._emit(UnOp(dst, expr.op, operand))
+        return dst
+
+    def _lower_binary(self, expr: ast.BinaryExpr) -> Operand:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit_value(expr)
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            try:
+                return Const(arith.eval_binop(expr.op, lhs.value, rhs.value))
+            except arith.DivisionByZeroError:
+                pass  # leave the trap in the generated code
+        dst = self._new_temp()
+        self._emit(BinOp(dst, expr.op, lhs, rhs))
+        return dst
+
+    def _lower_short_circuit_value(self, expr: ast.BinaryExpr) -> Operand:
+        result = self._new_temp("bool")
+        true_block = self._new_block("sc.true")
+        false_block = self._new_block("sc.false")
+        join = self._new_block("sc.join")
+        self._lower_condition(expr, true_block.label, false_block.label)
+        self._switch_to(true_block)
+        self._emit(Move(result, Const(1)))
+        self._terminate(Jump(join.label))
+        self._switch_to(false_block)
+        self._emit(Move(result, Const(0)))
+        self._terminate(Jump(join.label))
+        self._switch_to(join)
+        return result
+
+    def _lower_ternary(self, expr: ast.CondExpr) -> Operand:
+        result = self._new_temp("sel")
+        then_block = self._new_block("sel.then")
+        else_block = self._new_block("sel.else")
+        join = self._new_block("sel.join")
+        self._lower_condition(expr.cond, then_block.label, else_block.label)
+        self._switch_to(then_block)
+        then_value = self._lower_expr(expr.then)
+        self._emit(Move(result, then_value))
+        self._terminate(Jump(join.label))
+        self._switch_to(else_block)
+        else_value = self._lower_expr(expr.otherwise)
+        self._emit(Move(result, else_value))
+        self._terminate(Jump(join.label))
+        self._switch_to(join)
+        return result
+
+    # -- lvalues, assignment ----------------------------------------------
+
+    def _lower_lvalue(self, expr: ast.Expr) -> _LValue:
+        if isinstance(expr, ast.NameExpr):
+            symbol = expr.symbol
+            if isinstance(symbol, LocalSymbol):
+                if symbol.uid in self._temps:
+                    return _TempLValue(self._temps[symbol.uid])
+                slot = self._slots[symbol.uid]
+                addr = self._new_temp(f"{symbol.name}.addr")
+                self._emit(FrameAddr(addr, slot))
+                return _MemLValue(addr, 0, singleton=True)
+            if isinstance(symbol, GlobalSymbol):
+                self._note_extern_global(symbol)
+                return _GlobalLValue(symbol.qualified_name)
+            raise SemanticError("not assignable", expr.location)
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "*":
+            pointer = self._lower_expr(expr.operand)
+            return _MemLValue(pointer, 0)
+        if isinstance(expr, ast.IndexExpr):
+            addr, offset = self._lower_element_addr(expr)
+            return _MemLValue(addr, offset)
+        raise SemanticError("not assignable", expr.location)
+
+    def _read_lvalue(self, lvalue: _LValue) -> Operand:
+        if isinstance(lvalue, _TempLValue):
+            return lvalue.temp
+        if isinstance(lvalue, _GlobalLValue):
+            dst = self._new_temp()
+            self._emit(LoadGlobal(dst, lvalue.symbol_name))
+            return dst
+        dst = self._new_temp()
+        self._emit(Load(dst, lvalue.addr, lvalue.offset, lvalue.singleton))
+        return dst
+
+    def _write_lvalue(self, lvalue: _LValue, value: Operand) -> None:
+        if isinstance(lvalue, _TempLValue):
+            self._emit(Move(lvalue.temp, value))
+        elif isinstance(lvalue, _GlobalLValue):
+            self._emit(StoreGlobal(lvalue.symbol_name, value))
+        else:
+            self._emit(
+                Store(lvalue.addr, value, lvalue.offset, lvalue.singleton)
+            )
+
+    def _lower_assign(self, expr: ast.AssignExpr) -> Operand:
+        lvalue = self._lower_lvalue(expr.target)
+        if expr.op is None:
+            value = self._lower_expr(expr.value)
+            self._write_lvalue(lvalue, value)
+            return value
+        old = self._read_lvalue(lvalue)
+        rhs = self._lower_expr(expr.value)
+        if isinstance(old, Const) and isinstance(rhs, Const):
+            try:
+                new_value: Operand = Const(
+                    arith.eval_binop(expr.op, old.value, rhs.value)
+                )
+            except arith.DivisionByZeroError:
+                new_value = self._emit_binop(expr.op, old, rhs)
+        else:
+            new_value = self._emit_binop(expr.op, old, rhs)
+        self._write_lvalue(lvalue, new_value)
+        return new_value
+
+    def _emit_binop(self, op: str, lhs: Operand, rhs: Operand) -> Temp:
+        dst = self._new_temp()
+        self._emit(BinOp(dst, op, lhs, rhs))
+        return dst
+
+    def _lower_incdec(self, expr: ast.IncDecExpr,
+                      want_value: bool) -> Optional[Operand]:
+        lvalue = self._lower_lvalue(expr.target)
+        old = self._read_lvalue(lvalue)
+        new_value = self._emit_binop("+", old, Const(expr.delta))
+        self._write_lvalue(lvalue, new_value)
+        if not want_value:
+            return None
+        return new_value if expr.is_prefix else old
+
+    # -- addresses ----------------------------------------------------------
+
+    def _lower_address_of(self, operand: ast.Expr) -> tuple[Operand, int]:
+        """Lower ``&operand``; returns (address operand, constant offset)."""
+        if isinstance(operand, ast.NameExpr):
+            symbol = operand.symbol
+            if isinstance(symbol, LocalSymbol):
+                slot = self._slots[symbol.uid]
+                addr = self._new_temp(f"{symbol.name}.addr")
+                self._emit(FrameAddr(addr, slot))
+                return addr, 0
+            if isinstance(symbol, GlobalSymbol):
+                self._note_extern_global(symbol)
+                addr = self._new_temp()
+                self._emit(LoadAddr(addr, symbol.qualified_name))
+                return addr, 0
+            if isinstance(symbol, FunctionSymbol):
+                self._note_extern_function(symbol)
+                addr = self._new_temp(symbol.name)
+                self._emit(LoadAddr(addr, symbol.qualified_name,
+                                    is_function=True))
+                return addr, 0
+        if isinstance(operand, ast.IndexExpr):
+            return self._lower_element_addr(operand)
+        if isinstance(operand, ast.UnaryExpr) and operand.op == "*":
+            return self._lower_expr(operand.operand), 0
+        raise SemanticError("cannot take address", operand.location)
+
+    def _lower_element_addr(self, expr: ast.IndexExpr) -> tuple[Operand, int]:
+        """Lower ``base[index]`` to (address, constant offset)."""
+        base = self._lower_expr(expr.base)
+        index = self._lower_expr(expr.index)
+        if isinstance(index, Const):
+            return base, index.value
+        if isinstance(base, Const):
+            return index, base.value
+        addr = self._new_temp()
+        self._emit(BinOp(addr, "+", base, index))
+        return addr, 0
+
+    # -- calls ----------------------------------------------------------
+
+    def _lower_call(self, expr: ast.CallExpr,
+                    want_value: bool) -> Optional[Operand]:
+        args = [self._lower_expr(arg) for arg in expr.args]
+        if not expr.is_indirect:
+            callee = expr.callee
+            assert isinstance(callee, ast.NameExpr)
+            symbol = callee.symbol
+            if isinstance(symbol, BuiltinSymbol):
+                self._emit(Call(None, symbol.name, args, is_builtin=True))
+                return Const(0) if want_value else None
+            assert isinstance(symbol, FunctionSymbol)
+            self._note_extern_function(symbol)
+            dst = None
+            if want_value and symbol.return_type != "void":
+                dst = self._new_temp()
+            self._emit(Call(dst, symbol.qualified_name, args))
+            return dst if want_value else None
+        callee = expr.callee
+        # In C, dereferencing a function pointer is the identity:
+        # (*f)(x) and f(x) call the same function.
+        while isinstance(callee, ast.UnaryExpr) and callee.op == "*":
+            callee = callee.operand
+        target = self._lower_expr(callee)
+        dst = self._new_temp() if want_value else None
+        self._emit(CallIndirect(dst, target, args))
+        return dst if want_value else None
+
+    # -- extern bookkeeping -----------------------------------------------
+
+    def _note_extern_global(self, symbol: GlobalSymbol) -> None:
+        if symbol.is_extern_ref:
+            self._ir_module.extern_globals.add(symbol.qualified_name)
+
+    def _note_extern_function(self, symbol: FunctionSymbol) -> None:
+        if not symbol.is_defined:
+            self._ir_module.extern_functions.add(symbol.qualified_name)
+
+
+def lower_module(module_info: ModuleInfo) -> IRModule:
+    """Lower a semantically-analyzed module to IR."""
+    ir_module = IRModule(module_info.name)
+    for symbol in module_info.globals.values():
+        if symbol.is_extern_ref:
+            continue
+        if symbol.is_array:
+            init_words = list(symbol.array_init or [])
+        else:
+            init_words = [symbol.init or 0]
+        ir_module.add_global(
+            GlobalVar(
+                name=symbol.qualified_name,
+                size_words=symbol.size_words,
+                is_array=symbol.is_array,
+                init_words=[arith.wrap32(word) for word in init_words],
+                address_taken=symbol.address_taken,
+                is_static=symbol.is_static,
+                defining_module=module_info.name,
+                is_pointer=symbol.pointer_level > 0,
+            )
+        )
+    for function_info in module_info.function_infos:
+        lowerer = FunctionLowerer(
+            module_info, ir_module, function_info.symbol,
+            function_info.definition,
+        )
+        ir_module.add_function(lowerer.lower())
+    return ir_module
+
+
+def lower_source(source: str, module_name: str = "<input>") -> IRModule:
+    """Parse, analyze, and lower Tiny-C source text to IR."""
+    from repro.lang.sema import analyze_source
+
+    return lower_module(analyze_source(source, module_name))

@@ -1,0 +1,158 @@
+"""IR containers: basic blocks and functions."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.instructions import FrameSlot, Instruction, Jump, Terminator
+from repro.ir.values import Temp
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with one terminator.
+
+    ``loop_depth`` records the syntactic loop nesting at which the block
+    was created; the frequency heuristics (paper section 6) weight
+    references and calls by ``10 ** loop_depth``.
+    """
+
+    def __init__(self, label: str, loop_depth: int = 0):
+        self.label = label
+        self.instructions: list[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+        self.loop_depth = loop_depth
+
+    def append(self, instruction: Instruction) -> None:
+        if self.terminator is not None:
+            raise ValueError(f"appending to terminated block {self.label}")
+        self.instructions.append(instruction)
+
+    def successors(self) -> list[str]:
+        if self.terminator is None:
+            return []
+        return self.terminator.successors()
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def __repr__(self) -> str:
+        return f"<block {self.label}: {len(self.instructions)} instrs>"
+
+
+class IRFunction:
+    """One procedure in IR form.
+
+    Attributes:
+        name: Qualified (link-level) name.
+        params: Parameter temps, in order.
+        blocks: Label -> block, in creation order (entry first).
+        frame_slots: Stack-frame objects (arrays, address-taken scalars).
+        return_type: ``"int"`` or ``"void"``.
+        source_module: Name of the defining compilation unit.
+    """
+
+    def __init__(self, name: str, return_type: str = "int", source_module: str = ""):
+        self.name = name
+        self.return_type = return_type
+        self.source_module = source_module
+        self.params: list[Temp] = []
+        self.blocks: dict[str, BasicBlock] = {}
+        self.frame_slots: list[FrameSlot] = []
+        # Temps pinned to physical registers (interprocedurally promoted
+        # globals).  Pinned temps are implicitly defined at entry (the
+        # caller's register contents) and live at every return.
+        self.pinned_temps: dict[Temp, int] = {}
+        self.entry_label = "entry"
+        self._next_temp = 0
+        self._next_label = 0
+
+    # -- construction helpers -------------------------------------------
+
+    def new_temp(self, hint: str = "") -> Temp:
+        self._next_temp += 1
+        return Temp(self._next_temp, hint)
+
+    def new_block(self, hint: str = "", loop_depth: int = 0) -> BasicBlock:
+        self._next_label += 1
+        label = f"{hint or 'bb'}{self._next_label}"
+        block = BasicBlock(label, loop_depth)
+        self.blocks[label] = block
+        return block
+
+    def add_entry_block(self) -> BasicBlock:
+        block = BasicBlock(self.entry_label, 0)
+        self.blocks[self.entry_label] = block
+        return block
+
+    def add_frame_slot(self, slot: FrameSlot) -> FrameSlot:
+        self.frame_slots.append(slot)
+        return slot
+
+    # -- structure queries ------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_label]
+
+    def block_order(self) -> list[BasicBlock]:
+        """Blocks in insertion order, entry first."""
+        return list(self.blocks.values())
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks.values():
+            yield from block.instructions
+
+    def predecessors(self) -> dict[str, list[str]]:
+        """Label -> predecessor labels."""
+        preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+        for block in self.blocks.values():
+            for successor in block.successors():
+                preds[successor].append(block.label)
+        return preds
+
+    def remove_unreachable_blocks(self) -> int:
+        """Drop blocks not reachable from entry; returns how many."""
+        reachable: set[str] = set()
+        worklist = [self.entry_label]
+        while worklist:
+            label = worklist.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            worklist.extend(self.blocks[label].successors())
+        dead = [label for label in self.blocks if label not in reachable]
+        for label in dead:
+            del self.blocks[label]
+        return len(dead)
+
+    def merge_straightline_blocks(self) -> int:
+        """Merge blocks with a single Jump successor whose target has a
+        single predecessor.  Returns the number of merges performed."""
+        merged = 0
+        changed = True
+        while changed:
+            changed = False
+            preds = self.predecessors()
+            for block in list(self.blocks.values()):
+                terminator = block.terminator
+                if not isinstance(terminator, Jump):
+                    continue
+                target_label = terminator.target
+                if target_label == block.label:
+                    continue
+                if target_label == self.entry_label:
+                    continue
+                if len(preds[target_label]) != 1:
+                    continue
+                target = self.blocks[target_label]
+                block.instructions.extend(target.instructions)
+                block.terminator = target.terminator
+                del self.blocks[target_label]
+                merged += 1
+                changed = True
+                break
+        return merged
+
+    def __repr__(self) -> str:
+        return f"<function {self.name}: {len(self.blocks)} blocks>"

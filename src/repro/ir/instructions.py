@@ -1,0 +1,405 @@
+"""Three-address IR instruction set.
+
+Every instruction exposes a uniform interface used by the analyses and
+optimization passes:
+
+* ``uses()`` — the operands the instruction reads (temps and constants).
+* ``defs()`` — the temps the instruction writes.
+* ``replace_uses(mapping)`` — substitute source operands (for copy
+  propagation and constant propagation).
+
+Memory references carry a ``singleton`` flag matching the paper's metric:
+an access of a *simple* (scalar) variable, as opposed to an element of an
+array or a pointer dereference.  The machine simulator aggregates dynamic
+singleton reference counts from this flag (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.values import Const, Operand, Temp
+
+
+def _subst(operand: Operand, mapping: dict[Temp, Operand]) -> Operand:
+    if isinstance(operand, Temp) and operand in mapping:
+        return mapping[operand]
+    return operand
+
+
+class Instruction:
+    """Base class for non-terminator instructions."""
+
+    def uses(self) -> list[Operand]:
+        return []
+
+    def defs(self) -> list[Temp]:
+        return []
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        """Substitute used operands according to ``mapping`` (in place)."""
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True if the instruction cannot be removed even when unused."""
+        return False
+
+
+@dataclass
+class Move(Instruction):
+    """``dst = src``."""
+
+    dst: Temp
+    src: Operand
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class BinOp(Instruction):
+    """``dst = lhs op rhs`` with Tiny-C 32-bit semantics."""
+
+    dst: Temp
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+    def uses(self) -> list[Operand]:
+        return [self.lhs, self.rhs]
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.lhs = _subst(self.lhs, mapping)
+        self.rhs = _subst(self.rhs, mapping)
+
+    @property
+    def has_side_effects(self) -> bool:
+        # Division and remainder can trap on a zero divisor.
+        return self.op in ("/", "%") and not (
+            isinstance(self.rhs, Const) and self.rhs.value != 0
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass
+class UnOp(Instruction):
+    """``dst = op operand`` for ``-``, ``~``, ``!``."""
+
+    dst: Temp
+    op: str
+    operand: Operand
+
+    def uses(self) -> list[Operand]:
+        return [self.operand]
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.operand = _subst(self.operand, mapping)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op}{self.operand}"
+
+
+@dataclass
+class LoadGlobal(Instruction):
+    """``dst = global`` — read a scalar global variable (singleton access)."""
+
+    dst: Temp
+    symbol: str  # qualified global name
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = load_global @{self.symbol}"
+
+
+@dataclass
+class StoreGlobal(Instruction):
+    """``global = src`` — write a scalar global variable (singleton access)."""
+
+    symbol: str
+    src: Operand
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"store_global @{self.symbol} = {self.src}"
+
+
+@dataclass
+class LoadAddr(Instruction):
+    """``dst = &symbol`` — address of a global variable or function.
+
+    ``is_function`` distinguishes function addresses (indirect-call
+    targets) from data addresses.
+    """
+
+    dst: Temp
+    symbol: str
+    is_function: bool = False
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def __repr__(self) -> str:
+        prefix = "&fn" if self.is_function else "&"
+        return f"{self.dst} = {prefix}@{self.symbol}"
+
+
+@dataclass
+class FrameAddr(Instruction):
+    """``dst = &frame_slot`` — address of a stack-frame object.
+
+    Frame slots hold local arrays and address-taken scalars.
+    """
+
+    dst: Temp
+    slot: "FrameSlot"
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = &frame[{self.slot.name}]"
+
+
+@dataclass
+class Load(Instruction):
+    """``dst = mem[addr + offset]``.
+
+    ``singleton`` is True only when the front end can prove this is an
+    access of a simple scalar variable (e.g. an address-taken scalar local
+    accessed by name).
+    """
+
+    dst: Temp
+    addr: Operand
+    offset: int = 0
+    singleton: bool = False
+
+    def uses(self) -> list[Operand]:
+        return [self.addr]
+
+    def defs(self) -> list[Temp]:
+        return [self.dst]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.addr = _subst(self.addr, mapping)
+
+    @property
+    def has_side_effects(self) -> bool:
+        # Loads can fault on wild addresses; keep them ordered.
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = mem[{self.addr}+{self.offset}]"
+
+
+@dataclass
+class Store(Instruction):
+    """``mem[addr + offset] = src``."""
+
+    addr: Operand
+    src: Operand
+    offset: int = 0
+    singleton: bool = False
+
+    def uses(self) -> list[Operand]:
+        return [self.addr, self.src]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.addr = _subst(self.addr, mapping)
+        self.src = _subst(self.src, mapping)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"mem[{self.addr}+{self.offset}] = {self.src}"
+
+
+@dataclass
+class Call(Instruction):
+    """A direct call. ``dst`` is ``None`` for void calls or unused results.
+
+    ``callee`` is the qualified name; ``is_builtin`` marks runtime
+    procedures (``print``, ``putc``) that are not part of the user call
+    graph.
+    """
+
+    dst: Optional[Temp]
+    callee: str
+    args: list[Operand] = field(default_factory=list)
+    is_builtin: bool = False
+
+    def uses(self) -> list[Operand]:
+        return list(self.args)
+
+    def defs(self) -> list[Temp]:
+        return [self.dst] if self.dst is not None else []
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.args = [_subst(arg, mapping) for arg in self.args]
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(str, self.args))
+        target = f"{'builtin ' if self.is_builtin else ''}@{self.callee}"
+        if self.dst is not None:
+            return f"{self.dst} = call {target}({args})"
+        return f"call {target}({args})"
+
+
+@dataclass
+class CallIndirect(Instruction):
+    """A call through a function-pointer value."""
+
+    dst: Optional[Temp]
+    target: Operand
+    args: list[Operand] = field(default_factory=list)
+
+    def uses(self) -> list[Operand]:
+        return [self.target, *self.args]
+
+    def defs(self) -> list[Temp]:
+        return [self.dst] if self.dst is not None else []
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.target = _subst(self.target, mapping)
+        self.args = [_subst(arg, mapping) for arg in self.args]
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(str, self.args))
+        if self.dst is not None:
+            return f"{self.dst} = call_indirect ({self.target})({args})"
+        return f"call_indirect ({self.target})({args})"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+class Terminator:
+    """Base class for block terminators."""
+
+    def uses(self) -> list[Operand]:
+        return []
+
+    def defs(self) -> list[Temp]:
+        return []
+
+    def successors(self) -> list[str]:
+        return []
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        pass
+
+    def replace_successor(self, old: str, new: str) -> None:
+        pass
+
+
+@dataclass
+class Jump(Terminator):
+    target: str
+
+    def successors(self) -> list[str]:
+        return [self.target]
+
+    def replace_successor(self, old: str, new: str) -> None:
+        if self.target == old:
+            self.target = new
+
+    def __repr__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class CJump(Terminator):
+    """Branch to ``true_target`` when ``cond != 0``, else ``false_target``."""
+
+    cond: Operand
+    true_target: str
+    false_target: str
+
+    def uses(self) -> list[Operand]:
+        return [self.cond]
+
+    def successors(self) -> list[str]:
+        return [self.true_target, self.false_target]
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        self.cond = _subst(self.cond, mapping)
+
+    def replace_successor(self, old: str, new: str) -> None:
+        if self.true_target == old:
+            self.true_target = new
+        if self.false_target == old:
+            self.false_target = new
+
+    def __repr__(self) -> str:
+        return f"cjump {self.cond} ? {self.true_target} : {self.false_target}"
+
+
+@dataclass
+class Return(Terminator):
+    value: Optional[Operand] = None
+
+    def uses(self) -> list[Operand]:
+        return [self.value] if self.value is not None else []
+
+    def replace_uses(self, mapping: dict[Temp, Operand]) -> None:
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    def __repr__(self) -> str:
+        if self.value is not None:
+            return f"return {self.value}"
+        return "return"
+
+
+@dataclass
+class FrameSlot:
+    """A stack-frame object: a local array or an address-taken scalar."""
+
+    name: str
+    size_words: int = 1
+    array_init: Optional[list[int]] = None
+    is_scalar: bool = False
+
+    def __repr__(self) -> str:
+        return f"slot({self.name}, {self.size_words}w)"

@@ -1,0 +1,70 @@
+"""IR module container and global-variable descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.function import IRFunction
+
+
+@dataclass
+class GlobalVar:
+    """Link-level description of a global variable definition.
+
+    Attributes:
+        name: Qualified name (statics carry a ``module.`` prefix).
+        size_words: Storage size in machine words.
+        is_array: True for arrays (never promotable to registers).
+        init_words: Initial contents; shorter than ``size_words`` means
+            zero-fill the remainder.
+        address_taken: The module observed ``&var`` (aliased; ineligible
+            for interprocedural promotion per section 4.1.2).
+        is_static: Module-private linkage.
+        defining_module: Compilation unit that owns the definition.
+        is_pointer: Declared with pointer type (holds addresses; eligible
+            for promotion as a scalar word if never aliased).
+    """
+
+    name: str
+    size_words: int = 1
+    is_array: bool = False
+    init_words: list[int] = field(default_factory=list)
+    address_taken: bool = False
+    is_static: bool = False
+    defining_module: str = ""
+    is_pointer: bool = False
+
+    @property
+    def is_scalar_word(self) -> bool:
+        return not self.is_array and self.size_words == 1
+
+
+@dataclass
+class IRModule:
+    """IR for one compilation unit.
+
+    ``extern_globals`` / ``extern_functions`` record names this module
+    references but does not define; the linker resolves them.
+    """
+
+    name: str
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    extern_globals: set[str] = field(default_factory=set)
+    extern_functions: set[str] = field(default_factory=set)
+
+    def add_function(self, function: IRFunction) -> IRFunction:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals:
+            raise ValueError(f"duplicate global {var.name!r}")
+        self.globals[var.name] = var
+        return var
+
+    def get_function(self, name: str) -> Optional[IRFunction]:
+        return self.functions.get(name)

@@ -1,0 +1,48 @@
+"""Human-readable IR dumps for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.module import IRModule
+
+
+def format_function(function: IRFunction) -> str:
+    """Render one function as text."""
+    lines = []
+    params = ", ".join(map(str, function.params))
+    lines.append(f"func {function.name}({params}) -> {function.return_type}:")
+    for slot in function.frame_slots:
+        lines.append(f"  frame {slot.name}: {slot.size_words} words")
+    for block in function.block_order():
+        lines.append(f"  {block.label}:  ; depth={block.loop_depth}")
+        for instruction in block.instructions:
+            lines.append(f"    {instruction!r}")
+        if block.terminator is not None:
+            lines.append(f"    {block.terminator!r}")
+        else:
+            lines.append("    <unterminated>")
+    return "\n".join(lines)
+
+
+def format_module(module: IRModule) -> str:
+    """Render a whole module as text."""
+    lines = [f"module {module.name}"]
+    for var in module.globals.values():
+        kind = "array" if var.is_array else "scalar"
+        flags = []
+        if var.is_static:
+            flags.append("static")
+        if var.address_taken:
+            flags.append("aliased")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  global @{var.name}: {kind} {var.size_words} words{suffix}"
+        )
+    for name in sorted(module.extern_globals):
+        lines.append(f"  extern global @{name}")
+    for name in sorted(module.extern_functions):
+        lines.append(f"  extern func @{name}")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(format_function(function))
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""IR operand types: virtual registers (temps) and integer constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class Temp:
+    """A virtual register.
+
+    Temps have identity semantics: two temps are the same value only if
+    they are the same object.  ``uid`` is unique within a function and the
+    optional ``hint`` preserves a source-level name for readable dumps.
+    """
+
+    __slots__ = ("uid", "hint")
+
+    def __init__(self, uid: int, hint: str = ""):
+        self.uid = uid
+        self.hint = hint
+
+    def __repr__(self) -> str:
+        if self.hint:
+            return f"%{self.uid}.{self.hint}"
+        return f"%{self.uid}"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate integer operand (already wrapped to 32 bits)."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+Operand = Union[Temp, Const]
+
+
+def is_const(operand: Operand, value: int | None = None) -> bool:
+    """True if ``operand`` is a constant (optionally equal to ``value``)."""
+    if not isinstance(operand, Const):
+        return False
+    return value is None or operand.value == value

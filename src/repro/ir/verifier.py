@@ -1,0 +1,124 @@
+"""IR well-formedness checks.
+
+The verifier runs after lowering and between optimization passes in tests.
+It enforces the structural invariants the backend relies on:
+
+* every block is terminated and every branch target exists;
+* every temp is defined before use on every path (checked via a forward
+  dataflow over definitely-assigned temps);
+* frame slots referenced by ``FrameAddr`` belong to the function.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import FrameAddr
+from repro.ir.module import IRModule
+from repro.ir.values import Temp
+
+
+class IRVerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_function(function: IRFunction) -> None:
+    """Check one function; raises :class:`IRVerificationError` on failure."""
+    labels = set(function.blocks)
+    if function.entry_label not in labels:
+        raise IRVerificationError(f"{function.name}: missing entry block")
+    slots = set(id(slot) for slot in function.frame_slots)
+    for block in function.blocks.values():
+        if block.terminator is None:
+            raise IRVerificationError(
+                f"{function.name}/{block.label}: unterminated block"
+            )
+        for target in block.successors():
+            if target not in labels:
+                raise IRVerificationError(
+                    f"{function.name}/{block.label}: branch to unknown "
+                    f"block {target!r}"
+                )
+        for instruction in block.instructions:
+            if isinstance(instruction, FrameAddr):
+                if id(instruction.slot) not in slots:
+                    raise IRVerificationError(
+                        f"{function.name}/{block.label}: FrameAddr to a "
+                        f"slot not owned by the function"
+                    )
+    _verify_definite_assignment(function)
+
+
+def _verify_definite_assignment(function: IRFunction) -> None:
+    """Forward must-analysis: every used temp is defined on all paths."""
+    defined_in: dict[str, set[Temp]] = {}
+    preds = function.predecessors()
+    order = _reverse_postorder(function)
+    params = set(function.params) | set(function.pinned_temps)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            block = function.blocks[label]
+            if label == function.entry_label:
+                incoming = set(params)
+            else:
+                pred_sets = [
+                    defined_in[p] for p in preds[label] if p in defined_in
+                ]
+                if not pred_sets:
+                    # No processed predecessor yet (or unreachable).
+                    incoming = set(params)
+                else:
+                    incoming = set.intersection(*pred_sets)
+            current = set(incoming)
+            for instruction in block.instructions:
+                for used in instruction.uses():
+                    if isinstance(used, Temp) and used not in current:
+                        raise IRVerificationError(
+                            f"{function.name}/{label}: use of possibly-"
+                            f"undefined temp {used} in {instruction!r}"
+                        )
+                current.update(instruction.defs())
+            if block.terminator is not None:
+                for used in block.terminator.uses():
+                    if isinstance(used, Temp) and used not in current:
+                        raise IRVerificationError(
+                            f"{function.name}/{label}: use of possibly-"
+                            f"undefined temp {used} in terminator"
+                        )
+            if defined_in.get(label) != current:
+                defined_in[label] = current
+                changed = True
+
+
+def _reverse_postorder(function: IRFunction) -> list[str]:
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(function.blocks[label].successors()))]
+        visited.add(label)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append(
+                        (successor, iter(function.blocks[successor].successors()))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(function.entry_label)
+    order.reverse()
+    return order
+
+
+def verify_module(module: IRModule) -> None:
+    """Verify every function in the module."""
+    for function in module.functions.values():
+        verify_function(function)

@@ -1,0 +1,25 @@
+"""Tiny-C language front end: lexer, parser, AST, semantic analysis."""
+
+from repro.lang.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_module
+from repro.lang.sema import ModuleInfo, analyze_module, analyze_source
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "ModuleInfo",
+    "ParseError",
+    "SemanticError",
+    "SourceLocation",
+    "analyze_module",
+    "analyze_source",
+    "parse_module",
+    "tokenize",
+]

@@ -1,0 +1,280 @@
+"""Abstract syntax tree for Tiny-C.
+
+The tree is deliberately plain: dataclass nodes with source locations.
+Semantic analysis (:mod:`repro.lang.sema`) decorates nodes with resolved
+symbols rather than rewriting the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lang.errors import SourceLocation
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    """An integer or character constant."""
+
+    value: int
+
+
+@dataclass
+class NameExpr(Expr):
+    """A reference to a variable or function by name.
+
+    After semantic analysis, ``symbol`` points at the resolved
+    :class:`~repro.lang.sema.Symbol`.
+    """
+
+    name: str
+    symbol: object = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """Unary operation: one of ``- ! ~ * &``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """Binary operation (arithmetic, bitwise, comparison, logical)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class AssignExpr(Expr):
+    """Assignment ``target = value`` or compound ``target op= value``.
+
+    ``op`` is ``None`` for plain assignment, otherwise the arithmetic
+    operator of a compound assignment (``+``, ``-``, ...).
+    """
+
+    target: Expr
+    value: Expr
+    op: Optional[str] = None
+
+
+@dataclass
+class IncDecExpr(Expr):
+    """``++x``, ``x++``, ``--x``, ``x--``.
+
+    ``delta`` is +1 or -1; ``is_prefix`` selects pre- vs post- semantics.
+    """
+
+    target: Expr
+    delta: int
+    is_prefix: bool
+
+
+@dataclass
+class CallExpr(Expr):
+    """A function call.
+
+    A direct call has a :class:`NameExpr` callee that resolves to a function
+    symbol; anything else (a pointer-valued expression) is an indirect call.
+    After sema, ``is_indirect`` records which case applies.
+    """
+
+    callee: Expr
+    args: list[Expr]
+    is_indirect: bool = False
+
+
+@dataclass
+class IndexExpr(Expr):
+    """Array or pointer subscript ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class CondExpr(Expr):
+    """Ternary conditional ``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """A local variable declaration.
+
+    Scalars may have an initializer expression.  Arrays have a fixed
+    ``array_size`` (in words) and optional constant element initializers.
+    """
+
+    name: str
+    pointer_level: int = 0
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    array_init: Optional[list[int]] = None
+    symbol: object = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Union[Expr, "LocalDecl"]]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TopDecl(Node):
+    """Base class for module-level declarations."""
+
+
+@dataclass
+class GlobalVarDecl(TopDecl):
+    """A module-level variable definition.
+
+    Attributes:
+        name: Source-level name (unqualified; statics are qualified later).
+        is_static: C ``static`` — private to the defining module.
+        pointer_level: 0 for ``int``, 1 for ``int *``, etc.
+        array_size: Element count for arrays, ``None`` for scalars.
+        init: Constant scalar initializer value.
+        array_init: Constant element initializers for arrays (may be shorter
+            than the array; the rest is zero-filled).
+    """
+
+    name: str
+    is_static: bool = False
+    pointer_level: int = 0
+    array_size: Optional[int] = None
+    init: Optional[int] = None
+    array_init: Optional[list[int]] = None
+
+
+@dataclass
+class ExternVarDecl(TopDecl):
+    """``extern int name;`` — a reference to a global defined elsewhere."""
+
+    name: str
+    pointer_level: int = 0
+    is_array: bool = False
+
+
+@dataclass
+class Param(Node):
+    name: str
+    pointer_level: int = 0
+
+
+@dataclass
+class FunctionDef(TopDecl):
+    """A function definition with a body."""
+
+    name: str
+    return_type: str  # "int" or "void"
+    params: list[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    is_static: bool = False
+
+
+@dataclass
+class ExternFuncDecl(TopDecl):
+    """A function prototype: ``extern int f(int, int);`` or ``int f(int);``."""
+
+    name: str
+    return_type: str
+    param_count: int = 0
+
+
+@dataclass
+class Module(Node):
+    """One compilation unit: a named list of top-level declarations."""
+
+    name: str
+    decls: list[TopDecl] = field(default_factory=list)

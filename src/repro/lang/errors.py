@@ -1,0 +1,50 @@
+"""Diagnostic types shared by the Tiny-C front end.
+
+Every front-end failure is reported through :class:`CompileError`, which
+carries a source location so callers (and tests) can pinpoint the offending
+construct.  The front end never raises bare ``ValueError``/``RuntimeError``
+for user-program problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position within a source module.
+
+    Attributes:
+        module: Name of the module (compilation unit) being compiled.
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    module: str = "<unknown>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.module}:{self.line}:{self.column}"
+
+
+class CompileError(Exception):
+    """A diagnosable error in a user program (lexical, syntactic, semantic)."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")
+
+
+class LexError(CompileError):
+    """Raised for malformed tokens."""
+
+
+class ParseError(CompileError):
+    """Raised for grammar violations."""
+
+
+class SemanticError(CompileError):
+    """Raised for type errors, undefined names, and declaration conflicts."""

@@ -1,0 +1,572 @@
+"""Semantic analysis for Tiny-C.
+
+Resolves names to symbols, checks declarations and expression shapes, and
+annotates the AST in place.  Analysis is strictly per-module: references to
+other compilation units must go through ``extern`` declarations, exactly as
+in the paper's multi-module compilation model.
+
+Key outputs used downstream:
+
+* ``NameExpr.symbol`` / ``LocalDecl.symbol`` point at resolved symbols.
+* ``CallExpr.is_indirect`` distinguishes direct calls (callee is a function
+  symbol) from calls through pointer values.
+* ``GlobalSymbol.address_taken`` and ``LocalSymbol.address_taken`` record
+  aliasing, which makes globals ineligible for interprocedural promotion
+  and forces locals into the stack frame.
+* ``FunctionSymbol.address_taken`` records procedures whose address has
+  been computed (conservative indirect-call targets, paper section 7.3).
+
+Static globals and functions are qualified as ``module.name`` so that
+identically-named statics in different modules stay distinct (section 7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lang import ast
+from repro.lang.errors import SemanticError, SourceLocation
+
+WORD_SIZE_BYTES = 4
+
+# Built-in procedures provided by the runtime/simulator.
+#   print(x)  - write decimal integer + newline to the program output
+#   putc(c)   - write one character to the program output
+BUILTIN_FUNCTIONS = {
+    "print": 1,
+    "putc": 1,
+}
+
+
+@dataclass
+class Symbol:
+    """Base class for all resolved symbols."""
+
+    name: str
+    location: SourceLocation
+
+
+@dataclass
+class GlobalSymbol(Symbol):
+    """A module-level variable (definition or extern reference).
+
+    ``qualified_name`` is the link-level name: equal to ``name`` for
+    external-linkage globals, ``module.name`` for statics.
+    """
+
+    module: str = ""
+    qualified_name: str = ""
+    is_static: bool = False
+    is_extern_ref: bool = False
+    is_array: bool = False
+    size_words: int = 1
+    pointer_level: int = 0
+    init: Optional[int] = None
+    array_init: Optional[list[int]] = None
+    address_taken: bool = False
+
+    @property
+    def is_promotable_shape(self) -> bool:
+        """True if the variable fits in one register (scalar, word-sized)."""
+        return not self.is_array and self.size_words == 1
+
+
+@dataclass
+class FunctionSymbol(Symbol):
+    """A function definition or prototype."""
+
+    module: str = ""
+    qualified_name: str = ""
+    is_static: bool = False
+    return_type: str = "int"
+    param_count: int = 0
+    is_defined: bool = False
+    address_taken: bool = False
+
+
+@dataclass
+class BuiltinSymbol(Symbol):
+    """A runtime-provided procedure such as ``print``."""
+
+    param_count: int = 1
+
+
+@dataclass
+class LocalSymbol(Symbol):
+    """A local variable or parameter within one function."""
+
+    uid: int = 0
+    is_param: bool = False
+    param_index: int = -1
+    is_array: bool = False
+    size_words: int = 1
+    pointer_level: int = 0
+    address_taken: bool = False
+    array_init: Optional[list[int]] = None
+
+
+@dataclass
+class FunctionInfo:
+    """Sema results for one defined function."""
+
+    symbol: FunctionSymbol
+    definition: ast.FunctionDef
+    params: list[LocalSymbol] = field(default_factory=list)
+    locals: list[LocalSymbol] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """Sema results for one compilation unit."""
+
+    module: ast.Module
+    globals: dict[str, GlobalSymbol] = field(default_factory=dict)
+    functions: dict[str, FunctionSymbol] = field(default_factory=dict)
+    function_infos: list[FunctionInfo] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+
+class _Scope:
+    """A lexical scope mapping names to local symbols."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: dict[str, LocalSymbol] = {}
+
+    def define(self, symbol: LocalSymbol) -> None:
+        if symbol.name in self.names:
+            raise SemanticError(
+                f"redefinition of local {symbol.name!r}", symbol.location
+            )
+        self.names[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[LocalSymbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Runs all semantic checks over one module AST."""
+
+    def __init__(self, module: ast.Module):
+        self._module = module
+        self._info = ModuleInfo(module)
+        self._local_uid = 0
+        self._loop_depth = 0
+        self._current_function: Optional[FunctionInfo] = None
+        self._scope: Optional[_Scope] = None
+
+    def analyze(self) -> ModuleInfo:
+        """Analyze the module; returns the populated :class:`ModuleInfo`."""
+        self._collect_top_level()
+        for decl in self._module.decls:
+            if isinstance(decl, ast.FunctionDef):
+                self._analyze_function(decl)
+        return self._info
+
+    # -- module level ----------------------------------------------------
+
+    def _qualify(self, name: str, is_static: bool) -> str:
+        if is_static:
+            return f"{self._module.name}.{name}"
+        return name
+
+    def _collect_top_level(self) -> None:
+        for decl in self._module.decls:
+            if isinstance(decl, ast.GlobalVarDecl):
+                self._declare_global(decl)
+            elif isinstance(decl, ast.ExternVarDecl):
+                self._declare_extern_var(decl)
+            elif isinstance(decl, ast.FunctionDef):
+                self._declare_function(decl)
+            elif isinstance(decl, ast.ExternFuncDecl):
+                self._declare_prototype(decl)
+            else:  # pragma: no cover - parser produces no other nodes
+                raise SemanticError("unknown top-level declaration", decl.location)
+
+    def _check_top_level_name(self, name: str, location: SourceLocation) -> None:
+        if name in BUILTIN_FUNCTIONS:
+            raise SemanticError(
+                f"{name!r} conflicts with a builtin procedure", location
+            )
+        if name in self._info.globals or name in self._info.functions:
+            raise SemanticError(f"redefinition of {name!r}", location)
+
+    def _declare_global(self, decl: ast.GlobalVarDecl) -> None:
+        self._check_top_level_name(decl.name, decl.location)
+        size_words = decl.array_size if decl.array_size is not None else 1
+        if decl.array_size is not None and decl.array_size <= 0:
+            raise SemanticError("array size must be positive", decl.location)
+        symbol = GlobalSymbol(
+            decl.name,
+            decl.location,
+            module=self._module.name,
+            qualified_name=self._qualify(decl.name, decl.is_static),
+            is_static=decl.is_static,
+            is_array=decl.array_size is not None,
+            size_words=size_words,
+            pointer_level=decl.pointer_level,
+            init=decl.init,
+            array_init=decl.array_init,
+        )
+        self._info.globals[decl.name] = symbol
+
+    def _declare_extern_var(self, decl: ast.ExternVarDecl) -> None:
+        self._check_top_level_name(decl.name, decl.location)
+        symbol = GlobalSymbol(
+            decl.name,
+            decl.location,
+            module=self._module.name,
+            qualified_name=decl.name,
+            is_extern_ref=True,
+            is_array=decl.is_array,
+            size_words=1,
+            pointer_level=decl.pointer_level,
+        )
+        self._info.globals[decl.name] = symbol
+
+    def _declare_function(self, decl: ast.FunctionDef) -> None:
+        existing = self._info.functions.get(decl.name)
+        if existing is not None:
+            if existing.is_defined:
+                raise SemanticError(
+                    f"redefinition of function {decl.name!r}", decl.location
+                )
+            if existing.param_count != len(decl.params):
+                raise SemanticError(
+                    f"definition of {decl.name!r} disagrees with prototype",
+                    decl.location,
+                )
+            existing.is_defined = True
+            existing.is_static = existing.is_static or decl.is_static
+            existing.return_type = decl.return_type
+            existing.qualified_name = self._qualify(decl.name, existing.is_static)
+            return
+        if decl.name in self._info.globals or decl.name in BUILTIN_FUNCTIONS:
+            raise SemanticError(f"redefinition of {decl.name!r}", decl.location)
+        seen_params = set()
+        for param in decl.params:
+            if param.name in seen_params:
+                raise SemanticError(
+                    f"duplicate parameter {param.name!r}", param.location
+                )
+            seen_params.add(param.name)
+        self._info.functions[decl.name] = FunctionSymbol(
+            decl.name,
+            decl.location,
+            module=self._module.name,
+            qualified_name=self._qualify(decl.name, decl.is_static),
+            is_static=decl.is_static,
+            return_type=decl.return_type,
+            param_count=len(decl.params),
+            is_defined=True,
+        )
+
+    def _declare_prototype(self, decl: ast.ExternFuncDecl) -> None:
+        existing = self._info.functions.get(decl.name)
+        if existing is not None:
+            if existing.param_count != decl.param_count:
+                raise SemanticError(
+                    f"conflicting prototypes for {decl.name!r}", decl.location
+                )
+            return
+        if decl.name in self._info.globals:
+            raise SemanticError(f"redefinition of {decl.name!r}", decl.location)
+        if decl.name in BUILTIN_FUNCTIONS:
+            # Redeclaring a builtin prototype is harmless; ignore it.
+            if BUILTIN_FUNCTIONS[decl.name] != decl.param_count:
+                raise SemanticError(
+                    f"builtin {decl.name!r} takes "
+                    f"{BUILTIN_FUNCTIONS[decl.name]} argument(s)",
+                    decl.location,
+                )
+            return
+        self._info.functions[decl.name] = FunctionSymbol(
+            decl.name,
+            decl.location,
+            module=self._module.name,
+            qualified_name=decl.name,
+            return_type=decl.return_type,
+            param_count=decl.param_count,
+            is_defined=False,
+        )
+
+    # -- functions ---------------------------------------------------------
+
+    def _new_local(self, **kwargs) -> LocalSymbol:
+        self._local_uid += 1
+        return LocalSymbol(uid=self._local_uid, **kwargs)
+
+    def _analyze_function(self, decl: ast.FunctionDef) -> None:
+        symbol = self._info.functions[decl.name]
+        info = FunctionInfo(symbol, decl)
+        self._current_function = info
+        self._scope = _Scope()
+        for index, param in enumerate(decl.params):
+            local = self._new_local(
+                name=param.name,
+                location=param.location,
+                is_param=True,
+                param_index=index,
+                pointer_level=param.pointer_level,
+            )
+            self._scope.define(local)
+            info.params.append(local)
+        assert decl.body is not None
+        self._analyze_block(decl.body)
+        self._info.function_infos.append(info)
+        self._current_function = None
+        self._scope = None
+
+    def _analyze_block(self, block: ast.Block) -> None:
+        self._scope = _Scope(self._scope)
+        for stmt in block.statements:
+            self._analyze_stmt(stmt)
+        assert self._scope is not None
+        self._scope = self._scope.parent
+
+    def _analyze_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.ExprStmt):
+            self._analyze_expr(stmt.expr, value_used=False)
+        elif isinstance(stmt, ast.LocalDecl):
+            self._analyze_local_decl(stmt)
+        elif isinstance(stmt, ast.Block):
+            self._analyze_block(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._analyze_expr(stmt.cond)
+            self._analyze_stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self._analyze_stmt(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._analyze_expr(stmt.cond)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._analyze_expr(stmt.cond)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._analyze_expr(stmt.init, value_used=False)
+            if stmt.cond is not None:
+                self._analyze_expr(stmt.cond)
+            if stmt.step is not None:
+                self._analyze_expr(stmt.step, value_used=False)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.ReturnStmt):
+            assert self._current_function is not None
+            returns_void = self._current_function.symbol.return_type == "void"
+            if stmt.value is not None:
+                if returns_void:
+                    raise SemanticError(
+                        "void function cannot return a value", stmt.location
+                    )
+                self._analyze_expr(stmt.value)
+            elif not returns_void:
+                raise SemanticError(
+                    "non-void function must return a value", stmt.location
+                )
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.BreakStmt) else "continue"
+                raise SemanticError(f"{keyword!r} outside a loop", stmt.location)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:  # pragma: no cover
+            raise SemanticError("unknown statement", stmt.location)
+
+    def _analyze_local_decl(self, decl: ast.LocalDecl) -> None:
+        if decl.array_size is not None and decl.array_size <= 0:
+            raise SemanticError("array size must be positive", decl.location)
+        local = self._new_local(
+            name=decl.name,
+            location=decl.location,
+            is_array=decl.array_size is not None,
+            size_words=decl.array_size if decl.array_size is not None else 1,
+            pointer_level=decl.pointer_level,
+            array_init=decl.array_init,
+        )
+        if decl.init is not None:
+            self._analyze_expr(decl.init)
+        assert self._scope is not None
+        self._scope.define(local)
+        decl.symbol = local
+        assert self._current_function is not None
+        self._current_function.locals.append(local)
+
+    # -- expressions -------------------------------------------------------
+
+    def _analyze_expr(self, expr: ast.Expr, value_used: bool = True) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            return
+        if isinstance(expr, ast.NameExpr):
+            self._resolve_name(expr)
+            symbol = expr.symbol
+            if value_used and isinstance(symbol, (FunctionSymbol, BuiltinSymbol)):
+                # Bare function name used as a value: its address is taken.
+                if isinstance(symbol, BuiltinSymbol):
+                    raise SemanticError(
+                        f"cannot take the address of builtin {symbol.name!r}",
+                        expr.location,
+                    )
+                symbol.address_taken = True
+            return
+        if isinstance(expr, ast.UnaryExpr):
+            if expr.op == "&":
+                self._analyze_address_of(expr)
+                return
+            self._analyze_expr(expr.operand)
+            return
+        if isinstance(expr, ast.BinaryExpr):
+            self._analyze_expr(expr.lhs)
+            self._analyze_expr(expr.rhs)
+            return
+        if isinstance(expr, ast.AssignExpr):
+            self._analyze_lvalue(expr.target)
+            self._analyze_expr(expr.value)
+            return
+        if isinstance(expr, ast.IncDecExpr):
+            self._analyze_lvalue(expr.target)
+            return
+        if isinstance(expr, ast.CallExpr):
+            self._analyze_call(expr, value_used)
+            return
+        if isinstance(expr, ast.IndexExpr):
+            self._analyze_expr(expr.base)
+            self._analyze_expr(expr.index)
+            return
+        if isinstance(expr, ast.CondExpr):
+            self._analyze_expr(expr.cond)
+            self._analyze_expr(expr.then)
+            self._analyze_expr(expr.otherwise)
+            return
+        raise SemanticError("unknown expression", expr.location)  # pragma: no cover
+
+    def _resolve_name(self, expr: ast.NameExpr) -> None:
+        assert self._scope is not None
+        local = self._scope.lookup(expr.name)
+        if local is not None:
+            expr.symbol = local
+            return
+        if expr.name in self._info.globals:
+            expr.symbol = self._info.globals[expr.name]
+            return
+        if expr.name in self._info.functions:
+            expr.symbol = self._info.functions[expr.name]
+            return
+        if expr.name in BUILTIN_FUNCTIONS:
+            expr.symbol = BuiltinSymbol(
+                expr.name, expr.location, BUILTIN_FUNCTIONS[expr.name]
+            )
+            return
+        raise SemanticError(f"undefined name {expr.name!r}", expr.location)
+
+    def _analyze_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.NameExpr):
+            self._resolve_name(expr)
+            symbol = expr.symbol
+            if isinstance(symbol, (FunctionSymbol, BuiltinSymbol)):
+                raise SemanticError(
+                    f"cannot assign to function {expr.name!r}", expr.location
+                )
+            if isinstance(symbol, (GlobalSymbol, LocalSymbol)) and symbol.is_array:
+                raise SemanticError(
+                    f"cannot assign to array {expr.name!r}", expr.location
+                )
+            return
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "*":
+            self._analyze_expr(expr.operand)
+            return
+        if isinstance(expr, ast.IndexExpr):
+            self._analyze_expr(expr.base)
+            self._analyze_expr(expr.index)
+            return
+        raise SemanticError("expression is not assignable", expr.location)
+
+    def _analyze_address_of(self, expr: ast.UnaryExpr) -> None:
+        operand = expr.operand
+        if isinstance(operand, ast.NameExpr):
+            self._resolve_name(operand)
+            symbol = operand.symbol
+            if isinstance(symbol, BuiltinSymbol):
+                raise SemanticError(
+                    f"cannot take the address of builtin {symbol.name!r}",
+                    expr.location,
+                )
+            if isinstance(symbol, (GlobalSymbol, LocalSymbol, FunctionSymbol)):
+                symbol.address_taken = True
+                return
+        if isinstance(operand, ast.IndexExpr):
+            self._analyze_expr(operand.base)
+            self._analyze_expr(operand.index)
+            # &a[i]: the array object itself is aliased.
+            base = operand.base
+            if isinstance(base, ast.NameExpr) and isinstance(
+                base.symbol, (GlobalSymbol, LocalSymbol)
+            ):
+                base.symbol.address_taken = True
+            return
+        if isinstance(operand, ast.UnaryExpr) and operand.op == "*":
+            # &*p is just p.
+            self._analyze_expr(operand.operand)
+            return
+        raise SemanticError("cannot take the address of this expression", expr.location)
+
+    def _analyze_call(self, expr: ast.CallExpr, value_used: bool) -> None:
+        callee = expr.callee
+        if isinstance(callee, ast.NameExpr):
+            self._resolve_name(callee)
+            symbol = callee.symbol
+            if isinstance(symbol, BuiltinSymbol):
+                expr.is_indirect = False
+                if len(expr.args) != symbol.param_count:
+                    raise SemanticError(
+                        f"builtin {symbol.name!r} takes "
+                        f"{symbol.param_count} argument(s), got {len(expr.args)}",
+                        expr.location,
+                    )
+            elif isinstance(symbol, FunctionSymbol):
+                expr.is_indirect = False
+                if len(expr.args) != symbol.param_count:
+                    raise SemanticError(
+                        f"function {symbol.name!r} takes "
+                        f"{symbol.param_count} argument(s), got {len(expr.args)}",
+                        expr.location,
+                    )
+                if value_used and symbol.return_type == "void":
+                    raise SemanticError(
+                        f"void function {symbol.name!r} used as a value",
+                        expr.location,
+                    )
+            else:
+                # Calling through a variable holding a function address.
+                expr.is_indirect = True
+        else:
+            self._analyze_expr(callee)
+            expr.is_indirect = True
+        for arg in expr.args:
+            self._analyze_expr(arg)
+
+
+def analyze_module(module: ast.Module) -> ModuleInfo:
+    """Run semantic analysis on a parsed module."""
+    return SemanticAnalyzer(module).analyze()
+
+
+def analyze_source(source: str, module_name: str = "<input>") -> ModuleInfo:
+    """Parse and analyze Tiny-C source text."""
+    from repro.lang.parser import parse_module
+
+    return analyze_module(parse_module(source, module_name))

@@ -1,0 +1,5 @@
+"""Linker: object modules -> executable PRISM image."""
+
+from repro.linker.link import Executable, FunctionRange, LinkError, link
+
+__all__ = ["Executable", "FunctionRange", "LinkError", "link"]

@@ -1,0 +1,169 @@
+"""Linker: binds object modules into an executable PRISM image.
+
+Responsibilities (paper section 2: "the object files are then bound
+together by the linker"):
+
+* symbol resolution — every referenced global/function must have exactly
+  one definition across all modules (statics were qualified by the first
+  phase, so identically-named statics in different modules never clash);
+* data layout — globals get word addresses in the data segment;
+* code layout — a two-instruction startup stub (``BL main; HALT``)
+  followed by every function's instruction stream;
+* relocation — function-local branch targets are rebased, ``BL`` callees
+  and ``LDA`` symbols are resolved (function symbols resolve to code
+  indices, data symbols to data addresses; the machine is Harvard-style).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.backend.object import ObjectModule
+from repro.ir.module import GlobalVar
+from repro.target import isa
+
+DATA_BASE = 1024  # first 1024 words are a guard region reading as zero
+
+
+class LinkError(Exception):
+    """Raised for duplicate or unresolved symbols."""
+
+
+@dataclass
+class FunctionRange:
+    """Code range of one linked function (for profiling attribution)."""
+
+    name: str
+    start: int
+    end: int  # exclusive
+    source_module: str = ""
+
+
+@dataclass
+class Executable:
+    """A linked PRISM program."""
+
+    instructions: list = field(default_factory=list)
+    data_words: list = field(default_factory=list)
+    data_base: int = DATA_BASE
+    entry_pc: int = 0
+    function_entries: dict = field(default_factory=dict)  # name -> pc
+    global_addresses: dict = field(default_factory=dict)  # name -> address
+    function_ranges: list = field(default_factory=list)
+    globals_by_name: dict = field(default_factory=dict)  # name -> GlobalVar
+
+    def function_at(self, pc: int) -> str:
+        """Name of the function containing ``pc`` (binary search)."""
+        low, high = 0, len(self.function_ranges) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            rng = self.function_ranges[mid]
+            if pc < rng.start:
+                high = mid - 1
+            elif pc >= rng.end:
+                low = mid + 1
+            else:
+                return rng.name
+        return "<stub>"
+
+    @property
+    def code_size(self) -> int:
+        return len(self.instructions)
+
+
+def link(modules: list, entry: str = "main") -> Executable:
+    """Link object modules into an executable."""
+    global_defs: dict[str, GlobalVar] = {}
+    for module in modules:
+        for var in module.globals:
+            if var.name in global_defs:
+                raise LinkError(
+                    f"duplicate definition of global {var.name!r} "
+                    f"(modules {global_defs[var.name].defining_module!r} "
+                    f"and {module.name!r})"
+                )
+            global_defs[var.name] = var
+
+    function_defs: dict[str, tuple] = {}
+    for module in modules:
+        for function in module.functions:
+            if function.name in function_defs:
+                raise LinkError(
+                    f"duplicate definition of function {function.name!r}"
+                )
+            function_defs[function.name] = (module, function)
+
+    for module in modules:
+        for name in module.extern_globals:
+            if name not in global_defs:
+                raise LinkError(
+                    f"module {module.name!r}: undefined global {name!r}"
+                )
+        for name in module.extern_functions:
+            if name not in function_defs:
+                raise LinkError(
+                    f"module {module.name!r}: undefined function {name!r}"
+                )
+    if entry not in function_defs:
+        raise LinkError(f"undefined entry point {entry!r}")
+
+    executable = Executable()
+
+    # Data layout.
+    address = DATA_BASE
+    for name in sorted(global_defs):
+        var = global_defs[name]
+        executable.global_addresses[name] = address
+        executable.globals_by_name[name] = var
+        words = list(var.init_words)
+        words += [0] * (var.size_words - len(words))
+        executable.data_words.extend(words[: var.size_words])
+        address += var.size_words
+
+    # Code layout: startup stub, then functions.  The stub call may
+    # clobber anything (main owes the runtime no register preservation
+    # beyond the convention; the exit code travels in RV).
+    from repro.target.registers import ALL_ALLOCATABLE, RP
+
+    stub_call = isa.BL(entry, [], sorted(ALL_ALLOCATABLE | {RP}))
+    executable.instructions.append(stub_call)
+    executable.instructions.append(isa.HALT())
+    for name in sorted(function_defs):
+        module, function = function_defs[name]
+        base = len(executable.instructions)
+        executable.function_entries[name] = base
+        instructions = copy.deepcopy(function.instructions)
+        for instruction in instructions:
+            if isinstance(instruction, (isa.B, isa.BC)):
+                instruction.target += base
+        executable.instructions.extend(instructions)
+        executable.function_ranges.append(
+            FunctionRange(name, base, len(executable.instructions),
+                          function.source_module)
+        )
+
+    # Relocation of symbolic references.
+    for instruction in executable.instructions:
+        if isinstance(instruction, isa.BL):
+            instruction.resolved = executable.function_entries[
+                instruction.callee
+            ]
+        elif isinstance(instruction, isa.LDA):
+            if instruction.is_function:
+                if instruction.symbol not in executable.function_entries:
+                    raise LinkError(
+                        f"undefined function {instruction.symbol!r}"
+                    )
+                instruction.resolved = executable.function_entries[
+                    instruction.symbol
+                ]
+            else:
+                if instruction.symbol not in executable.global_addresses:
+                    raise LinkError(
+                        f"undefined global {instruction.symbol!r}"
+                    )
+                instruction.resolved = executable.global_addresses[
+                    instruction.symbol
+                ]
+    return executable

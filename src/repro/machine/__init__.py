@@ -1,0 +1,23 @@
+"""PRISM machine simulator and profiler."""
+
+from repro.machine.profiler import ProfileData
+from repro.machine.simulator import (
+    ConventionViolation,
+    CostModel,
+    ExecutionLimitExceeded,
+    ExecutionStats,
+    MachineError,
+    Simulator,
+    run_executable,
+)
+
+__all__ = [
+    "ConventionViolation",
+    "CostModel",
+    "ExecutionLimitExceeded",
+    "ExecutionStats",
+    "MachineError",
+    "ProfileData",
+    "Simulator",
+    "run_executable",
+]

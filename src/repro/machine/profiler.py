@@ -1,0 +1,39 @@
+"""gprof-equivalent profile data (paper section 6.1).
+
+The paper's prototype optionally feeds actual run-time call counts to the
+program analyzer.  Our simulator records the same information natively;
+this module packages it as :class:`ProfileData` and provides the
+profile-collection helper used by configurations B and F of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.simulator import ExecutionStats
+
+
+@dataclass
+class ProfileData:
+    """Dynamic call-graph profile: node and edge call counts."""
+
+    call_counts: dict = field(default_factory=dict)  # callee -> count
+    call_edges: dict = field(default_factory=dict)  # (caller, callee) -> count
+
+    @classmethod
+    def from_stats(cls, stats: ExecutionStats) -> "ProfileData":
+        """Extract the profile from a simulation run."""
+        return cls(
+            call_counts=dict(stats.call_counts),
+            call_edges={
+                edge: count
+                for edge, count in stats.call_edges.items()
+                if edge[0] != "<stub>"
+            },
+        )
+
+    def edge_count(self, caller: str, callee: str) -> int:
+        return self.call_edges.get((caller, callee), 0)
+
+    def node_count(self, name: str) -> int:
+        return self.call_counts.get(name, 0)

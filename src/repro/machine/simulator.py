@@ -1,0 +1,485 @@
+"""PRISM machine simulator.
+
+Executes a linked :class:`~repro.linker.link.Executable` and collects the
+paper's metrics:
+
+* **cycles** — one per instruction by default (a configurable cost model
+  can charge more for multiplies/divides); cache effects are not modelled,
+  matching the paper's "excluding cache miss penalties";
+* **memory references** — dynamic load/store counts, split into
+  *singleton* references (accesses of simple scalar variables, including
+  register save/restore traffic) and the rest (array elements, pointer
+  dereferences) for Table 5;
+* **call counts and call edges** — the gprof-equivalent profile that can
+  be fed back into the program analyzer.
+
+The machine is Harvard-style and word-addressed: instruction indices and
+data addresses are separate spaces.  Reads of the guard region below the
+data base return zero; writes there are errors, as are out-of-range
+accesses.
+
+For speed, instructions are pre-decoded into flat tuples with integer
+opcodes, and the interpreter loop dispatches on those.  All arithmetic
+matches :mod:`repro.ir.arith` (32-bit two's complement, C semantics).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.linker.link import Executable
+from repro.target import isa
+from repro.target.registers import NUM_REGISTERS, RP, RV, SP
+
+_WORD_MASK = 0xFFFFFFFF
+_INT_MAX = 0x7FFFFFFF
+
+
+class MachineError(Exception):
+    """Raised for runtime faults (bad address, division by zero...)."""
+
+
+class ExecutionLimitExceeded(MachineError):
+    """Raised when the cycle budget is exhausted."""
+
+
+@dataclass
+class CostModel:
+    """Cycles charged per instruction category."""
+
+    alu: int = 1
+    mul: int = 1
+    div: int = 1
+    load: int = 1
+    store: int = 1
+    branch: int = 1
+    call: int = 1
+    other: int = 1
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic counts collected from one program run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    singleton_loads: int = 0
+    singleton_stores: int = 0
+    call_counts: Counter = field(default_factory=Counter)
+    call_edges: Counter = field(default_factory=Counter)
+    output: str = ""
+    exit_code: int = 0
+
+    @property
+    def memory_references(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def singleton_references(self) -> int:
+        return self.singleton_loads + self.singleton_stores
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.call_counts.values())
+
+
+# Opcodes.
+(
+    _LDI, _MOV,
+    _ADD, _SUB, _MUL, _DIV, _REM, _AND, _OR, _XOR, _SLL, _SRA,
+    _ADDI, _SUBI, _MULI, _DIVI, _REMI, _ANDI, _ORI, _XORI, _SLLI, _SRAI,
+    _CEQ, _CNE, _CLT, _CLE, _CGT, _CGE,
+    _LDW, _STW,
+    _B, _BEQ, _BNE, _BLT, _BLE, _BGT, _BGE,
+    _BL, _BLR, _RET, _PRINT, _PUTC, _HALT,
+) = range(43)
+
+_ALU_OPS = {
+    "+": _ADD, "-": _SUB, "*": _MUL, "/": _DIV, "%": _REM,
+    "&": _AND, "|": _OR, "^": _XOR, "<<": _SLL, ">>": _SRA,
+}
+_ALUI_OPS = {
+    "+": _ADDI, "-": _SUBI, "*": _MULI, "/": _DIVI, "%": _REMI,
+    "&": _ANDI, "|": _ORI, "^": _XORI, "<<": _SLLI, ">>": _SRAI,
+}
+_CMP_OPS = {
+    "==": _CEQ, "!=": _CNE, "<": _CLT, "<=": _CLE, ">": _CGT, ">=": _CGE,
+}
+_BC_OPS = {
+    "==": _BEQ, "!=": _BNE, "<": _BLT, "<=": _BLE, ">": _BGT, ">=": _BGE,
+}
+
+
+def _decode(executable: Executable, costs: CostModel) -> list:
+    decoded = []
+    for instruction in executable.instructions:
+        if isinstance(instruction, isa.LDI):
+            decoded.append((_LDI, costs.alu, instruction.rd, instruction.imm))
+        elif isinstance(instruction, isa.LDA):
+            decoded.append(
+                (_LDI, costs.alu, instruction.rd, instruction.resolved)
+            )
+        elif isinstance(instruction, isa.MOV):
+            decoded.append((_MOV, costs.alu, instruction.rd, instruction.rs))
+        elif isinstance(instruction, isa.ALU):
+            opcode = _ALU_OPS[instruction.op]
+            cost = costs.alu
+            if opcode == _MUL:
+                cost = costs.mul
+            elif opcode in (_DIV, _REM):
+                cost = costs.div
+            decoded.append(
+                (opcode, cost, instruction.rd, instruction.ra, instruction.rb)
+            )
+        elif isinstance(instruction, isa.ALUI):
+            opcode = _ALUI_OPS[instruction.op]
+            cost = costs.alu
+            if opcode == _MULI:
+                cost = costs.mul
+            elif opcode in (_DIVI, _REMI):
+                cost = costs.div
+            decoded.append(
+                (opcode, cost, instruction.rd, instruction.ra, instruction.imm)
+            )
+        elif isinstance(instruction, isa.CMP):
+            decoded.append(
+                (
+                    _CMP_OPS[instruction.op],
+                    costs.alu,
+                    instruction.rd,
+                    instruction.ra,
+                    instruction.rb,
+                )
+            )
+        elif isinstance(instruction, isa.LDW):
+            decoded.append(
+                (
+                    _LDW,
+                    costs.load,
+                    instruction.rd,
+                    instruction.base,
+                    instruction.offset,
+                    instruction.singleton,
+                )
+            )
+        elif isinstance(instruction, isa.STW):
+            decoded.append(
+                (
+                    _STW,
+                    costs.store,
+                    instruction.rs,
+                    instruction.base,
+                    instruction.offset,
+                    instruction.singleton,
+                )
+            )
+        elif isinstance(instruction, isa.B):
+            decoded.append((_B, costs.branch, instruction.target))
+        elif isinstance(instruction, isa.BC):
+            decoded.append(
+                (
+                    _BC_OPS[instruction.op],
+                    costs.branch,
+                    instruction.ra,
+                    instruction.rb,
+                    instruction.target,
+                )
+            )
+        elif isinstance(instruction, isa.BL):
+            decoded.append(
+                (
+                    _BL,
+                    costs.call,
+                    instruction.resolved,
+                    instruction.callee,
+                    tuple(instruction.clobbers),
+                )
+            )
+        elif isinstance(instruction, isa.BLR):
+            decoded.append(
+                (
+                    _BLR,
+                    costs.call,
+                    instruction.target,
+                    tuple(instruction.clobbers),
+                )
+            )
+        elif isinstance(instruction, isa.RET):
+            decoded.append((_RET, costs.branch))
+        elif isinstance(instruction, isa.SYS):
+            opcode = _PRINT if instruction.kind == "print" else _PUTC
+            decoded.append((opcode, costs.other, instruction.ra))
+        elif isinstance(instruction, isa.HALT):
+            decoded.append((_HALT, costs.other))
+        else:  # pragma: no cover
+            raise MachineError(f"cannot decode {instruction!r}")
+    return decoded
+
+
+class ConventionViolation(MachineError):
+    """A callee destroyed a register its caller was entitled to keep.
+
+    Raised only when the simulator runs with ``check_conventions=True``:
+    at every call the registers *not* in the call's clobber set are
+    snapshotted, and verified untouched at the matching return.  This
+    validates the analyzer's directives (FREE preservation, MSPILL
+    placement, caller-saves subtree bounds) against actual execution.
+    """
+
+
+class Simulator:
+    """Interprets a linked executable."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        memory_words: int = 1 << 20,
+        cost_model: CostModel | None = None,
+        check_conventions: bool = False,
+        volatile_registers: set | None = None,
+    ):
+        self.executable = executable
+        self.memory_words = memory_words
+        self.costs = cost_model or CostModel()
+        self.check_conventions = check_conventions
+        # Registers holding interprocedurally promoted globals: callees
+        # rewrite them by design, so the convention checker skips them.
+        self.volatile_registers = frozenset(volatile_registers or ())
+        self._decoded = _decode(executable, self.costs)
+        self._entry_names = {
+            pc: name for name, pc in executable.function_entries.items()
+        }
+
+    def run(self, max_cycles: int = 200_000_000) -> ExecutionStats:
+        """Execute from the startup stub until HALT."""
+        stats = ExecutionStats()
+        regs = [0] * NUM_REGISTERS
+        memory = [0] * self.memory_words
+        base = self.executable.data_base
+        for index, word in enumerate(self.executable.data_words):
+            memory[base + index] = word
+        regs[SP] = self.memory_words
+        pc = self.executable.entry_pc
+        decoded = self._decoded
+        code_size = len(decoded)
+        output: list[str] = []
+        call_stack = ["<stub>"]
+        check_frames: list | None = (
+            [] if self.check_conventions else None
+        )
+        volatile = self.volatile_registers
+        cycles = 0
+        instructions = 0
+        entry_names = self._entry_names
+        memory_words = self.memory_words
+
+        while True:
+            if not 0 <= pc < code_size:
+                raise MachineError(f"pc out of range: {pc}")
+            op = decoded[pc]
+            code = op[0]
+            cycles += op[1]
+            instructions += 1
+            if cycles > max_cycles:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_cycles} cycles"
+                )
+            if code == _LDW:
+                address = regs[op[3]] + op[4]
+                if not 0 <= address < memory_words:
+                    raise MachineError(f"load from bad address {address}")
+                if op[2]:
+                    regs[op[2]] = memory[address]
+                stats.loads += 1
+                if op[5]:
+                    stats.singleton_loads += 1
+                pc += 1
+            elif code == _STW:
+                address = regs[op[3]] + op[4]
+                if not base <= address < memory_words:
+                    raise MachineError(f"store to bad address {address}")
+                memory[address] = regs[op[2]]
+                stats.stores += 1
+                if op[5]:
+                    stats.singleton_stores += 1
+                pc += 1
+            elif code == _ADD or code == _ADDI:
+                value = (regs[op[3]] + (regs[op[4]] if code == _ADD else op[4])) & _WORD_MASK
+                if value > _INT_MAX:
+                    value -= 0x100000000
+                if op[2]:
+                    regs[op[2]] = value
+                pc += 1
+            elif code == _SUB or code == _SUBI:
+                value = (regs[op[3]] - (regs[op[4]] if code == _SUB else op[4])) & _WORD_MASK
+                if value > _INT_MAX:
+                    value -= 0x100000000
+                if op[2]:
+                    regs[op[2]] = value
+                pc += 1
+            elif code == _LDI:
+                if op[2]:
+                    regs[op[2]] = op[3]
+                pc += 1
+            elif code == _MOV:
+                if op[2]:
+                    regs[op[2]] = regs[op[3]]
+                pc += 1
+            elif _BEQ <= code <= _BGE:
+                a = regs[op[2]]
+                b = regs[op[3]]
+                if code == _BEQ:
+                    taken = a == b
+                elif code == _BNE:
+                    taken = a != b
+                elif code == _BLT:
+                    taken = a < b
+                elif code == _BLE:
+                    taken = a <= b
+                elif code == _BGT:
+                    taken = a > b
+                else:
+                    taken = a >= b
+                pc = op[4] if taken else pc + 1
+            elif code == _B:
+                pc = op[2]
+            elif _CEQ <= code <= _CGE:
+                a = regs[op[3]]
+                b = regs[op[4]]
+                if code == _CEQ:
+                    value = int(a == b)
+                elif code == _CNE:
+                    value = int(a != b)
+                elif code == _CLT:
+                    value = int(a < b)
+                elif code == _CLE:
+                    value = int(a <= b)
+                elif code == _CGT:
+                    value = int(a > b)
+                else:
+                    value = int(a >= b)
+                if op[2]:
+                    regs[op[2]] = value
+                pc += 1
+            elif _MUL <= code <= _SRA or _MULI <= code <= _SRAI:
+                a = regs[op[3]]
+                b = regs[op[4]] if code <= _SRA else op[4]
+                if code == _MUL or code == _MULI:
+                    value = a * b
+                elif code == _DIV or code == _DIVI:
+                    if b == 0:
+                        raise MachineError("division by zero")
+                    value = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        value = -value
+                elif code == _REM or code == _REMI:
+                    if b == 0:
+                        raise MachineError("remainder by zero")
+                    quotient = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        quotient = -quotient
+                    value = a - quotient * b
+                elif code == _AND or code == _ANDI:
+                    value = a & b
+                elif code == _OR or code == _ORI:
+                    value = a | b
+                elif code == _XOR or code == _XORI:
+                    value = a ^ b
+                elif code == _SLL or code == _SLLI:
+                    value = a << (b & 31)
+                else:  # arithmetic shift right
+                    value = a >> (b & 31)
+                value &= _WORD_MASK
+                if value > _INT_MAX:
+                    value -= 0x100000000
+                if op[2]:
+                    regs[op[2]] = value
+                pc += 1
+            elif code == _BL:
+                regs[RP] = pc + 1
+                target = op[2]
+                callee = op[3]
+                stats.call_counts[callee] += 1
+                stats.call_edges[(call_stack[-1], callee)] += 1
+                call_stack.append(callee)
+                if check_frames is not None:
+                    preserved = [
+                        i for i in range(NUM_REGISTERS)
+                        if i != RP and i not in op[4] and i not in volatile
+                    ]
+                    check_frames.append(
+                        (pc + 1, callee, preserved,
+                         [regs[i] for i in preserved])
+                    )
+                pc = target
+            elif code == _BLR:
+                target = regs[op[2]]
+                callee = entry_names.get(target)
+                if callee is None:
+                    raise MachineError(
+                        f"indirect call to non-function address {target}"
+                    )
+                regs[RP] = pc + 1
+                stats.call_counts[callee] += 1
+                stats.call_edges[(call_stack[-1], callee)] += 1
+                call_stack.append(callee)
+                if check_frames is not None:
+                    preserved = [
+                        i for i in range(NUM_REGISTERS)
+                        if i != RP and i not in op[3] and i not in volatile
+                    ]
+                    check_frames.append(
+                        (pc + 1, callee, preserved,
+                         [regs[i] for i in preserved])
+                    )
+                pc = target
+            elif code == _RET:
+                if len(call_stack) > 1:
+                    call_stack.pop()
+                pc = regs[RP]
+                if check_frames is not None and check_frames:
+                    ret_pc, callee, preserved, values = check_frames.pop()
+                    if ret_pc == pc:
+                        for register, value in zip(preserved, values):
+                            if regs[register] != value:
+                                raise ConventionViolation(
+                                    f"call to {callee} destroyed "
+                                    f"register r{register} "
+                                    f"({value} -> {regs[register]}) "
+                                    f"not in its clobber set"
+                                )
+                    else:  # pragma: no cover - no tail calls exist
+                        check_frames.append(
+                            (ret_pc, callee, preserved, values)
+                        )
+            elif code == _PRINT:
+                output.append(str(regs[op[2]]))
+                output.append("\n")
+                pc += 1
+            elif code == _PUTC:
+                output.append(chr(regs[op[2]] & 0xFF))
+                pc += 1
+            elif code == _HALT:
+                break
+            else:  # pragma: no cover
+                raise MachineError(f"bad opcode {code}")
+
+        stats.cycles = cycles
+        stats.instructions = instructions
+        stats.output = "".join(output)
+        stats.exit_code = regs[RV]
+        return stats
+
+
+def run_executable(
+    executable: Executable,
+    max_cycles: int = 200_000_000,
+    memory_words: int = 1 << 20,
+    cost_model: CostModel | None = None,
+) -> ExecutionStats:
+    """Convenience wrapper: simulate ``executable`` and return stats."""
+    simulator = Simulator(executable, memory_words, cost_model)
+    return simulator.run(max_cycles)

@@ -1,0 +1,5 @@
+"""Traditional ("level 2") intraprocedural optimizations."""
+
+from repro.opt.pipeline import optimize_function, optimize_module
+
+__all__ = ["optimize_function", "optimize_module"]

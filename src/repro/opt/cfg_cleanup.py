@@ -1,0 +1,72 @@
+"""Control-flow graph cleanup.
+
+Three transformations, iterated to a fixpoint:
+
+* unreachable-block removal,
+* jump threading through empty forwarding blocks,
+* merging a block into its unique ``Jump`` successor when that successor
+  has no other predecessors.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import CJump, Jump
+
+
+def run(function: IRFunction) -> bool:
+    """Run the cleanup; returns True if the CFG changed."""
+    changed = False
+    while True:
+        round_changed = False
+        round_changed |= function.remove_unreachable_blocks() > 0
+        round_changed |= _thread_jumps(function)
+        round_changed |= function.merge_straightline_blocks() > 0
+        round_changed |= _collapse_identical_cjump_targets(function)
+        if not round_changed:
+            return changed
+        changed = True
+
+
+def _thread_jumps(function: IRFunction) -> bool:
+    """Redirect branches that target empty forwarding blocks."""
+    forwarding: dict[str, str] = {}
+    for block in function.blocks.values():
+        if not block.instructions and isinstance(block.terminator, Jump):
+            if block.terminator.target != block.label:
+                forwarding[block.label] = block.terminator.target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forwarding and label not in seen:
+            seen.add(label)
+            label = forwarding[label]
+        return label
+
+    changed = False
+    for block in function.blocks.values():
+        terminator = block.terminator
+        if terminator is None:
+            continue
+        for target in list(terminator.successors()):
+            final = resolve(target)
+            if final != target:
+                terminator.replace_successor(target, final)
+                changed = True
+    # The entry block itself may be a forwarder; we cannot delete it, but
+    # unreachable-block removal will drop any blocks it bypassed.
+    return changed
+
+
+def _collapse_identical_cjump_targets(function: IRFunction) -> bool:
+    """``cjump c ? L : L`` becomes ``jump L``."""
+    changed = False
+    for block in function.blocks.values():
+        terminator = block.terminator
+        if (
+            isinstance(terminator, CJump)
+            and terminator.true_target == terminator.false_target
+        ):
+            block.terminator = Jump(terminator.true_target)
+            changed = True
+    return changed

@@ -1,0 +1,58 @@
+"""Local copy propagation.
+
+Within a block, after ``dst = src`` every use of ``dst`` is replaced by
+``src`` until either side is redefined.  Dead ``Move`` instructions are
+left for DCE to sweep.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import Move
+from repro.ir.values import Operand, Temp
+
+
+def run(function: IRFunction) -> bool:
+    """Run the pass; returns True if any use was rewritten."""
+    from repro.analysis.liveness import _is_user_call
+
+    changed = False
+    pinned = set(function.pinned_temps)
+    for block in function.blocks.values():
+        env: dict[Temp, Operand] = {}
+        for instruction in block.instructions:
+            if pinned and _is_user_call(instruction):
+                # Calls may read and rewrite promoted globals' registers:
+                # copies into or out of pinned temps do not survive.
+                stale = [
+                    k for k, v in env.items()
+                    if k in pinned or v in pinned
+                ]
+                for key in stale:
+                    del env[key]
+            before = [
+                use for use in instruction.uses()
+                if isinstance(use, Temp) and use in env
+            ]
+            if before:
+                instruction.replace_uses(env)
+                changed = True
+            for defined in instruction.defs():
+                env.pop(defined, None)
+                stale = [k for k, v in env.items() if v == defined]
+                for key in stale:
+                    del env[key]
+            if isinstance(instruction, Move) and isinstance(
+                instruction.src, Temp
+            ):
+                if instruction.src is not instruction.dst:
+                    env[instruction.dst] = instruction.src
+        if block.terminator is not None:
+            before = [
+                use for use in block.terminator.uses()
+                if isinstance(use, Temp) and use in env
+            ]
+            if before:
+                block.terminator.replace_uses(env)
+                changed = True
+    return changed

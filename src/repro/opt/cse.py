@@ -1,0 +1,89 @@
+"""Local common-subexpression elimination (value numbering per block).
+
+Pure computations (``BinOp``, ``UnOp``, ``LoadAddr``, ``FrameAddr``) with
+operands identical to an earlier computation in the same block are replaced
+by a ``Move`` from the earlier result.  Memory reads are *not* value
+numbered here — redundant global loads are handled by the global-caching
+pass (:mod:`repro.opt.localprom`), which knows the aliasing rules.
+
+Division/remainder are value-numbered too: identical operands produce the
+same value and the same (possible) trap, and the first occurrence is kept.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import BinOp, FrameAddr, LoadAddr, Move, UnOp
+from repro.ir.values import Const, Operand, Temp
+
+
+def _operand_key(operand: Operand):
+    if isinstance(operand, Const):
+        return ("const", operand.value)
+    return ("temp", id(operand))
+
+
+def _expression_key(instruction):
+    """A hashable key identifying the computation, or None if not pure."""
+    if isinstance(instruction, BinOp):
+        return (
+            "bin",
+            instruction.op,
+            _operand_key(instruction.lhs),
+            _operand_key(instruction.rhs),
+        )
+    if isinstance(instruction, UnOp):
+        return ("un", instruction.op, _operand_key(instruction.operand))
+    if isinstance(instruction, LoadAddr):
+        return ("addr", instruction.symbol, instruction.is_function)
+    if isinstance(instruction, FrameAddr):
+        return ("frame", id(instruction.slot))
+    return None
+
+
+def run(function: IRFunction) -> bool:
+    """Run the pass; returns True if any expression was reused."""
+    from repro.analysis.liveness import _is_user_call
+
+    changed = False
+    pinned = set(function.pinned_temps)
+    for block in function.blocks.values():
+        available: dict[tuple, Temp] = {}
+        keys_mentioning: dict[int, list[tuple]] = {}
+        new_instructions = []
+        for instruction in block.instructions:
+            if pinned and _is_user_call(instruction):
+                # Expressions over promoted globals' registers, and cached
+                # results living in them, are stale after a call.
+                for temp in pinned:
+                    for stale in keys_mentioning.pop(id(temp), []):
+                        available.pop(stale, None)
+                result_stale = [
+                    k for k, v in available.items() if v in pinned
+                ]
+                for stale in result_stale:
+                    available.pop(stale, None)
+            key = _expression_key(instruction)
+            if key is not None and key in available:
+                instruction = Move(instruction.defs()[0], available[key])
+                key = None
+                changed = True
+            for defined in instruction.defs():
+                # Expressions using the redefined temp are stale, as are
+                # expressions whose cached result it was.
+                for stale in keys_mentioning.pop(id(defined), []):
+                    available.pop(stale, None)
+                result_stale = [
+                    k for k, v in available.items() if v is defined
+                ]
+                for stale in result_stale:
+                    available.pop(stale, None)
+            if key is not None:
+                result = instruction.defs()[0]
+                available[key] = result
+                for used in instruction.uses():
+                    if isinstance(used, Temp):
+                        keys_mentioning.setdefault(id(used), []).append(key)
+            new_instructions.append(instruction)
+        block.instructions = new_instructions
+    return changed

@@ -1,0 +1,122 @@
+"""Intraprocedural global-variable caching ("local promotion").
+
+This is the baseline behaviour the paper ascribes to level-2 optimizers
+(section 4.1): within a procedure, a global can live in a register, but it
+must be stored back before calls and loaded again afterwards, because the
+callee may reference it from memory.
+
+The pass caches each scalar global in a dedicated temp *per basic block*:
+
+* the first read loads it once; later reads in the block reuse the temp;
+* writes update the temp and mark it dirty; the memory copy is written
+  back at the latest safe point (before a call, before an aliasing store,
+  or at block end);
+* calls invalidate all cached values (the callee may write the global);
+* stores through pointers invalidate cached values of globals that may be
+  aliased; loads through pointers only force a write-back of dirty values.
+
+A ``static`` global whose address is never taken in its defining module
+cannot be aliased by pointer accesses (no other module can name it), so
+its cache survives pointer stores — but not calls, since other procedures
+of the same module may still access it directly.
+
+The interprocedural web promotion of the program analyzer runs *before*
+this pass and removes promoted globals' loads/stores entirely, so this
+pass only ever sees the globals that were not interprocedurally promoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    Call,
+    CallIndirect,
+    Load,
+    LoadGlobal,
+    Move,
+    Store,
+    StoreGlobal,
+)
+from repro.ir.module import IRModule
+from repro.ir.values import Temp
+
+
+@dataclass
+class _CacheEntry:
+    temp: Temp
+    dirty: bool = False
+
+
+def run(function: IRFunction, module: IRModule) -> bool:
+    """Run the pass; returns True if any access was rewritten."""
+    cache_temps: dict[str, Temp] = {}
+    changed = False
+
+    def temp_for(symbol: str) -> Temp:
+        if symbol not in cache_temps:
+            cache_temps[symbol] = function.new_temp(f"gcache.{symbol}")
+        return cache_temps[symbol]
+
+    def may_be_pointer_aliased(symbol: str) -> bool:
+        var = module.globals.get(symbol)
+        if var is None:
+            # Defined in another module; assume the worst.
+            return True
+        if not var.is_static:
+            # Another module may have taken its address.
+            return True
+        return var.address_taken
+
+    for block in function.blocks.values():
+        cache: dict[str, _CacheEntry] = {}
+        out: list = []
+
+        def flush(symbol: str) -> None:
+            entry = cache[symbol]
+            if entry.dirty:
+                out.append(StoreGlobal(symbol, entry.temp))
+                entry.dirty = False
+
+        def flush_all_dirty() -> None:
+            for symbol in list(cache):
+                flush(symbol)
+
+        for instruction in block.instructions:
+            if isinstance(instruction, LoadGlobal):
+                symbol = instruction.symbol
+                if symbol not in cache:
+                    temp = temp_for(symbol)
+                    out.append(LoadGlobal(temp, symbol))
+                    cache[symbol] = _CacheEntry(temp)
+                out.append(Move(instruction.dst, cache[symbol].temp))
+                changed = True
+            elif isinstance(instruction, StoreGlobal):
+                symbol = instruction.symbol
+                temp = temp_for(symbol)
+                out.append(Move(temp, instruction.src))
+                cache[symbol] = _CacheEntry(temp, dirty=True)
+                changed = True
+            elif isinstance(instruction, (Call, CallIndirect)):
+                flush_all_dirty()
+                cache.clear()
+                out.append(instruction)
+            elif isinstance(instruction, Store):
+                # A store through a pointer may hit any aliased global.
+                for symbol in list(cache):
+                    if may_be_pointer_aliased(symbol):
+                        flush(symbol)
+                        del cache[symbol]
+                out.append(instruction)
+            elif isinstance(instruction, Load):
+                # The load must observe up-to-date memory.
+                for symbol in list(cache):
+                    if may_be_pointer_aliased(symbol):
+                        flush(symbol)
+                out.append(instruction)
+            else:
+                out.append(instruction)
+        flush_all_dirty()
+        block.instructions = out
+    return changed

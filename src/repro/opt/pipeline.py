@@ -1,0 +1,52 @@
+"""Optimization pass pipeline.
+
+Optimization levels mirror the paper's setting:
+
+* **0** — no optimization (straight lowering output).
+* **1** — local optimizations: constant folding, copy propagation, local
+  CSE, dead-code elimination, CFG cleanup.
+* **2** — level 1 plus intraprocedural global-variable caching, the
+  baseline against which the paper measures all interprocedural results.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction
+from repro.ir.module import IRModule
+from repro.opt import cfg_cleanup, constant_folding, copy_propagation, cse, dce
+from repro.opt import localprom
+
+_MAX_ITERATIONS = 8
+
+
+def _local_fixpoint(function: IRFunction) -> bool:
+    changed_any = False
+    for _ in range(_MAX_ITERATIONS):
+        changed = False
+        changed |= constant_folding.run(function)
+        changed |= copy_propagation.run(function)
+        changed |= cse.run(function)
+        changed |= dce.run(function)
+        changed |= cfg_cleanup.run(function)
+        changed_any |= changed
+        if not changed:
+            break
+    return changed_any
+
+
+def optimize_function(
+    function: IRFunction, module: IRModule, opt_level: int
+) -> None:
+    """Run the pipeline for ``opt_level`` on one function, in place."""
+    if opt_level <= 0:
+        return
+    _local_fixpoint(function)
+    if opt_level >= 2:
+        localprom.run(function, module)
+        _local_fixpoint(function)
+
+
+def optimize_module(module: IRModule, opt_level: int) -> None:
+    """Optimize every function in the module, in place."""
+    for function in module.functions.values():
+        optimize_function(function, module, opt_level)

@@ -1,0 +1,5 @@
+"""Testing utilities: the random Tiny-C program generator."""
+
+from repro.testing.generator import ProgramGenerator, generate_program
+
+__all__ = ["ProgramGenerator", "generate_program"]

@@ -1,0 +1,317 @@
+"""Seeded random Tiny-C program generator.
+
+Produces deterministic, terminating, output-producing multi-module
+programs for differential testing: the same program compiled at every
+optimization level and analyzer configuration must print exactly the same
+output.  This is the repository's master correctness oracle.
+
+Safety-by-construction rules:
+
+* every variable is initialized before use;
+* loops come from bounded templates (``for`` with a constant trip count
+  whose induction variable the body never writes, and counted ``while``
+  loops that strictly decrease);
+* division and remainder denominators are guarded (``x % K + 1``);
+* recursion decreases a parameter toward a base case;
+* array indices are masked to the array size (a power of two).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_ARRAY_SIZE = 16  # power of two so indices can be masked
+
+
+@dataclass
+class _GenContext:
+    """Names visible at a generation site."""
+
+    scalars: list  # readable+writable int variable names
+    arrays: list  # array names (global)
+    loop_vars: list = field(default_factory=list)  # read-only here
+    depth: int = 0
+
+
+class ProgramGenerator:
+    """Generates one random multi-module Tiny-C program per seed."""
+
+    def __init__(self, seed: int, num_modules: int = 2,
+                 functions_per_module: int = 3, num_globals: int = 6):
+        self._rng = random.Random(seed)
+        self.num_modules = max(1, num_modules)
+        self.functions_per_module = max(1, functions_per_module)
+        self.num_globals = max(1, num_globals)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _pick(self, items):
+        return self._rng.choice(items)
+
+    def _randint(self, low, high):
+        return self._rng.randint(low, high)
+
+    def _chance(self, probability: float) -> bool:
+        return self._rng.random() < probability
+
+    # -- expressions ------------------------------------------------------
+
+    def _expr(self, ctx: _GenContext, depth: int = 0) -> str:
+        choices = ["const", "var", "var", "binop", "binop"]
+        if depth < 2:
+            choices += ["binop", "unary", "compare"]
+        if ctx.arrays and depth < 2:
+            choices.append("index")
+        kind = self._pick(choices)
+        if kind == "const":
+            return str(self._randint(-50, 100))
+        if kind == "var":
+            names = ctx.scalars + ctx.loop_vars
+            if not names:
+                return str(self._randint(0, 9))
+            return self._pick(names)
+        if kind == "unary":
+            op = self._pick(["-", "~", "!"])
+            return f"{op}({self._expr(ctx, depth + 1)})"
+        if kind == "compare":
+            op = self._pick(["==", "!=", "<", "<=", ">", ">="])
+            return (
+                f"({self._expr(ctx, depth + 1)} {op} "
+                f"{self._expr(ctx, depth + 1)})"
+            )
+        if kind == "index":
+            array = self._pick(ctx.arrays)
+            return f"{array}[({self._expr(ctx, depth + 1)}) & {_ARRAY_SIZE - 1}]"
+        op = self._pick(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                         "/", "%"])
+        lhs = self._expr(ctx, depth + 1)
+        rhs = self._expr(ctx, depth + 1)
+        if op in ("/", "%"):
+            return f"({lhs}) {op} ((({rhs}) & 7) + 1)"
+        if op in ("<<", ">>"):
+            return f"({lhs}) {op} (({rhs}) & 7)"
+        return f"({lhs}) {op} ({rhs})"
+
+    def _condition(self, ctx: _GenContext) -> str:
+        if self._chance(0.3):
+            joiner = self._pick(["&&", "||"])
+            return (
+                f"({self._condition_simple(ctx)}) {joiner} "
+                f"({self._condition_simple(ctx)})"
+            )
+        return self._condition_simple(ctx)
+
+    def _condition_simple(self, ctx: _GenContext) -> str:
+        op = self._pick(["==", "!=", "<", "<=", ">", ">="])
+        return f"{self._expr(ctx, 1)} {op} {self._expr(ctx, 1)}"
+
+    # -- statements --------------------------------------------------------
+
+    def _statements(self, ctx: _GenContext, count: int, indent: str) -> list:
+        lines = []
+        for _ in range(count):
+            lines.extend(self._statement(ctx, indent))
+        return lines
+
+    def _statement(self, ctx: _GenContext, indent: str) -> list:
+        kinds = ["assign", "assign", "compound"]
+        if ctx.arrays:
+            kinds.append("array_store")
+        if ctx.depth < 2:
+            kinds += ["if", "for", "while"]
+        kind = self._pick(kinds)
+        if kind == "assign" and ctx.scalars:
+            target = self._pick(ctx.scalars)
+            return [f"{indent}{target} = {self._expr(ctx)};"]
+        if kind == "compound" and ctx.scalars:
+            target = self._pick(ctx.scalars)
+            op = self._pick(["+=", "-=", "*="])
+            return [f"{indent}{target} {op} {self._expr(ctx, 1)};"]
+        if kind == "array_store":
+            array = self._pick(ctx.arrays)
+            index = f"({self._expr(ctx, 1)}) & {_ARRAY_SIZE - 1}"
+            return [f"{indent}{array}[{index}] = {self._expr(ctx, 1)};"]
+        if kind == "if":
+            inner = _GenContext(
+                ctx.scalars, ctx.arrays, ctx.loop_vars, ctx.depth + 1
+            )
+            lines = [f"{indent}if ({self._condition(ctx)}) {{"]
+            lines += self._statements(inner, self._randint(1, 2), indent + "  ")
+            if self._chance(0.5):
+                lines.append(f"{indent}}} else {{")
+                lines += self._statements(
+                    inner, self._randint(1, 2), indent + "  "
+                )
+            lines.append(f"{indent}}}")
+            return lines
+        if kind == "for":
+            var = f"i{ctx.depth}_{self._randint(0, 999)}"
+            trip = self._randint(2, 8)
+            inner = _GenContext(
+                ctx.scalars, ctx.arrays, ctx.loop_vars + [var], ctx.depth + 1
+            )
+            lines = [
+                f"{indent}{{ int {var};",
+                f"{indent}for ({var} = 0; {var} < {trip}; {var}++) {{",
+            ]
+            lines += self._statements(inner, self._randint(1, 3), indent + "  ")
+            lines.append(f"{indent}}} }}")
+            return lines
+        if kind == "while":
+            var = f"w{ctx.depth}_{self._randint(0, 999)}"
+            start = self._randint(2, 10)
+            step = self._randint(1, 3)
+            inner = _GenContext(
+                ctx.scalars, ctx.arrays, ctx.loop_vars + [var], ctx.depth + 1
+            )
+            lines = [
+                f"{indent}{{ int {var} = {start};",
+                f"{indent}while ({var} > 0) {{",
+            ]
+            lines += self._statements(inner, self._randint(1, 2), indent + "  ")
+            lines.append(f"{indent}  {var} = {var} - {step};")
+            lines.append(f"{indent}}} }}")
+            return lines
+        return [f"{indent};"]
+
+    # -- program structure ---------------------------------------------------
+
+    def generate(self) -> dict:
+        """Generate the program; returns ``{module_name: source}``."""
+        global_names = [f"g{i}" for i in range(self.num_globals)]
+        array_names = ["garr0", "garr1"]
+        # Every function everywhere may call functions defined later in
+        # program order only (guarantees termination and no recursion,
+        # except the controlled recursive function below).
+        function_names = []
+        for module_index in range(self.num_modules):
+            for func_index in range(self.functions_per_module):
+                function_names.append(f"f{module_index}_{func_index}")
+
+        owner_of = {
+            name: i % self.num_modules
+            for i, name in enumerate(global_names)
+        }
+        static_globals = {
+            name for name in global_names if self._chance(0.25)
+        }
+
+        modules = {}
+        for module_index in range(self.num_modules):
+            lines = []
+            own_globals = [
+                name for name in global_names
+                if owner_of[name] == module_index
+            ]
+            foreign_globals = [
+                name for name in global_names
+                if owner_of[name] != module_index
+                and name not in static_globals
+            ]
+            for name in own_globals:
+                keyword = "static " if name in static_globals else ""
+                lines.append(
+                    f"{keyword}int {name} = {self._randint(-9, 9)};"
+                )
+            if module_index == 0:
+                for array in array_names:
+                    lines.append(f"int {array}[{_ARRAY_SIZE}];")
+            else:
+                for array in array_names:
+                    lines.append(f"extern int {array}[];")
+            for name in foreign_globals:
+                lines.append(f"extern int {name};")
+            lines.append("")
+
+            own_functions = [
+                name for name in function_names
+                if name.startswith(f"f{module_index}_")
+            ]
+            callable_later = {}
+            for name in own_functions:
+                index = function_names.index(name)
+                callable_later[name] = function_names[index + 1:]
+            for other in function_names:
+                if other not in own_functions:
+                    lines.append(f"extern int {other}(int);")
+            lines.append("")
+
+            visible_globals = [
+                g for g in global_names
+                if g not in static_globals or g in own_globals
+            ]
+            for name in own_functions:
+                lines.extend(
+                    self._function(name, visible_globals, array_names,
+                                   callable_later[name])
+                )
+                lines.append("")
+            modules[f"mod{module_index}"] = "\n".join(lines)
+
+        modules["mainmod"] = self._main_module(
+            [g for g in global_names if g not in static_globals],
+            array_names,
+            function_names,
+        )
+        return modules
+
+    def _function(self, name: str, globals_visible: list, arrays: list,
+                  callees: list) -> list:
+        ctx = _GenContext(
+            scalars=list(globals_visible) + ["a", "t0", "t1"],
+            arrays=list(arrays),
+        )
+        lines = [f"int {name}(int a) {{", "  int t0 = a + 1;",
+                 f"  int t1 = {self._randint(0, 9)};"]
+        lines += self._statements(ctx, self._randint(2, 5), "  ")
+        for callee in self._rng.sample(
+            callees, k=min(len(callees), self._randint(0, 2))
+        ):
+            lines.append(f"  t1 += {callee}({self._expr(ctx, 1)});")
+        lines.append(f"  return t0 + t1 + {self._pick(ctx.scalars)};")
+        lines.append("}")
+        return lines
+
+    def _main_module(self, global_names: list, arrays: list,
+                     function_names: list) -> str:
+        lines = []
+        for name in function_names:
+            lines.append(f"extern int {name}(int);")
+        for name in global_names:
+            lines.append(f"extern int {name};")
+        for array in arrays:
+            lines.append(f"extern int {array}[];")
+        lines.append("")
+        # A controlled recursive function.
+        lines += [
+            "int rec(int n) {",
+            "  if (n <= 0) return 1;",
+            f"  return n + rec(n - {self._randint(1, 2)});",
+            "}",
+            "",
+        ]
+        lines.append("int main() {")
+        lines.append("  int acc = 0;")
+        lines.append("  int k;")
+        trip = self._randint(2, 5)
+        lines.append(f"  for (k = 0; k < {trip}; k++) {{")
+        for name in self._rng.sample(
+            function_names, k=min(len(function_names), 4)
+        ):
+            lines.append(f"    acc += {name}(k + {self._randint(0, 5)});")
+        lines.append(f"    acc += rec(3 + (k & 3));")
+        lines.append("  }")
+        for name in global_names:
+            lines.append(f"  print({name});")
+        for array in arrays:
+            lines.append(f"  print({array}[3]);")
+        lines.append("  print(acc);")
+        lines.append("  return acc & 255;")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def generate_program(seed: int, **kwargs) -> dict:
+    """Convenience wrapper: sources for one random program."""
+    return ProgramGenerator(seed, **kwargs).generate()

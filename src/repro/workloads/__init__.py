@@ -1,0 +1,5 @@
+"""The benchmark workloads (paper Table 3)."""
+
+from repro.workloads.base import Workload, all_workloads, get_workload
+
+__all__ = ["Workload", "all_workloads", "get_workload"]

@@ -1,0 +1,214 @@
+"""Code repositioning tool (CR Tool counterpart).
+
+A prototype procedure-reordering tool in the Pettis-Hansen style: it
+synthesizes a weighted call graph, then repeatedly merges the chains
+joined by the hottest edge until only layout chains remain, and finally
+scores the layout (how many hot edges land within a page).  Array-heavy
+graph processing with global scalar work-state — the same profile as the
+paper's CR Tool benchmark (modest cycle gains, small singleton pool).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+_GRAPH = """
+// crtool module 1: synthetic weighted call graph.
+int NPROCS = 120;
+int edge_from[2000];
+int edge_to[2000];
+int edge_weight[2000];
+int edge_count;
+int proc_size[128];
+int rng = 5551212;
+
+int next_rand() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int add_edge(int from, int to, int weight) {
+  edge_from[edge_count] = from;
+  edge_to[edge_count] = to;
+  edge_weight[edge_count] = weight;
+  edge_count++;
+  return edge_count;
+}
+
+int build_graph(int variant) {
+  int i, calls, callee;
+  rng = 5551212 + variant * 101;
+  edge_count = 0;
+  for (i = 0; i < NPROCS; i++)
+    proc_size[i] = 1 + next_rand() % 40;
+  for (i = 0; i < NPROCS; i++) {
+    calls = 1 + next_rand() % 6;
+    while (calls > 0) {
+      callee = next_rand() % NPROCS;
+      if (callee != i)
+        add_edge(i, callee, 1 + next_rand() % 1000);
+      calls--;
+    }
+  }
+  return edge_count;
+}
+"""
+
+_CHAINS = """
+// crtool module 2: chain merging (the repositioning core).
+extern int NPROCS;
+extern int edge_from[];
+extern int edge_to[];
+extern int edge_weight[];
+extern int edge_count;
+
+int chain_of[128];      // proc -> chain id
+int chain_head[128];    // chain id -> first proc
+int chain_next[128];    // proc -> next proc in its chain (-1 = end)
+int chain_tail[128];    // chain id -> last proc
+int merges_done;
+int weight_merged;
+
+int init_chains() {
+  int i;
+  for (i = 0; i < NPROCS; i++) {
+    chain_of[i] = i;
+    chain_head[i] = i;
+    chain_tail[i] = i;
+    chain_next[i] = -1;
+  }
+  merges_done = 0;
+  weight_merged = 0;
+  return 0;
+}
+
+int hottest_mergeable_edge() {
+  // Index of the heaviest edge joining two distinct chains tail-to-head.
+  int best = -1;
+  int best_weight = 0;
+  int i;
+  for (i = 0; i < edge_count; i++) {
+    int ca = chain_of[edge_from[i]];
+    int cb = chain_of[edge_to[i]];
+    if (ca == cb) continue;
+    if (chain_tail[ca] != edge_from[i]) continue;
+    if (chain_head[cb] != edge_to[i]) continue;
+    if (edge_weight[i] > best_weight) {
+      best_weight = edge_weight[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+int merge_chains(int edge) {
+  // Append the callee's chain after the caller's chain.
+  int ca = chain_of[edge_from[edge]];
+  int cb = chain_of[edge_to[edge]];
+  int p;
+  chain_next[chain_tail[ca]] = chain_head[cb];
+  chain_tail[ca] = chain_tail[cb];
+  p = chain_head[cb];
+  while (p >= 0) {
+    chain_of[p] = ca;
+    p = chain_next[p];
+  }
+  merges_done++;
+  weight_merged += edge_weight[edge];
+  return ca;
+}
+
+int run_merging() {
+  int edge;
+  init_chains();
+  for (;;) {
+    edge = hottest_mergeable_edge();
+    if (edge < 0) break;
+    merge_chains(edge);
+  }
+  return merges_done;
+}
+"""
+
+_LAYOUT = """
+// crtool module 3: layout scoring + driver.
+extern int NPROCS;
+extern int edge_from[];
+extern int edge_to[];
+extern int edge_weight[];
+extern int edge_count;
+extern int proc_size[];
+extern int chain_of[];
+extern int chain_head[];
+extern int chain_next[];
+extern int build_graph(int);
+extern int run_merging();
+extern int merges_done;
+extern int weight_merged;
+
+int position[128];
+int layouts_scored;
+int PAGE = 64;
+
+int assign_positions() {
+  // Walk the chains in id order, laying procedures out sequentially.
+  int cursor = 0;
+  int c, p;
+  for (c = 0; c < NPROCS; c++) {
+    if (chain_of[c] != c) continue;     // not a chain representative
+    p = chain_head[c];
+    while (p >= 0) {
+      position[p] = cursor;
+      cursor += proc_size[p];
+      p = chain_next[p];
+    }
+  }
+  return cursor;
+}
+
+int score_layout() {
+  // Weighted fraction of call edges that stay within one page.
+  int i;
+  int hits = 0;
+  for (i = 0; i < edge_count; i++) {
+    int pa = position[edge_from[i]] / PAGE;
+    int pb = position[edge_to[i]] / PAGE;
+    if (pa == pb)
+      hits += edge_weight[i];
+  }
+  layouts_scored++;
+  return hits;
+}
+
+int main() {
+  int variant;
+  int total_score = 0;
+  int total_merges = 0;
+  for (variant = 0; variant < 6; variant++) {
+    build_graph(variant);
+    run_merging();
+    assign_positions();
+    total_score += score_layout() & 65535;
+    total_merges += merges_done;
+  }
+  print(total_merges);
+  print(weight_merged);
+  print(total_score);
+  print(layouts_scored);
+  return total_score & 255;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="crtool",
+        description="Prototype code repositioning tool",
+        sources={
+            "cr_graph": _GRAPH,
+            "cr_chains": _CHAINS,
+            "cr_layout": _LAYOUT,
+        },
+        paper_counterpart="CR Tool",
+        paper_lines=2700,
+    )
+)

@@ -1,0 +1,218 @@
+"""Dhrystone-style synthetic CPU benchmark.
+
+Mirrors the classic Dhrystone structure: a main loop exercising small
+procedures (Proc_1..Proc_8, Func_1..Func_3) that manipulate global
+scalars, a global "record" pair (emulated with arrays — Tiny-C has no
+structs), and global arrays.  The global scalars (Int_Glob, Bool_Glob,
+Ch_1_Glob, Ch_2_Glob) are the promotion targets; the record/array
+traffic is the non-singleton background.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+_MAIN = """
+// Dhrystone-flavoured synthetic benchmark, module 1: driver + records.
+extern int Proc_1(int);
+extern int Proc_2(int);
+extern int Proc_3(int);
+extern int Func_1(int, int);
+extern int Func_2(int, int);
+
+int Int_Glob;
+int Bool_Glob;
+int Ch_1_Glob;
+int Ch_2_Glob;
+int Arr_1_Glob[50];
+int Arr_2_Glob[100];
+
+// Records: [0]=next index, [1]=discr, [2]=enum_comp, [3]=int_comp
+int Rec_Glob[8];
+int Next_Rec_Glob[8];
+
+int Proc_4() {
+  int Bool_Loc;
+  Bool_Loc = Ch_1_Glob == 'A';
+  Bool_Loc = Bool_Loc | Bool_Glob;
+  Ch_2_Glob = 'B';
+  return Bool_Loc;
+}
+
+int Proc_5() {
+  Ch_1_Glob = 'A';
+  Bool_Glob = 0;
+  return 0;
+}
+
+int Proc_7(int Int_1, int Int_2) {
+  int Int_Loc;
+  Int_Loc = Int_1 + 2;
+  return Int_2 + Int_Loc;
+}
+
+int Proc_8(int *Arr_1, int *Arr_2, int Int_1, int Int_2) {
+  int Int_Loc;
+  int Int_Index;
+  Int_Loc = Int_1 + 5;
+  Arr_1[Int_Loc] = Int_2;
+  Arr_1[Int_Loc + 1] = Arr_1[Int_Loc];
+  Arr_1[Int_Loc + 30] = Int_Loc;
+  for (Int_Index = Int_Loc; Int_Index <= Int_Loc + 1; Int_Index++)
+    Arr_2[Int_Loc * 2 + Int_Index - Int_Loc] = Int_Loc;
+  Arr_2[Int_Loc * 2 + 1] = Arr_2[Int_Loc * 2 + 1] + 1;
+  Arr_2[Int_Loc + 40] = Arr_1[Int_Loc];
+  Int_Glob = 5;
+  return 0;
+}
+
+int main() {
+  int Int_1_Loc, Int_2_Loc, Int_3_Loc;
+  int Ch_Index;
+  int Run_Index;
+  int Number_Of_Runs = 600;
+  int checksum = 0;
+
+  Proc_5();
+  Proc_4();
+  Int_1_Loc = 2;
+  Int_2_Loc = 3;
+  Int_3_Loc = 0;
+
+  for (Run_Index = 1; Run_Index <= Number_Of_Runs; Run_Index++) {
+    Proc_5();
+    Proc_4();
+    Int_1_Loc = 2;
+    Int_2_Loc = 3;
+    Ch_Index = 'A';
+    Bool_Glob = !Func_2(Ch_Index, 'C');
+    while (Int_1_Loc < Int_2_Loc) {
+      Int_3_Loc = 5 * Int_1_Loc - Int_2_Loc;
+      Int_3_Loc = Proc_7(Int_1_Loc, Int_3_Loc);
+      Int_1_Loc = Int_1_Loc + 1;
+    }
+    Proc_8(Arr_1_Glob, Arr_2_Glob, Int_1_Loc, Int_3_Loc);
+    Proc_1(Run_Index & 3);
+    for (Ch_Index = 'A'; Ch_Index <= Ch_2_Glob; Ch_Index++) {
+      if (Func_1(Ch_Index, 'C')) {
+        Bool_Glob = 1;
+        Int_2_Loc = Int_2_Loc + 1;
+      }
+    }
+    Int_2_Loc = Int_2_Loc * Int_1_Loc;
+    Int_1_Loc = Int_2_Loc / Int_3_Loc;
+    Int_2_Loc = 7 * (Int_2_Loc - Int_3_Loc) - Int_1_Loc;
+    Int_1_Loc = Proc_2(Int_1_Loc);
+    checksum = (checksum + Int_Glob + Bool_Glob + Ch_1_Glob
+                + Ch_2_Glob + Int_1_Loc + Int_2_Loc) & 65535;
+  }
+  print(checksum);
+  print(Int_Glob);
+  print(Bool_Glob);
+  print(Ch_1_Glob);
+  print(Ch_2_Glob);
+  print(Arr_1_Glob[7]);
+  print(Arr_2_Glob[15]);
+  print(Rec_Glob[3]);
+  print(Next_Rec_Glob[2]);
+  return checksum & 127;
+}
+"""
+
+_PROCS = """
+// Dhrystone-flavoured synthetic benchmark, module 2: leaf procedures.
+extern int Int_Glob;
+extern int Bool_Glob;
+extern int Ch_1_Glob;
+extern int Ch_2_Glob;
+extern int Rec_Glob[];
+extern int Next_Rec_Glob[];
+
+int Proc_6(int Enum_Val) {
+  int Enum_Ref;
+  Enum_Ref = Enum_Val;
+  if (Enum_Val != 2)
+    Enum_Ref = 3;
+  if (Enum_Val == 0)
+    Enum_Ref = Int_Glob > 100 ? 0 : 4;
+  else if (Enum_Val == 1)
+    Enum_Ref = Bool_Glob ? 1 : 3;
+  return Enum_Ref;
+}
+
+int Proc_3(int kind) {
+  // Follow the record chain and update int_comp.
+  Rec_Glob[2] = Proc_6(kind);
+  Rec_Glob[3] = Int_Glob + 10;
+  return Rec_Glob[2];
+}
+
+int Proc_1(int kind) {
+  Next_Rec_Glob[1] = Rec_Glob[1];
+  Next_Rec_Glob[3] = Rec_Glob[3];
+  Proc_3(kind);
+  if (Next_Rec_Glob[1] == 0) {
+    Next_Rec_Glob[2] = Proc_6(kind);
+    Next_Rec_Glob[3] = Rec_Glob[3] + Int_Glob;
+  } else {
+    Rec_Glob[3] = Next_Rec_Glob[3];
+  }
+  return Next_Rec_Glob[3];
+}
+
+int Proc_2(int Int_Val) {
+  int Int_Loc;
+  int Enum_Loc;
+  Int_Loc = Int_Val + 10;
+  Enum_Loc = 0;
+  do {
+    if (Ch_1_Glob == 'A') {
+      Int_Loc = Int_Loc - 1;
+      Int_Val = Int_Loc - Int_Glob;
+      Enum_Loc = 1;
+    }
+  } while (Enum_Loc != 1);
+  return Int_Val;
+}
+
+int Func_1(int Ch_1, int Ch_2) {
+  int Ch_1_Loc, Ch_2_Loc;
+  Ch_1_Loc = Ch_1;
+  Ch_2_Loc = Ch_1_Loc;
+  if (Ch_2_Loc != Ch_2)
+    return 0;
+  Ch_1_Glob = Ch_1_Loc;
+  return 1;
+}
+
+int Func_2(int Ch_1, int Ch_2) {
+  int Int_Loc;
+  int Ch_Loc;
+  Int_Loc = 2;
+  Ch_Loc = Ch_1 + 1;
+  while (Int_Loc <= 2) {
+    if (Func_1(Ch_Loc - 1, Ch_2) == 0)
+      Int_Loc = Int_Loc + 1;
+    else
+      return Bool_Glob;
+  }
+  if (Ch_Loc > 'W' && Ch_Loc < 'Z')
+    Int_Loc = 7;
+  if (Ch_Loc == Ch_2 + 1)
+    Int_Loc = Int_Loc + 1;
+  if (Int_Loc == 4)
+    return 1;
+  Int_Glob = Int_Loc;
+  return 0;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="dhrystone",
+        description="Synthetic CPU benchmark (Dhrystone-style)",
+        sources={"dhry_main": _MAIN, "dhry_procs": _PROCS},
+        paper_counterpart="Dhrystone",
+        paper_lines=380,
+    )
+)

@@ -1,0 +1,259 @@
+"""Othello (Reversi) self-play game program.
+
+Two deterministic greedy strategies play each other on the global 8x8
+board.  The hot global scalars — current player, piece counts, move
+statistics — are read and written from the move generator, the flipping
+routine, and the evaluator across module boundaries, which is the usage
+pattern the paper's Othello benchmark rewards promotion for (~20%
+singleton reduction, ~5% cycles).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+_BOARD = """
+// othello module 1: board representation and rules.
+int board[64];          // 0 empty, 1 black, 2 white
+int dir_off[8] = {-9, -8, -7, -1, 1, 7, 8, 9};
+int to_move;
+int black_count;
+int white_count;
+int flips_made;
+int moves_played;
+int passes;
+
+int opponent(int player) { return 3 - player; }
+
+int on_board(int sq, int d) {
+  // Would stepping from sq by direction index d stay on the board?
+  int row = sq / 8;
+  int col = sq % 8;
+  int off = dir_off[d];
+  int nrow = row + (off + 16) / 8 - 2;
+  int ncol;
+  if (off == -9 || off == -1 || off == 7) ncol = col - 1;
+  else if (off == -8 || off == 8) ncol = col;
+  else ncol = col + 1;
+  if (off == -9 || off == -8 || off == -7) nrow = row - 1;
+  else if (off == -1 || off == 1) nrow = row;
+  else nrow = row + 1;
+  if (nrow < 0 || nrow > 7 || ncol < 0 || ncol > 7) return -1;
+  return nrow * 8 + ncol;
+}
+
+int line_flips(int sq, int d, int player) {
+  // Number of opponent stones bracketed from sq in direction d.
+  int count = 0;
+  int cur = on_board(sq, d);
+  int opp = opponent(player);
+  while (cur >= 0 && board[cur] == opp) {
+    count++;
+    cur = on_board(cur, d);
+  }
+  if (cur < 0 || board[cur] != player)
+    return 0;
+  return count;
+}
+
+int legal_gain(int sq, int player) {
+  // Total flips if player moves at sq (0 = illegal).
+  int d;
+  int total = 0;
+  if (board[sq] != 0) return 0;
+  for (d = 0; d < 8; d++)
+    total += line_flips(sq, d, player);
+  return total;
+}
+
+int do_flip_line(int sq, int d, int player) {
+  int n = line_flips(sq, d, player);
+  int cur = sq;
+  int i;
+  for (i = 0; i < n; i++) {
+    cur = on_board(cur, d);
+    board[cur] = player;
+    flips_made++;
+  }
+  return n;
+}
+
+int play_move(int sq, int player) {
+  int d;
+  int flipped = 0;
+  for (d = 0; d < 8; d++)
+    flipped += do_flip_line(sq, d, player);
+  board[sq] = player;
+  moves_played++;
+  return flipped;
+}
+
+int recount() {
+  int i;
+  black_count = 0;
+  white_count = 0;
+  for (i = 0; i < 64; i++) {
+    if (board[i] == 1) black_count++;
+    else if (board[i] == 2) white_count++;
+  }
+  return black_count + white_count;
+}
+
+int init_board() {
+  int i;
+  for (i = 0; i < 64; i++) board[i] = 0;
+  board[27] = 2; board[28] = 1;
+  board[35] = 1; board[36] = 2;
+  to_move = 1;
+  flips_made = 0;
+  moves_played = 0;
+  passes = 0;
+  recount();
+  return 0;
+}
+"""
+
+_AI = """
+// othello module 2: the two strategies.
+extern int board[];
+extern int legal_gain(int, int);
+extern int play_move(int, int);
+extern int opponent(int);
+extern int to_move;
+extern int passes;
+
+int positional_weight[64] = {
+  120, -20, 20,  5,  5, 20, -20, 120,
+  -20, -40, -5, -5, -5, -5, -40, -20,
+   20,  -5, 15,  3,  3, 15,  -5,  20,
+    5,  -5,  3,  3,  3,  3,  -5,   5,
+    5,  -5,  3,  3,  3,  3,  -5,   5,
+   20,  -5, 15,  3,  3, 15,  -5,  20,
+  -20, -40, -5, -5, -5, -5, -40, -20,
+  120, -20, 20,  5,  5, 20, -20, 120
+};
+int evals_done;
+
+int greedy_pick(int player) {
+  // Maximize immediate flips; ties broken by square order.
+  int best_sq = -1;
+  int best_gain = 0;
+  int sq;
+  for (sq = 0; sq < 64; sq++) {
+    int gain = legal_gain(sq, player);
+    evals_done++;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_sq = sq;
+    }
+  }
+  return best_sq;
+}
+
+int positional_pick(int player) {
+  // Maximize flips weighted by square desirability.
+  int best_sq = -1;
+  int best_score = -100000;
+  int sq;
+  for (sq = 0; sq < 64; sq++) {
+    int gain = legal_gain(sq, player);
+    evals_done++;
+    if (gain > 0) {
+      int score = gain * 4 + positional_weight[sq];
+      if (score > best_score) {
+        best_score = score;
+        best_sq = sq;
+      }
+    }
+  }
+  return best_sq;
+}
+
+int take_turn() {
+  // Plays one ply; returns 0 when the side to move had to pass.
+  int player = to_move;
+  int sq;
+  if (player == 1)
+    sq = greedy_pick(player);
+  else
+    sq = positional_pick(player);
+  to_move = opponent(player);
+  if (sq < 0) {
+    passes++;
+    return 0;
+  }
+  play_move(sq, player);
+  return 1;
+}
+"""
+
+_MAIN = """
+// othello module 3: self-play driver.
+extern int init_board();
+extern int take_turn();
+extern int recount();
+extern int board[];
+extern int black_count;
+extern int white_count;
+extern int flips_made;
+extern int moves_played;
+extern int passes;
+extern int evals_done;
+
+int games_played;
+int black_wins;
+int white_wins;
+
+extern int to_move;
+
+int play_game(int game_index) {
+  int consecutive_passes = 0;
+  init_board();
+  to_move = 1 + (game_index & 1);
+  // Vary the opening so the games differ.
+  board[20 + game_index % 3] = 1 + game_index % 2;
+  while (consecutive_passes < 2 && moves_played < 60) {
+    if (take_turn())
+      consecutive_passes = 0;
+    else
+      consecutive_passes++;
+  }
+  recount();
+  games_played++;
+  if (black_count > white_count) black_wins++;
+  else if (white_count > black_count) white_wins++;
+  return black_count - white_count;
+}
+
+int main() {
+  int g;
+  int margin_sum = 0;
+  for (g = 0; g < 6; g++)
+    margin_sum += play_game(g);
+  print(games_played);
+  print(black_wins);
+  print(white_wins);
+  print(margin_sum);
+  print(flips_made);
+  print(moves_played);
+  print(passes);
+  print(evals_done);
+  print(black_count);
+  print(white_count);
+  return (flips_made + margin_sum) & 255;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="othello",
+        description="Game program (Othello self-play)",
+        sources={
+            "oth_board": _BOARD,
+            "oth_ai": _AI,
+            "oth_main": _MAIN,
+        },
+        paper_counterpart="Othello",
+        paper_lines=800,
+    )
+)

@@ -1,0 +1,610 @@
+"""PA Opt counterpart: a large optimizer, optimizing synthetic programs.
+
+The paper's biggest benchmark is the PA-RISC optimizer running over
+Othello: a large, many-module program with hundreds of global variables
+whose usage is *localized* — each optimization phase leans on its own
+cluster of global counters and cursors.  That locality is exactly what
+web-based promotion exploits and blanket promotion cannot (only the six
+hottest globals get blanket registers; the paper measures 13.9% singleton
+reduction for web coloring vs 0.8% for blanket on PA Opt).
+
+This counterpart is a miniature optimizer with the same shape: a linear
+IR, a CFG pass, constant folding, copy propagation, dead-code
+elimination, local CSE, a peephole pass, a linear-scan register
+allocator, and a statistics module — ten modules and dozens of global
+variables.  In the style of large 1980s C programs, each pass keeps its
+working state (cursors, accumulators, scratch operands) in file-scope
+globals rather than locals, so every module contributes its own family
+of hot promotable globals.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+_IR = """
+// paopt module 1: linear IR + synthetic program generator.
+// ops: 0 nop, 1 const, 2 add, 3 sub, 4 mul, 5 copy, 6 load, 7 store,
+//      8 cmp, 9 branch, 10 label, 11 ret
+int ir_op[3000];
+int ir_dst[3000];
+int ir_a[3000];
+int ir_b[3000];
+int ir_count;
+int ir_temps;
+int gen_seed;
+int gen_cursor;
+int gen_kind;
+int gen_blocks;
+
+int ir_rand() {
+  gen_seed = gen_seed * 1103515245 + 12345;
+  return (gen_seed >> 16) & 32767;
+}
+
+int ir_emit(int op, int dst, int a, int b) {
+  ir_op[ir_count] = op;
+  ir_dst[ir_count] = dst;
+  ir_a[ir_count] = a;
+  ir_b[ir_count] = b;
+  ir_count++;
+  return ir_count - 1;
+}
+
+int ir_new_temp() {
+  ir_temps++;
+  return ir_temps;
+}
+
+int gen_basic_block(int n) {
+  // Emit n instructions mixing arithmetic, copies, and memory ops.
+  for (gen_cursor = 0; gen_cursor < n; gen_cursor++) {
+    int t = ir_new_temp();
+    gen_kind = ir_rand() % 10;
+    if (gen_kind < 2) ir_emit(1, t, ir_rand() % 100, 0);
+    else if (gen_kind < 4) ir_emit(2, t, 1 + ir_rand() % ir_temps,
+                                   1 + ir_rand() % ir_temps);
+    else if (gen_kind < 5) ir_emit(3, t, 1 + ir_rand() % ir_temps,
+                                   1 + ir_rand() % ir_temps);
+    else if (gen_kind < 6) ir_emit(4, t, 1 + ir_rand() % ir_temps,
+                                   1 + ir_rand() % ir_temps);
+    else if (gen_kind < 8) ir_emit(5, t, 1 + ir_rand() % ir_temps, 0);
+    else if (gen_kind < 9) ir_emit(6, t, ir_rand() % 64, 0);
+    else ir_emit(7, 0, ir_rand() % 64, 1 + ir_rand() % ir_temps);
+  }
+  return n;
+}
+
+int gen_function(int variant) {
+  int b;
+  gen_seed = 1299709 + variant * 7919;
+  ir_count = 0;
+  ir_temps = 0;
+  gen_blocks = 4 + ir_rand() % 5;
+  for (b = 0; b < gen_blocks; b++) {
+    ir_emit(10, b, 0, 0);                 // label
+    gen_basic_block(12 + ir_rand() % 20);
+    if (b + 1 < gen_blocks)
+      ir_emit(9, 0, ir_rand() % gen_blocks, 0);  // branch
+  }
+  ir_emit(11, 0, 0, 0);
+  return ir_count;
+}
+"""
+
+_CFG = """
+// paopt module 2: basic block discovery.
+extern int ir_op[];
+extern int ir_count;
+
+int block_start[200];
+int block_end[200];
+int block_count;
+int edges_found;
+int cfg_passes;
+int cfg_pos;
+int cfg_current;
+
+int find_blocks() {
+  block_count = 0;
+  cfg_current = -1;
+  for (cfg_pos = 0; cfg_pos < ir_count; cfg_pos++) {
+    int op = ir_op[cfg_pos];
+    if (op == 10) {
+      if (cfg_current >= 0)
+        block_end[cfg_current] = cfg_pos;
+      cfg_current = block_count;
+      block_start[cfg_current] = cfg_pos;
+      block_count++;
+    } else if (op == 9 || op == 11) {
+      if (cfg_current >= 0) {
+        block_end[cfg_current] = cfg_pos + 1;
+        cfg_current = -1;
+      }
+      if (op == 9)
+        edges_found++;
+    }
+  }
+  cfg_passes++;
+  return block_count;
+}
+"""
+
+_FOLD = """
+// paopt module 3: constant folding.
+// Working state is file-scope, 1980s style: the cursor, the operand
+// scratch values, and the per-pass change counter are all globals.
+extern int ir_temps;
+extern int ir_op[];
+extern int ir_dst[];
+extern int ir_a[];
+extern int ir_b[];
+extern int ir_count;
+
+int const_value[4000];
+int is_const[4000];
+int folds_done;
+int fold_passes;
+int fold_pos;
+int fold_changed;
+int fold_lhs;
+int fold_rhs;
+
+int fold_value(int op) {
+  if (op == 2) return fold_lhs + fold_rhs;
+  if (op == 3) return fold_lhs - fold_rhs;
+  return fold_lhs * fold_rhs;
+}
+
+int fold_clear() {
+  for (fold_pos = 0; fold_pos <= ir_temps; fold_pos++)
+    is_const[fold_pos] = 0;
+  return 0;
+}
+
+int fold_pass() {
+  fold_changed = 0;
+  fold_clear();
+  for (fold_pos = 0; fold_pos < ir_count; fold_pos++) {
+    int op = ir_op[fold_pos];
+    if (op == 1) {
+      is_const[ir_dst[fold_pos]] = 1;
+      const_value[ir_dst[fold_pos]] = ir_a[fold_pos];
+    } else if (op == 2 || op == 3 || op == 4) {
+      if (is_const[ir_a[fold_pos]] && is_const[ir_b[fold_pos]]) {
+        fold_lhs = const_value[ir_a[fold_pos]];
+        fold_rhs = const_value[ir_b[fold_pos]];
+        ir_op[fold_pos] = 1;
+        ir_a[fold_pos] = fold_value(op);
+        ir_b[fold_pos] = 0;
+        is_const[ir_dst[fold_pos]] = 1;
+        const_value[ir_dst[fold_pos]] = ir_a[fold_pos];
+        folds_done++;
+        fold_changed++;
+      } else {
+        is_const[ir_dst[fold_pos]] = 0;
+      }
+    } else if (op == 5) {
+      if (is_const[ir_a[fold_pos]]) {
+        ir_op[fold_pos] = 1;
+        ir_a[fold_pos] = const_value[ir_a[fold_pos]];
+        is_const[ir_dst[fold_pos]] = 1;
+        const_value[ir_dst[fold_pos]] = ir_a[fold_pos];
+        folds_done++;
+        fold_changed++;
+      } else {
+        is_const[ir_dst[fold_pos]] = 0;
+      }
+    } else if (ir_dst[fold_pos] > 0) {
+      is_const[ir_dst[fold_pos]] = 0;
+    }
+  }
+  fold_passes++;
+  return fold_changed;
+}
+"""
+
+_COPY = """
+// paopt module 4: copy propagation.
+extern int ir_temps;
+extern int ir_op[];
+extern int ir_dst[];
+extern int ir_a[];
+extern int ir_b[];
+extern int ir_count;
+
+int copy_of[4000];
+int copies_propagated;
+int copy_passes;
+int copy_pos;
+int copy_changed;
+int copy_root;
+
+int resolve(int t) {
+  while (copy_of[t])
+    t = copy_of[t];
+  return t;
+}
+
+int copy_clear() {
+  for (copy_pos = 0; copy_pos <= ir_temps; copy_pos++)
+    copy_of[copy_pos] = 0;
+  return 0;
+}
+
+int copyprop_pass() {
+  copy_changed = 0;
+  copy_clear();
+  for (copy_pos = 0; copy_pos < ir_count; copy_pos++) {
+    int op = ir_op[copy_pos];
+    if (op == 2 || op == 3 || op == 4 || op == 8) {
+      copy_root = resolve(ir_a[copy_pos]);
+      if (copy_root != ir_a[copy_pos]) {
+        ir_a[copy_pos] = copy_root;
+        copy_changed++;
+        copies_propagated++;
+      }
+      copy_root = resolve(ir_b[copy_pos]);
+      if (copy_root != ir_b[copy_pos]) {
+        ir_b[copy_pos] = copy_root;
+        copy_changed++;
+        copies_propagated++;
+      }
+    } else if (op == 7) {
+      copy_root = resolve(ir_b[copy_pos]);
+      if (copy_root != ir_b[copy_pos]) {
+        ir_b[copy_pos] = copy_root;
+        copy_changed++;
+        copies_propagated++;
+      }
+    }
+    if (op == 5) {
+      copy_root = resolve(ir_a[copy_pos]);
+      // Guard against copy chains that resolve back to the destination
+      // (e.g. "copy t, t"), which would create a resolve() cycle.
+      if (copy_root != ir_dst[copy_pos])
+        copy_of[ir_dst[copy_pos]] = copy_root;
+      else
+        copy_of[ir_dst[copy_pos]] = 0;
+    } else if (ir_dst[copy_pos] > 0) {
+      copy_of[ir_dst[copy_pos]] = 0;
+    }
+  }
+  copy_passes++;
+  return copy_changed;
+}
+"""
+
+_DCE = """
+// paopt module 5: dead code elimination.
+extern int ir_temps;
+extern int ir_op[];
+extern int ir_dst[];
+extern int ir_a[];
+extern int ir_b[];
+extern int ir_count;
+
+int live_temp[4000];
+int dce_removed;
+int dce_passes;
+int dce_pos;
+int dce_changed;
+
+int dce_mark_uses(int op) {
+  if (op == 2 || op == 3 || op == 4 || op == 8) {
+    live_temp[ir_a[dce_pos]] = 1;
+    live_temp[ir_b[dce_pos]] = 1;
+  } else if (op == 5) {
+    live_temp[ir_a[dce_pos]] = 1;
+  } else if (op == 7) {
+    live_temp[ir_b[dce_pos]] = 1;
+  }
+  return 0;
+}
+
+int dce_pass() {
+  dce_changed = 0;
+  for (dce_pos = 0; dce_pos <= ir_temps; dce_pos++)
+    live_temp[dce_pos] = 0;
+  // Stores, branches, and returns are roots; walk backwards.
+  for (dce_pos = ir_count - 1; dce_pos >= 0; dce_pos--) {
+    int op = ir_op[dce_pos];
+    int needed = 0;
+    if (op == 7 || op == 9 || op == 10 || op == 11 || op == 0)
+      needed = 1;
+    else if (ir_dst[dce_pos] > 0 && live_temp[ir_dst[dce_pos]])
+      needed = 1;
+    if (needed) {
+      dce_mark_uses(op);
+    } else if (op != 0) {
+      ir_op[dce_pos] = 0;  // nop it out
+      dce_removed++;
+      dce_changed++;
+    }
+  }
+  dce_passes++;
+  return dce_changed;
+}
+"""
+
+_CSE = """
+// paopt module 6: local common subexpression elimination.
+extern int ir_op[];
+extern int ir_dst[];
+extern int ir_a[];
+extern int ir_b[];
+extern int ir_count;
+
+int cse_table_key[512];
+int cse_table_result[512];
+int cse_hits;
+int cse_probes;
+int cse_passes;
+int cse_pos;
+int cse_changed;
+int cse_slot;
+int cse_sig;
+
+int cse_hash(int op, int a, int b) {
+  return ((op * 31 + a) * 31 + b) & 511;
+}
+
+int cse_invalidate() {
+  int j;
+  for (j = 0; j < 512; j++)
+    cse_table_key[j] = -1;
+  return 0;
+}
+
+int cse_pass() {
+  cse_changed = 0;
+  cse_invalidate();
+  for (cse_pos = 0; cse_pos < ir_count; cse_pos++) {
+    int op = ir_op[cse_pos];
+    if (op == 2 || op == 3 || op == 4) {
+      cse_sig = op * 100000000 + ir_a[cse_pos] * 10000 + ir_b[cse_pos];
+      cse_slot = cse_hash(op, ir_a[cse_pos], ir_b[cse_pos]);
+      cse_probes++;
+      if (cse_table_key[cse_slot] == cse_sig) {
+        // Replace with a copy of the previous result.
+        ir_op[cse_pos] = 5;
+        ir_a[cse_pos] = cse_table_result[cse_slot];
+        ir_b[cse_pos] = 0;
+        cse_hits++;
+        cse_changed++;
+      } else {
+        cse_table_key[cse_slot] = cse_sig;
+        cse_table_result[cse_slot] = ir_dst[cse_pos];
+      }
+    } else if (op == 10 || op == 9) {
+      cse_invalidate();  // block boundary
+    }
+  }
+  cse_passes++;
+  return cse_changed;
+}
+"""
+
+_PEEP = """
+// paopt module 7: peephole pass.
+extern int ir_op[];
+extern int ir_dst[];
+extern int ir_a[];
+extern int ir_b[];
+extern int ir_count;
+
+int peeps_applied;
+int peep_passes;
+int peep_pos;
+int peep_changed;
+
+int peephole_pass() {
+  peep_changed = 0;
+  for (peep_pos = 0; peep_pos < ir_count; peep_pos++) {
+    int op = ir_op[peep_pos];
+    // x - x => const 0
+    if (op == 3 && ir_a[peep_pos] == ir_b[peep_pos]) {
+      ir_op[peep_pos] = 1;
+      ir_a[peep_pos] = 0;
+      ir_b[peep_pos] = 0;
+      peeps_applied++;
+      peep_changed++;
+    }
+    // copy t, t => nop
+    if (op == 5 && ir_dst[peep_pos] == ir_a[peep_pos]) {
+      ir_op[peep_pos] = 0;
+      peeps_applied++;
+      peep_changed++;
+    }
+  }
+  peep_passes++;
+  return peep_changed;
+}
+"""
+
+_RA = """
+// paopt module 8: linear-scan register allocation.
+extern int ir_op[];
+extern int ir_dst[];
+extern int ir_a[];
+extern int ir_b[];
+extern int ir_count;
+extern int ir_temps;
+
+int last_use[4000];
+int assigned_reg[4000];
+int reg_free_at[32];
+int ra_spills;
+int ra_assigned;
+int ra_passes;
+int ra_pos;
+int ra_reg;
+
+int ra_note_use(int t) {
+  last_use[t] = ra_pos;
+  return t;
+}
+
+int compute_last_uses() {
+  for (ra_pos = 0; ra_pos <= ir_temps; ra_pos++)
+    last_use[ra_pos] = -1;
+  for (ra_pos = 0; ra_pos < ir_count; ra_pos++) {
+    int op = ir_op[ra_pos];
+    if (op == 2 || op == 3 || op == 4 || op == 8) {
+      ra_note_use(ir_a[ra_pos]);
+      ra_note_use(ir_b[ra_pos]);
+    } else if (op == 5) {
+      ra_note_use(ir_a[ra_pos]);
+    } else if (op == 7) {
+      ra_note_use(ir_b[ra_pos]);
+    }
+  }
+  return ir_temps;
+}
+
+int allocate_registers() {
+  compute_last_uses();
+  for (ra_reg = 0; ra_reg < 32; ra_reg++)
+    reg_free_at[ra_reg] = 0;
+  for (ra_pos = 0; ra_pos <= ir_temps; ra_pos++)
+    assigned_reg[ra_pos] = -1;
+  for (ra_pos = 0; ra_pos < ir_count; ra_pos++) {
+    int t = ir_dst[ra_pos];
+    int op = ir_op[ra_pos];
+    if (op == 0 || op == 7 || op == 9 || op == 10 || op == 11)
+      continue;
+    if (t <= 0 || last_use[t] < 0)
+      continue;
+    for (ra_reg = 0; ra_reg < 32; ra_reg++) {
+      if (reg_free_at[ra_reg] <= ra_pos) {
+        assigned_reg[t] = ra_reg;
+        reg_free_at[ra_reg] = last_use[t];
+        ra_assigned++;
+        break;
+      }
+    }
+    if (assigned_reg[t] < 0)
+      ra_spills++;
+  }
+  ra_passes++;
+  return ra_assigned;
+}
+"""
+
+_STATS = """
+// paopt module 9: statistics aggregation.
+extern int folds_done;
+extern int copies_propagated;
+extern int dce_removed;
+extern int cse_hits;
+extern int peeps_applied;
+extern int ra_spills;
+extern int ra_assigned;
+extern int edges_found;
+extern int block_count;
+
+int total_folds;
+int total_copies;
+int total_dce;
+int total_cse;
+int total_peeps;
+int total_spills;
+int total_assigned;
+int total_blocks;
+int functions_optimized;
+
+int accumulate() {
+  total_folds = folds_done;
+  total_copies = copies_propagated;
+  total_dce = dce_removed;
+  total_cse = cse_hits;
+  total_peeps = peeps_applied;
+  total_spills = ra_spills;
+  total_assigned = ra_assigned;
+  total_blocks = total_blocks + block_count;
+  functions_optimized++;
+  return functions_optimized;
+}
+
+int report() {
+  print(functions_optimized);
+  print(total_blocks);
+  print(total_folds);
+  print(total_copies);
+  print(total_dce);
+  print(total_cse);
+  print(total_peeps);
+  print(total_assigned);
+  print(total_spills);
+  return 0;
+}
+"""
+
+_MAIN = """
+// paopt module 10: the optimization driver.
+extern int gen_function(int);
+extern int find_blocks();
+extern int fold_pass();
+extern int copyprop_pass();
+extern int dce_pass();
+extern int cse_pass();
+extern int peephole_pass();
+extern int allocate_registers();
+extern int accumulate();
+extern int report();
+extern int ir_count;
+
+int pipeline_iterations;
+int pipeline_round;
+int pipeline_changed;
+
+int optimize_function(int variant) {
+  gen_function(variant);
+  find_blocks();
+  for (pipeline_round = 0; pipeline_round < 4; pipeline_round++) {
+    pipeline_changed = 0;
+    pipeline_changed += fold_pass();
+    pipeline_changed += copyprop_pass();
+    pipeline_changed += cse_pass();
+    pipeline_changed += peephole_pass();
+    pipeline_changed += dce_pass();
+    pipeline_iterations++;
+    if (!pipeline_changed) break;
+  }
+  allocate_registers();
+  accumulate();
+  return ir_count;
+}
+
+int main() {
+  int variant;
+  int size_sig = 0;
+  for (variant = 0; variant < 10; variant++)
+    size_sig = (size_sig + optimize_function(variant)) & 65535;
+  report();
+  print(pipeline_iterations);
+  print(size_sig);
+  return size_sig & 255;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="paopt",
+        description="An optimizer, optimizing synthesized functions",
+        sources={
+            "pa_ir": _IR,
+            "pa_cfg": _CFG,
+            "pa_fold": _FOLD,
+            "pa_copy": _COPY,
+            "pa_dce": _DCE,
+            "pa_cse": _CSE,
+            "pa_peep": _PEEP,
+            "pa_ra": _RA,
+            "pa_stats": _STATS,
+            "pa_main": _MAIN,
+        },
+        paper_counterpart="PA Opt",
+        paper_lines=85000,
+    )
+)

@@ -1,0 +1,368 @@
+"""Proto C counterpart: a fast little compiler, compiling and running
+synthesized programs.
+
+Like the paper's Proto C — "coded specifically to take advantage of
+global register variables" — the scanner, parser, code generator, and
+stack-machine interpreter all keep their hot state (source cursor,
+current token, code cursor, VM registers) in global scalars shared
+across modules.  Interprocedural promotion should therefore help this
+workload the most, as it did in the paper (18.7%).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+_SCAN = """
+// protoc module 1: source buffer + scanner.
+// Token kinds: 0 eof, 1 number, 2 ident, 3 '+', 4 '-', 5 '*', 6 '/',
+//              7 '(', 8 ')', 9 '=', 10 ';', 11 '%'
+int src[30000];
+int src_len;
+int pos;
+int cur_char;
+int token;
+int token_value;
+int tokens_scanned;
+
+int advance() {
+  pos++;
+  cur_char = src[pos];
+  return cur_char;
+}
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+int is_alpha(int c) { return c >= 'a' && c <= 'z'; }
+
+int next_token() {
+  while (cur_char == ' ')
+    advance();
+  tokens_scanned++;
+  if (cur_char == 0) { token = 0; return token; }
+  if (is_digit(cur_char)) {
+    token_value = 0;
+    while (is_digit(cur_char)) {
+      token_value = token_value * 10 + cur_char - '0';
+      advance();
+    }
+    token = 1;
+    return token;
+  }
+  if (is_alpha(cur_char)) {
+    token_value = cur_char - 'a';
+    advance();
+    token = 2;
+    return token;
+  }
+  if (cur_char == '+') { advance(); token = 3; return token; }
+  if (cur_char == '-') { advance(); token = 4; return token; }
+  if (cur_char == '*') { advance(); token = 5; return token; }
+  if (cur_char == '/') { advance(); token = 6; return token; }
+  if (cur_char == '(') { advance(); token = 7; return token; }
+  if (cur_char == ')') { advance(); token = 8; return token; }
+  if (cur_char == '=') { advance(); token = 9; return token; }
+  if (cur_char == ';') { advance(); token = 10; return token; }
+  if (cur_char == '%') { advance(); token = 11; return token; }
+  advance();
+  token = 0;
+  return token;
+}
+
+int scan_init() {
+  pos = -1;
+  advance();
+  next_token();
+  return token;
+}
+"""
+
+_PARSE = """
+// protoc module 2: recursive-descent parser emitting stack code.
+// Opcodes: 1 push-const, 2 load-var, 3 store-var, 4 add, 5 sub,
+//          6 mul, 7 div, 8 mod, 9 halt
+extern int token;
+extern int token_value;
+extern int next_token();
+
+int code_op[20000];
+int code_arg[20000];
+int code_len;
+int parse_errors;
+int nodes_parsed;
+
+int emit(int op, int arg) {
+  code_op[code_len] = op;
+  code_arg[code_len] = arg;
+  code_len++;
+  return code_len;
+}
+
+extern int parse_expr();
+
+int parse_primary() {
+  nodes_parsed++;
+  if (token == 1) {
+    emit(1, token_value);
+    next_token();
+    return 1;
+  }
+  if (token == 2) {
+    emit(2, token_value);
+    next_token();
+    return 1;
+  }
+  if (token == 7) {
+    next_token();
+    parse_expr();
+    if (token == 8) next_token();
+    else parse_errors++;
+    return 1;
+  }
+  if (token == 4) {            // unary minus: 0 - primary
+    next_token();
+    emit(1, 0);
+    parse_primary();
+    emit(5, 0);
+    return 1;
+  }
+  parse_errors++;
+  next_token();
+  return 0;
+}
+
+int parse_term() {
+  nodes_parsed++;
+  parse_primary();
+  while (token == 5 || token == 6 || token == 11) {
+    int op = token;
+    next_token();
+    parse_primary();
+    if (op == 5) emit(6, 0);
+    else if (op == 6) emit(7, 0);
+    else emit(8, 0);
+  }
+  return 1;
+}
+
+int parse_expr() {
+  nodes_parsed++;
+  parse_term();
+  while (token == 3 || token == 4) {
+    int op = token;
+    next_token();
+    parse_term();
+    if (op == 3) emit(4, 0);
+    else emit(5, 0);
+  }
+  return 1;
+}
+
+int parse_stmt() {
+  // stmt := ident '=' expr ';'
+  int var;
+  nodes_parsed++;
+  if (token != 2) { parse_errors++; next_token(); return 0; }
+  var = token_value;
+  next_token();
+  if (token != 9) { parse_errors++; return 0; }
+  next_token();
+  parse_expr();
+  emit(3, var);
+  if (token == 10) next_token();
+  else parse_errors++;
+  return 1;
+}
+
+int parse_program() {
+  code_len = 0;
+  parse_errors = 0;
+  while (token != 0)
+    parse_stmt();
+  emit(9, 0);
+  return code_len;
+}
+"""
+
+_VM = """
+// protoc module 3: stack-machine interpreter.
+extern int code_op[];
+extern int code_arg[];
+extern int code_len;
+
+int stack[256];
+int vars[26];
+int sp;
+int vm_pc;
+int steps_executed;
+
+int vm_reset() {
+  int i;
+  for (i = 0; i < 26; i++) vars[i] = 0;
+  sp = 0;
+  vm_pc = 0;
+  return 0;
+}
+
+int vm_step() {
+  // Executes one instruction; returns 0 on halt.
+  int op = code_op[vm_pc];
+  int arg = code_arg[vm_pc];
+  int a, b;
+  vm_pc++;
+  steps_executed++;
+  if (op == 1) { stack[sp] = arg; sp++; return 1; }
+  if (op == 2) { stack[sp] = vars[arg]; sp++; return 1; }
+  if (op == 3) { sp--; vars[arg] = stack[sp]; return 1; }
+  sp--; b = stack[sp];
+  sp--; a = stack[sp];
+  if (op == 4) stack[sp] = a + b;
+  else if (op == 5) stack[sp] = a - b;
+  else if (op == 6) stack[sp] = a * b;
+  else if (op == 7) stack[sp] = b ? a / b : 0;
+  else if (op == 8) stack[sp] = b ? a % b : 0;
+  else return 0;
+  sp++;
+  return 1;
+}
+
+int vm_run() {
+  vm_reset();
+  while (vm_step())
+    ;
+  return vars[0];
+}
+"""
+
+_MAIN = """
+// protoc module 4: program synthesizer + driver.
+extern int src[];
+extern int src_len;
+extern int scan_init();
+extern int parse_program();
+extern int vm_run();
+extern int tokens_scanned;
+extern int nodes_parsed;
+extern int parse_errors;
+extern int steps_executed;
+extern int code_len;
+extern int vars[];
+
+int gen_rng;
+int gen_pos;
+int programs_compiled;
+
+int gen_rand() {
+  gen_rng = gen_rng * 1103515245 + 12345;
+  return (gen_rng >> 16) & 32767;
+}
+
+int put(int c) {
+  src[gen_pos] = c;
+  gen_pos++;
+  return gen_pos;
+}
+
+int gen_number() {
+  int n = 1 + gen_rand() % 999;
+  if (n >= 100) put('0' + n / 100);
+  if (n >= 10) put('0' + n / 10 % 10);
+  put('0' + n % 10);
+  return n;
+}
+
+int gen_primary(int depth);
+
+int gen_term(int depth) {
+  int k;
+  gen_primary(depth);
+  k = gen_rand() % 3;
+  while (k > 0) {
+    int w = gen_rand() % 3;
+    if (w == 0) put('*');
+    else if (w == 1) put('/');
+    else put('%');
+    gen_primary(depth);
+    k--;
+  }
+  return 0;
+}
+
+int gen_expr(int depth) {
+  int k;
+  gen_term(depth);
+  k = gen_rand() % 3;
+  while (k > 0) {
+    put(gen_rand() % 2 ? '+' : '-');
+    gen_term(depth);
+    k--;
+  }
+  return 0;
+}
+
+int gen_primary(int depth) {
+  int w = gen_rand() % 4;
+  if (w == 3 && depth < 3) {
+    put('(');
+    gen_expr(depth + 1);
+    put(')');
+    return 0;
+  }
+  if (w == 2) {
+    put('a' + gen_rand() % 6);
+    return 0;
+  }
+  gen_number();
+  return 0;
+}
+
+int gen_program(int variant) {
+  int stmts, s;
+  gen_rng = 24601 + variant * 31;
+  gen_pos = 0;
+  stmts = 12 + gen_rand() % 8;
+  for (s = 0; s < stmts; s++) {
+    put('a' + s % 6);
+    put('=');
+    gen_expr(0);
+    put(';');
+  }
+  put(0);
+  src_len = gen_pos;
+  return gen_pos;
+}
+
+int main() {
+  int variant;
+  int result_sig = 0;
+  for (variant = 0; variant < 25; variant++) {
+    gen_program(variant);
+    scan_init();
+    parse_program();
+    result_sig = (result_sig * 7 + vm_run()) & 1048575;
+    programs_compiled++;
+  }
+  print(programs_compiled);
+  print(tokens_scanned);
+  print(nodes_parsed);
+  print(parse_errors);
+  print(code_len);
+  print(steps_executed);
+  print(result_sig);
+  return result_sig & 255;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="protoc",
+        description="A fast compiler, compiling synthesized programs",
+        sources={
+            "pc_scan": _SCAN,
+            "pc_parse": _PARSE,
+            "pc_vm": _VM,
+            "pc_main": _MAIN,
+        },
+        paper_counterpart="Proto C",
+        paper_lines=6600,
+    )
+)

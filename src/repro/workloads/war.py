@@ -1,0 +1,195 @@
+"""War card game simulation.
+
+Simulates many games of the children's card game War between two
+players, with circular-queue decks in global arrays and a cluster of hot
+global scalars (queue cursors, round counters, war-depth statistics)
+accessed from small leaf procedures — a call-intensive profile like the
+paper's War benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+_DECK = """
+// war module 1: deck management (circular queues in globals).
+int deck_a[128];
+int deck_b[128];
+int head_a, count_a;
+int head_b, count_b;
+int pot[64];
+int pot_size;
+int rng = 987654321;
+
+int next_rand() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int draw_a() {
+  int card = deck_a[head_a];
+  head_a = (head_a + 1) & 127;
+  count_a--;
+  return card;
+}
+
+int draw_b() {
+  int card = deck_b[head_b];
+  head_b = (head_b + 1) & 127;
+  count_b--;
+  return card;
+}
+
+int give_a(int card) {
+  deck_a[(head_a + count_a) & 127] = card;
+  count_a++;
+  return count_a;
+}
+
+int give_b(int card) {
+  deck_b[(head_b + count_b) & 127] = card;
+  count_b++;
+  return count_b;
+}
+
+int pot_add(int card) {
+  pot[pot_size] = card;
+  pot_size++;
+  return pot_size;
+}
+
+int award_pot(int to_a) {
+  // Winner takes the pot in a fixed order (keeps games deterministic).
+  int i;
+  for (i = 0; i < pot_size; i++) {
+    if (to_a) give_a(pot[i]);
+    else give_b(pot[i]);
+  }
+  i = pot_size;
+  pot_size = 0;
+  return i;
+}
+
+int deal(int game) {
+  // Shuffle a 52-card deck with Fisher-Yates and split it.
+  int cards[52];
+  int i, j, tmp;
+  rng = 987654321 + game * 77;
+  for (i = 0; i < 52; i++) cards[i] = 2 + i % 13;
+  for (i = 51; i > 0; i--) {
+    j = next_rand() % (i + 1);
+    tmp = cards[i];
+    cards[i] = cards[j];
+    cards[j] = tmp;
+  }
+  head_a = 0; count_a = 0;
+  head_b = 0; count_b = 0;
+  pot_size = 0;
+  for (i = 0; i < 26; i++) give_a(cards[i]);
+  for (i = 26; i < 52; i++) give_b(cards[i]);
+  return 0;
+}
+"""
+
+_GAME = """
+// war module 2: game rules.
+extern int draw_a(); extern int draw_b();
+extern int give_a(int); extern int give_b(int);
+extern int pot_add(int);
+extern int award_pot(int);
+extern int count_a, count_b;
+
+int rounds_played;
+int wars_fought;
+int deepest_war;
+int cards_flipped;
+
+int battle(int depth) {
+  // One battle (possibly recursive war); 1 if A wins the pot, 0 B,
+  // -1 if someone ran out of cards during a war.
+  int card_a, card_b, i;
+  if (count_a == 0) return 0;
+  if (count_b == 0) return 1;
+  card_a = draw_a();
+  card_b = draw_b();
+  cards_flipped += 2;
+  pot_add(card_a);
+  pot_add(card_b);
+  if (card_a > card_b) return 1;
+  if (card_b > card_a) return 0;
+  // War: three cards face down each, then battle again.
+  wars_fought++;
+  if (depth > deepest_war) deepest_war = depth;
+  for (i = 0; i < 3; i++) {
+    if (count_a == 0) return 0;
+    if (count_b == 0) return 1;
+    pot_add(draw_a());
+    pot_add(draw_b());
+    cards_flipped += 2;
+  }
+  return battle(depth + 1);
+}
+
+int play_round() {
+  // Returns 1 while the game continues.
+  int winner = battle(1);
+  rounds_played++;
+  award_pot(winner);
+  if (count_a == 0 || count_b == 0) return 0;
+  return 1;
+}
+"""
+
+_MAIN = """
+// war module 3: driver.
+extern int deal(int);
+extern int play_round();
+extern int count_a, count_b;
+extern int rounds_played;
+extern int wars_fought;
+extern int deepest_war;
+extern int cards_flipped;
+
+int games_a_won;
+int games_b_won;
+int games_drawn;
+
+int play_game(int game) {
+  int rounds = 0;
+  deal(game);
+  while (rounds < 3000) {
+    if (!play_round()) break;
+    rounds++;
+  }
+  if (count_a > count_b) { games_a_won++; return 1; }
+  if (count_b > count_a) { games_b_won++; return 2; }
+  games_drawn++;
+  return 0;
+}
+
+int main() {
+  int g;
+  int outcome_sig = 0;
+  for (g = 0; g < 25; g++)
+    outcome_sig = (outcome_sig * 3 + play_game(g)) & 1048575;
+  print(games_a_won);
+  print(games_b_won);
+  print(games_drawn);
+  print(rounds_played);
+  print(wars_fought);
+  print(deepest_war);
+  print(cards_flipped);
+  print(outcome_sig);
+  return outcome_sig & 255;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="war",
+        description="Game program (War card game simulation)",
+        sources={"war_deck": _DECK, "war_game": _GAME, "war_main": _MAIN},
+        paper_counterpart="War",
+        paper_lines=1500,
+    )
+)

@@ -1,0 +1,126 @@
+"""Dominator computation tests (shared by CFGs and call graphs)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dominators import compute_dominators
+
+
+def dominators_of_graph(edges, roots, nodes=None):
+    if nodes is None:
+        nodes = sorted({n for e in edges for n in e} | set(roots))
+    successors = {n: [] for n in nodes}
+    for a, b in edges:
+        successors[a].append(b)
+    return compute_dominators(nodes, roots, lambda n: successors[n]), successors
+
+
+def test_diamond():
+    tree, _ = dominators_of_graph(
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], ["a"]
+    )
+    assert tree.immediate_dominator("d") == "a"
+    assert tree.immediate_dominator("b") == "a"
+    assert tree.dominates("a", "d")
+    assert not tree.dominates("b", "d")
+    assert tree.strictly_dominates("a", "d")
+    assert not tree.strictly_dominates("d", "d")
+
+
+def test_chain():
+    tree, _ = dominators_of_graph([("a", "b"), ("b", "c")], ["a"])
+    assert tree.dominators_of("c") == ["c", "b", "a"]
+
+
+def test_loop():
+    tree, _ = dominators_of_graph(
+        [("a", "b"), ("b", "c"), ("c", "b"), ("b", "d")], ["a"]
+    )
+    assert tree.immediate_dominator("b") == "a"
+    assert tree.immediate_dominator("c") == "b"
+    assert tree.immediate_dominator("d") == "b"
+
+
+def test_multiple_roots():
+    # d is reachable from both roots; nothing but itself dominates it.
+    tree, _ = dominators_of_graph(
+        [("r1", "d"), ("r2", "d")], ["r1", "r2"]
+    )
+    assert tree.immediate_dominator("d") is None
+    assert tree.dominates("d", "d")
+    assert not tree.dominates("r1", "d")
+
+
+def test_unreachable_nodes_excluded():
+    tree, _ = dominators_of_graph(
+        [("a", "b"), ("x", "y")], ["a"], nodes=["a", "b", "x", "y"]
+    )
+    assert "x" not in tree.reachable_nodes
+    assert "b" in tree.reachable_nodes
+
+
+def test_root_has_no_immediate_dominator():
+    tree, _ = dominators_of_graph([("a", "b")], ["a"])
+    assert tree.immediate_dominator("a") is None
+
+
+def _random_graph(seed, size):
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(size)]
+    edges = []
+    for i, node in enumerate(nodes):
+        for _ in range(rng.randint(0, 3)):
+            edges.append((node, rng.choice(nodes)))
+    return nodes, edges
+
+
+def _reachable_without(successors, root, banned, target):
+    """Is target reachable from root avoiding ``banned``?"""
+    if root == banned:
+        return root == target
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node == target:
+            return True
+        for nxt in successors[node]:
+            if nxt != banned and nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=2, max_value=12))
+def test_idom_truly_dominates(seed, size):
+    """Property: removing idom(n) disconnects n from the root."""
+    nodes, edges = _random_graph(seed, size)
+    root = nodes[0]
+    tree, successors = dominators_of_graph(edges, [root], nodes=nodes)
+    for node in nodes:
+        if node == root or node not in tree.reachable_nodes:
+            continue
+        idom = tree.immediate_dominator(node)
+        if idom is None:
+            continue
+        assert not _reachable_without(successors, root, idom, node), (
+            f"{idom} does not dominate {node}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=2, max_value=12))
+def test_dominates_is_reflexive_and_transitive(seed, size):
+    nodes, edges = _random_graph(seed, size)
+    root = nodes[0]
+    tree, _ = dominators_of_graph(edges, [root], nodes=nodes)
+    reachable = [n for n in nodes if n in tree.reachable_nodes]
+    for node in reachable:
+        assert tree.dominates(node, node)
+        chain = tree.dominators_of(node)
+        for ancestor in chain:
+            assert tree.dominates(ancestor, node)

@@ -1,0 +1,75 @@
+"""Natural loop detection tests."""
+
+from repro.analysis.loops import (
+    find_natural_loops,
+    loop_nesting_depths,
+)
+from repro.ir import lower_source
+
+
+def lower(source):
+    return lower_source(source, "m")
+
+
+def test_no_loops():
+    module = lower("int f(int a) { if (a) return 1; return 2; }")
+    assert find_natural_loops(module.functions["f"]) == []
+
+
+def test_single_while_loop():
+    module = lower(
+        "int f(int n) { while (n > 0) n = n - 1; return n; }"
+    )
+    loops = find_natural_loops(module.functions["f"])
+    assert len(loops) == 1
+    assert "head" in loops[0].header
+
+
+def test_nested_loops_have_nested_depths():
+    module = lower(
+        """
+        int f(int n) {
+          int i;
+          int j;
+          int s = 0;
+          for (i = 0; i < n; i++)
+            for (j = 0; j < n; j++)
+              s += 1;
+          return s;
+        }
+        """
+    )
+    func = module.functions["f"]
+    depths = loop_nesting_depths(func)
+    assert max(depths.values()) == 2
+
+
+def test_graph_depths_bounded_by_syntactic_depths():
+    """The builder's syntactic loop depth over-approximates the
+    graph-derived depth: blocks on early-exit paths (e.g. a ``break``)
+    are syntactically inside the loop but not part of the natural loop.
+    For blocks that are members of natural loops the two agree."""
+    module = lower(
+        """
+        int f(int n) {
+          int i;
+          int s = 0;
+          for (i = 0; i < n; i++) {
+            s += i;
+            if (s > 100) break;
+          }
+          while (n) { n = n / 2; }
+          do { s--; } while (s > 0);
+          return s;
+        }
+        """
+    )
+    func = module.functions["f"]
+    graph_depths = loop_nesting_depths(func)
+    in_a_loop = set()
+    for loop in find_natural_loops(func):
+        in_a_loop |= loop.body
+    for label, block in func.blocks.items():
+        assert block.loop_depth >= graph_depths[label], label
+        if label in in_a_loop:
+            assert block.loop_depth == graph_depths[label], label

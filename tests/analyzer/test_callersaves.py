@@ -1,0 +1,223 @@
+"""Caller-saves preallocation tests (paper section 7.6.2 / [Chow 88])."""
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    compile_with_database,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.callersaves import (
+    SELECTION_ORDER,
+    allocation_prefix,
+    arg_registers_for,
+    compute_subtree_caller_usage,
+)
+from repro.analyzer.driver import analyze_program
+from repro.machine.simulator import Simulator
+from repro.target.registers import ARG_REGISTERS, CALLER_SAVES, RV
+from tests.support import build_graph
+
+
+def test_selection_order_covers_non_special_caller_saves():
+    assert set(SELECTION_ORDER) == set(CALLER_SAVES) - {RV}
+    # Non-argument registers come first.
+    for register in SELECTION_ORDER[: len(SELECTION_ORDER) - 4]:
+        assert register not in ARG_REGISTERS
+
+
+def test_allocation_prefix_monotone():
+    assert allocation_prefix(0) == ()
+    assert len(allocation_prefix(3)) == 3
+    assert len(allocation_prefix(99)) == len(SELECTION_ORDER)
+    assert allocation_prefix(2) == allocation_prefix(5)[:2]
+
+
+def test_arg_registers_for():
+    assert arg_registers_for(0) == set()
+    assert arg_registers_for(2) == set(ARG_REGISTERS[:2])
+    assert arg_registers_for(9) == set(ARG_REGISTERS)
+
+
+def _subtree(procs):
+    graph, _ = build_graph(procs)
+    return compute_subtree_caller_usage(graph)
+
+
+def test_leaf_subtree_is_own_usage():
+    def spec(**kw):
+        return kw
+
+    graph, _ = build_graph({"main": {"calls": {"leaf": 1}}, "leaf": {}})
+    # Give leaf a known demand via its summary.
+    graph.nodes["leaf"].summary.caller_saves_needed = 1
+    graph.nodes["leaf"].summary.num_params = 0
+    graph.nodes["main"].summary.num_params = 0
+    prefixes, subtree = compute_subtree_caller_usage(graph)
+    leaf_used = subtree["leaf"]
+    assert RV in leaf_used
+    assert leaf_used < frozenset(CALLER_SAVES)  # genuinely refined
+
+
+def test_subtree_accumulates_over_callees():
+    graph, _ = build_graph(
+        {"main": {"calls": {"mid": 1}},
+         "mid": {"calls": {"leaf": 1}},
+         "leaf": {}}
+    )
+    for name in graph.nodes:
+        graph.nodes[name].summary.num_params = 0
+    graph.nodes["leaf"].summary.caller_saves_needed = 2
+    _, subtree = compute_subtree_caller_usage(graph)
+    assert subtree["leaf"] <= subtree["mid"] <= subtree["main"]
+
+
+def test_incoming_parameters_counted():
+    graph, _ = build_graph({"main": {"calls": {"f": 1}}, "f": {}})
+    graph.nodes["f"].summary.num_params = 3
+    graph.nodes["main"].summary.num_params = 0
+    _, subtree = compute_subtree_caller_usage(graph)
+    assert set(ARG_REGISTERS[:3]) <= set(subtree["f"])
+
+
+def test_recursive_procedures_unbounded():
+    graph, _ = build_graph(
+        {"main": {"calls": {"rec": 1}}, "rec": {"calls": {"rec": 1}}}
+    )
+    _, subtree = compute_subtree_caller_usage(graph)
+    assert subtree["rec"] == frozenset(CALLER_SAVES)
+    # And the caller of a recursive proc inherits the full set.
+    assert subtree["main"] == frozenset(CALLER_SAVES)
+
+
+def test_indirect_targets_unbounded():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {}, "address_taken": ["target"],
+                     "indirect": True},
+            "target": {},
+        }
+    )
+    _, subtree = compute_subtree_caller_usage(graph)
+    assert subtree["target"] == frozenset(CALLER_SAVES)
+    assert subtree["main"] == frozenset(CALLER_SAVES)
+
+
+SOURCES = {
+    "lib": """
+        int leaf(int x) { return x * 3 + 1; }
+        int worker(int a, int b) {
+          int keep = a * b + 7;
+          int r1 = leaf(a);
+          int r2 = leaf(b);
+          return keep + r1 + r2;
+        }
+    """,
+    "main": """
+        extern int worker(int, int);
+        int main() {
+          int i;
+          int total = 0;
+          for (i = 0; i < 200; i++) total += worker(i, i + 1);
+          print(total);
+          return total & 255;
+        }
+    """,
+}
+
+
+def _compile(options):
+    phase1 = run_phase1(SOURCES)
+    summaries = [r.summary for r in phase1]
+    if options is None:
+        database = ProgramDatabase()
+    else:
+        database = analyze_program(summaries, options)
+    return database, compile_with_database(phase1, database)
+
+
+def test_preallocation_preserves_semantics_and_conventions():
+    _, baseline_exe = _compile(None)
+    baseline = run_executable(baseline_exe)
+    options = AnalyzerOptions.config("C")
+    options.caller_saves_preallocation = True
+    database, exe = _compile(options)
+    stats = Simulator(
+        exe,
+        check_conventions=True,
+        volatile_registers=database.convention_volatile_registers(),
+    ).run()
+    assert stats.output == baseline.output
+
+
+def test_preallocation_reduces_save_restore_traffic():
+    """`keep` lives across two calls to a leaf that uses almost no
+    caller-saves registers; with preallocation it can stay in a
+    caller-saves register, with the standard convention it needs a
+    callee-saves register plus save/restore."""
+    standard_options = AnalyzerOptions(
+        global_promotion="none", spill_code_motion=False
+    )
+    _, standard_exe = _compile(standard_options)
+    standard = run_executable(standard_exe)
+
+    prealloc_options = AnalyzerOptions(
+        global_promotion="none",
+        spill_code_motion=False,
+        caller_saves_preallocation=True,
+    )
+    database, prealloc_exe = _compile(prealloc_options)
+    prealloc = Simulator(
+        prealloc_exe,
+        check_conventions=True,
+        volatile_registers=database.convention_volatile_registers(),
+    ).run()
+    assert prealloc.output == standard.output
+    assert prealloc.singleton_references < standard.singleton_references
+    assert prealloc.cycles < standard.cycles
+
+
+def test_directives_carry_prefix_and_subtree():
+    options = AnalyzerOptions(caller_saves_preallocation=True)
+    database, _ = _compile(options)
+    worker = database.get("worker")
+    assert worker.caller_prefix is not None
+    assert RV in worker.subtree_caller_used
+    leaf = database.get("leaf")
+    assert leaf.subtree_caller_used < frozenset(CALLER_SAVES)
+
+
+def test_json_round_trip_with_prefix():
+    options = AnalyzerOptions(caller_saves_preallocation=True)
+    database, _ = _compile(options)
+    restored = ProgramDatabase.from_json(database.to_json())
+    worker = restored.get("worker")
+    assert worker.caller_prefix == database.get("worker").caller_prefix
+    assert worker.subtree_caller_used == database.get(
+        "worker"
+    ).subtree_caller_used
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_preallocation_differential_on_random_programs(seed):
+    from repro.testing import generate_program
+
+    sources = generate_program(seed * 7 + 11)
+    phase1 = run_phase1(sources)
+    summaries = [r.summary for r in phase1]
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase()),
+        max_cycles=50_000_000,
+    )
+    options = AnalyzerOptions.config("C")
+    options.caller_saves_preallocation = True
+    database = analyze_program(summaries, options)
+    exe = compile_with_database(phase1, database)
+    stats = Simulator(
+        exe,
+        check_conventions=True,
+        volatile_registers=database.convention_volatile_registers(),
+    ).run(50_000_000)
+    assert stats.output == baseline.output

@@ -1,0 +1,210 @@
+"""Partial call graph tests (paper section 7.2).
+
+When the analyzer sees only part of the program (e.g. a library), a
+pseudo "<external>" caller stands in for unknown outside callers of the
+exported procedures; the analyzer must degrade conservatively rather
+than miscompile.
+"""
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    compile_with_database,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+from repro.callgraph.graph import EXTERNAL_CALLER, CallGraph
+from tests.support import build_graph
+
+LIBRARY = {
+    "lib": """
+        int lib_state;
+        static int internal_calls;
+
+        int helper(int x) {
+          internal_calls++;
+          lib_state += x;
+          return lib_state;
+        }
+
+        int api_entry(int x) {
+          int i;
+          int acc = 0;
+          for (i = 0; i < 10; i++) acc += helper(x + i);
+          return acc;
+        }
+
+        int api_other(int x) {
+          lib_state = x;
+          return helper(x);
+        }
+    """,
+    "main": """
+        extern int api_entry(int);
+        extern int api_other(int);
+        int main() {
+          int r = api_entry(3) + api_other(7) + api_entry(1);
+          print(r);
+          return r & 255;
+        }
+    """,
+}
+
+EXPORTED = frozenset({"api_entry", "api_other", "main"})
+
+
+def test_external_caller_node_added():
+    _, summary = build_graph(
+        {"entry": {"calls": {"inner": 5}}, "inner": {}}
+    )
+    graph = CallGraph.build([summary], exported={"entry"})
+    assert EXTERNAL_CALLER in graph.nodes
+    assert "entry" in graph.nodes[EXTERNAL_CALLER].successors
+    assert EXTERNAL_CALLER in graph.nodes["entry"].predecessors
+
+
+def test_external_caller_reaches_address_taken_procs():
+    _, summary = build_graph(
+        {
+            "entry": {"calls": {}, "address_taken": ["callback"]},
+            "callback": {},
+        }
+    )
+    graph = CallGraph.build([summary], exported={"entry"})
+    assert "callback" in graph.nodes[EXTERNAL_CALLER].successors
+
+
+def test_exported_proc_may_still_be_web_entry():
+    # An exported procedure with only-external callers is a legitimate
+    # web entry: it loads the global from memory at entry and stores it
+    # back at exit, which is correct for arbitrary unknown callers (who,
+    # by the section 7.2 assumption, never touch the global).
+    procs = {
+        "entry": {"calls": {"helper": 10}, "refs": {"g": 5}},
+        "helper": {"refs": {"g": 5}},
+    }
+    _, summary = build_graph(procs, ("g",))
+    partial = analyze_program(
+        [summary],
+        AnalyzerOptions(exported_procedures=frozenset({"entry"})),
+    )
+    assert partial.statistics.webs_colored == 1
+    entry = partial.get("entry")
+    assert entry.promoted and entry.promoted[0].is_entry
+
+
+def test_web_needing_internal_exported_proc_is_discarded():
+    # entry2 is exported AND called from inside the web: it would have
+    # both internal and external predecessors, so the correctness
+    # closure absorbs "<external>" and the web must be discarded.
+    procs = {
+        "entry1": {"calls": {"entry2": 10}, "refs": {"g": 5}},
+        "entry2": {"refs": {"g": 5}},
+    }
+    _, summary = build_graph(procs, ("g",))
+    whole = analyze_program([summary], AnalyzerOptions())
+    assert whole.statistics.webs_colored >= 1
+
+    partial = analyze_program(
+        [summary],
+        AnalyzerOptions(
+            exported_procedures=frozenset({"entry1", "entry2"})
+        ),
+    )
+    assert partial.statistics.webs_colored == 0
+    assert not partial.get("entry1").promoted
+    discarded = [w for w in partial.webs if w.discarded_reason]
+    assert any(
+        w.discarded_reason == "external-caller" for w in discarded
+    )
+
+
+def test_no_directives_for_pseudo_node():
+    _, summary = build_graph({"entry": {}})
+    database = analyze_program(
+        [summary],
+        AnalyzerOptions(exported_procedures=frozenset({"entry"})),
+    )
+    assert EXTERNAL_CALLER not in database
+
+
+def test_externally_visible_globals_ineligible():
+    procs = {"entry": {"refs": {"g": 50}, "calls": {"leaf": 5}},
+             "leaf": {"refs": {"g": 50}}}
+    _, summary = build_graph(procs, ("g",))
+    database = analyze_program(
+        [summary],
+        AnalyzerOptions(
+            externally_visible_globals=frozenset({"g"}),
+        ),
+    )
+    assert database.statistics.webs_colored == 0
+
+
+def test_blanket_rejected_for_partial_graphs():
+    _, summary = build_graph({"entry": {}})
+    with pytest.raises(ValueError, match="whole program"):
+        analyze_program(
+            [summary],
+            AnalyzerOptions(
+                global_promotion="blanket",
+                exported_procedures=frozenset({"entry"}),
+            ),
+        )
+
+
+def test_partial_analysis_preserves_semantics():
+    """Compile the library with partial-graph conservatism and the whole
+    program normally; both must behave identically."""
+    phase1 = run_phase1(LIBRARY)
+    summaries = [r.summary for r in phase1]
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase())
+    )
+    partial_db = analyze_program(
+        summaries,
+        AnalyzerOptions(exported_procedures=EXPORTED),
+    )
+    stats = run_executable(compile_with_database(phase1, partial_db))
+    assert stats.output == baseline.output
+    assert stats.exit_code == baseline.exit_code
+
+
+def test_partial_analysis_still_promotes_internal_webs():
+    """helper is not exported; webs entirely below exported entries can
+    still be promoted when their entry nodes are the exported procs
+    themselves...  here lib_state is referenced by the exported procs,
+    so the web absorbs <external> and is discarded — but the analysis
+    must still produce valid spill-motion directives."""
+    phase1 = run_phase1(LIBRARY)
+    summaries = [r.summary for r in phase1]
+    database = analyze_program(
+        summaries,
+        AnalyzerOptions(exported_procedures=EXPORTED),
+    )
+    for result in phase1:
+        for name in result.ir_module.functions:
+            database.get(name).validate()
+
+
+def test_exported_procs_not_in_clusters_as_members():
+    procs = {
+        "entry": {"calls": {"hot": 100}},
+        "other_entry": {"calls": {"hot": 1}},
+        "hot": {"need": 2},
+    }
+    _, summary = build_graph(procs)
+    database = analyze_program(
+        [summary],
+        AnalyzerOptions(
+            exported_procedures=frozenset({"entry", "other_entry"})
+        ),
+    )
+    # hot has two predecessors (entry, other_entry); neither cluster can
+    # own it unless it owns both preds, whose preds include <external>.
+    for record in database.clusters:
+        assert EXTERNAL_CALLER not in record.members
+        assert record.root != EXTERNAL_CALLER

@@ -1,0 +1,201 @@
+"""Sparse web splitting tests (paper section 7.6.1).
+
+A web with isolated references at the two ends of a long call chain can
+be split into two tight webs; members of split webs save/restore the
+promoted register around calls from which the variable is reachable
+outside the web.
+"""
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    compile_with_database,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+from repro.analyzer.webs import (
+    WebOptions,
+    check_web_invariants,
+    identify_webs,
+)
+from repro.callgraph.dataflow import compute_reference_sets
+from tests.support import build_graph
+
+SPLIT_OPTIONS = WebOptions(
+    min_lref_ratio=0.0,
+    min_single_node_refs=0.0,
+    split_sparse_webs=True,
+    split_lref_ratio=0.5,
+)
+
+# g referenced at the top (driver) and at the bottom (leaf) of a long
+# chain of middlemen that never touch it.
+CHAIN = {
+    "main": {"calls": {"driver": 1}},
+    "driver": {"calls": {"mid1": 10}, "refs": {"g": 20},
+               "stores": {"g": 10}},
+    "mid1": {"calls": {"mid2": 1}},
+    "mid2": {"calls": {"mid3": 1}},
+    "mid3": {"calls": {"leaf": 1}},
+    "leaf": {"refs": {"g": 20}, "stores": {"g": 10}},
+}
+
+
+def split_webs(procs, globals_):
+    graph, summary = build_graph(procs, globals_)
+    sets = compute_reference_sets(graph, set(globals_))
+    webs = identify_webs(graph, sets, set(globals_), SPLIT_OPTIONS)
+    return graph, sets, webs, summary
+
+
+def test_sparse_chain_web_splits_into_two():
+    graph, sets, webs, _ = split_webs(CHAIN, ("g",))
+    live = [w for w in webs if w.is_live]
+    assert len(live) == 2
+    shapes = {frozenset(w.nodes) for w in live}
+    assert frozenset({"driver"}) in shapes
+    assert frozenset({"leaf"}) in shapes
+    assert all(w.from_split for w in live)
+    check_web_invariants(graph, sets, live)
+
+
+def test_dense_web_not_split():
+    procs = {
+        "main": {"calls": {"a": 1}},
+        "a": {"calls": {"b": 1}, "refs": {"g": 5}},
+        "b": {"refs": {"g": 5}},
+    }
+    graph, sets, webs, _ = split_webs(procs, ("g",))
+    (web,) = [w for w in webs if w.is_live]
+    assert not web.from_split
+    assert web.nodes == {"a", "b"}
+
+
+def test_indirect_callers_block_splitting():
+    procs = dict(CHAIN)
+    procs["driver"] = {
+        "calls": {"mid1": 10}, "refs": {"g": 20},
+        "indirect": True, "address_taken": ["leaf"],
+    }
+    graph, sets, webs, _ = split_webs(procs, ("g",))
+    assert all(not w.from_split for w in webs)
+
+
+def test_wrap_callees_directive_emitted():
+    _, _, _, summary = split_webs(CHAIN, ("g",))
+    database = analyze_program(
+        [summary],
+        AnalyzerOptions(web_options=SPLIT_OPTIONS,
+                        spill_code_motion=False),
+    )
+    driver = database.get("driver")
+    g = next(p for p in driver.promoted if p.name == "g")
+    assert g.wrap_callees == ("mid1",)
+    leaf = database.get("leaf")
+    g_leaf = next(p for p in leaf.promoted if p.name == "g")
+    assert g_leaf.wrap_callees == ()
+
+
+def test_intermediate_procs_do_not_reserve_the_register():
+    _, _, _, summary = split_webs(CHAIN, ("g",))
+    database = analyze_program(
+        [summary],
+        AnalyzerOptions(web_options=SPLIT_OPTIONS,
+                        spill_code_motion=False),
+    )
+    for middle in ("mid1", "mid2", "mid3"):
+        assert not database.get(middle).promoted
+    # That is the point of splitting: the register is free for other
+    # uses in the middle of the chain.
+    driver_regs = database.get("driver").reserved_web_registers
+    assert driver_regs
+    for middle in ("mid1", "mid2", "mid3"):
+        assert not database.get(middle).reserved_web_registers
+
+
+SPLIT_PROGRAM = {
+    "top": """
+        int shared;
+        extern int mid1(int);
+        int driver(int n) {
+          int i;
+          int acc = 0;
+          for (i = 0; i < n; i++) {
+            shared = shared + i;
+            acc += mid1(i);
+            acc += shared;
+          }
+          return acc;
+        }
+        int main() {
+          int r = driver(30);
+          print(r);
+          return r & 255;
+        }
+    """,
+    "middle": """
+        extern int leaf(int);
+        int mid3(int x) { return leaf(x) + 1; }
+        int mid2(int x) { return mid3(x * 2) - 1; }
+        int mid1(int x) {
+          int a = x * 3 + 1;
+          int b = mid2(a);
+          return a + b;
+        }
+    """,
+    "bottom": """
+        extern int shared;
+        int leaf(int x) {
+          shared = shared ^ x;
+          return shared & 15;
+        }
+    """,
+}
+
+
+def test_split_webs_preserve_semantics_end_to_end():
+    phase1 = run_phase1(SPLIT_PROGRAM)
+    summaries = [r.summary for r in phase1]
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase())
+    )
+    database = analyze_program(
+        summaries,
+        AnalyzerOptions(web_options=SPLIT_OPTIONS),
+    )
+    stats = run_executable(compile_with_database(phase1, database))
+    assert stats.output == baseline.output
+    assert stats.exit_code == baseline.exit_code
+    # And splitting actually happened: driver wraps its call into the
+    # chain, and the middlemen do not reserve the register.
+    driver = database.get("driver")
+    assert any(p.wrap_callees == ("mid1",) for p in driver.promoted)
+    for middle in ("mid1", "mid2", "mid3"):
+        assert not database.get(middle).promoted
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_split_webs_differential_on_random_programs(seed):
+    from repro.testing import generate_program
+
+    sources = generate_program(seed * 13 + 5)
+    phase1 = run_phase1(sources)
+    summaries = [r.summary for r in phase1]
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase()),
+        max_cycles=50_000_000,
+    )
+    database = analyze_program(
+        summaries,
+        AnalyzerOptions(
+            web_options=WebOptions(split_sparse_webs=True)
+        ),
+    )
+    stats = run_executable(
+        compile_with_database(phase1, database),
+        max_cycles=50_000_000,
+    )
+    assert stats.output == baseline.output

@@ -1,0 +1,243 @@
+"""Web identification tests (paper section 4.1, Figure 2)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.callgraph.dataflow import compute_reference_sets
+from repro.analyzer.webs import (
+    WebOptions,
+    check_web_invariants,
+    identify_webs,
+)
+from tests.support import build_graph, figure3_graph
+
+LOOSE = WebOptions(min_lref_ratio=0.0, min_single_node_refs=0.0)
+
+
+def webs_for(graph, eligible, options=LOOSE, static_modules=None):
+    sets = compute_reference_sets(graph, eligible)
+    webs = identify_webs(graph, sets, eligible, options, static_modules)
+    return webs, sets
+
+
+def test_figure3_webs_match_table2():
+    graph, _ = figure3_graph()
+    webs, sets = webs_for(graph, {"g1", "g2", "g3"})
+    check_web_invariants(graph, sets, webs)
+    shapes = {(w.variable, frozenset(w.nodes)) for w in webs}
+    assert shapes == {
+        ("g3", frozenset("ABC")),
+        ("g2", frozenset("CFG")),
+        ("g2", frozenset("E")),
+        ("g1", frozenset("BDE")),
+    }
+
+
+def test_figure3_entry_nodes():
+    graph, _ = figure3_graph()
+    webs, _ = webs_for(graph, {"g1", "g2", "g3"})
+    entries = {
+        frozenset(w.nodes): w.entry_nodes(graph) for w in webs
+    }
+    assert entries[frozenset("BDE")] == {"B"}  # the paper's example
+    assert entries[frozenset("ABC")] == {"A"}
+    assert entries[frozenset("CFG")] == {"C"}
+
+
+def test_disjoint_regions_one_variable_two_webs():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"left": 1, "right": 1}},
+            "left": {"refs": {"g": 5}},
+            "right": {"refs": {"g": 5}},
+        },
+        ("g",),
+    )
+    webs, sets = webs_for(graph, {"g"})
+    check_web_invariants(graph, sets, webs)
+    assert len(webs) == 2
+    assert {frozenset(w.nodes) for w in webs} == {
+        frozenset({"left"}), frozenset({"right"}),
+    }
+
+
+def test_overlapping_candidates_merged():
+    # Both "top1" and "top2" are candidate entries whose expansions meet.
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"top1": 1, "top2": 1}},
+            "top1": {"calls": {"shared": 1}, "refs": {"g": 5}},
+            "top2": {"calls": {"shared": 1}, "refs": {"g": 5}},
+            "shared": {"refs": {"g": 5}},
+        },
+        ("g",),
+    )
+    webs, sets = webs_for(graph, {"g"})
+    check_web_invariants(graph, sets, webs)
+    assert len(webs) == 1
+    assert webs[0].nodes == {"top1", "top2", "shared"}
+
+
+def test_entry_node_closure_pulls_in_predecessors():
+    # "inner" is reached both from inside the web and from "outside":
+    # the outside predecessor must be absorbed (section 4.1.2
+    # correctness conditions).
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"top": 1, "outside": 1}},
+            "top": {"calls": {"inner": 1}, "refs": {"g": 5}},
+            "outside": {"calls": {"inner": 1}},
+            "inner": {"refs": {"g": 5}},
+        },
+        ("g",),
+    )
+    webs, sets = webs_for(graph, {"g"})
+    check_web_invariants(graph, sets, webs)
+    (web,) = webs
+    assert "outside" in web.nodes
+
+
+def test_recursive_cycle_web():
+    # Mutual recursion references g, but no candidate entry exists on the
+    # entry path (main does not reference g).
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"even": 1}, "refs": {"g": 1}},
+            "even": {"calls": {"odd": 1}},
+            "odd": {"calls": {"even": 1}, "refs": {"g": 5}},
+        },
+        ("g",),
+    )
+    webs, sets = webs_for(graph, {"g"})
+    check_web_invariants(graph, sets, webs)
+    covered = set()
+    for web in webs:
+        covered |= web.nodes
+    assert "odd" in covered
+
+
+def test_every_referencing_node_covered_by_some_web():
+    graph, _ = figure3_graph()
+    webs, sets = webs_for(graph, {"g1", "g2", "g3"})
+    for variable in ("g1", "g2", "g3"):
+        covered = set()
+        for web in webs:
+            if web.variable == variable:
+                covered |= web.nodes
+        for name in graph.nodes:
+            if variable in sets.l_ref[name]:
+                assert name in covered, (variable, name)
+
+
+def test_sparse_web_discarded():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"a": 1}, "refs": {"g": 1}},
+            "a": {"calls": {"b": 1}},
+            "b": {"calls": {"c": 1}},
+            "c": {"calls": {"d": 1}},
+            "d": {"refs": {"g": 1}},
+        },
+        ("g",),
+    )
+    options = WebOptions(min_lref_ratio=0.5, min_single_node_refs=0.0)
+    webs, _ = webs_for(graph, {"g"}, options)
+    assert any(w.discarded_reason == "sparse" for w in webs)
+
+
+def test_single_node_low_frequency_discarded():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"a": 1}},
+            "a": {"refs": {"g": 1}},
+        },
+        ("g",),
+    )
+    options = WebOptions(min_lref_ratio=0.0, min_single_node_refs=1e9)
+    webs, _ = webs_for(graph, {"g"}, options)
+    assert webs[0].discarded_reason == "single-node-low-frequency"
+
+
+def test_static_cross_module_entry_discarded():
+    # The web's entry lands in a module that cannot name the static.
+    from repro.callgraph.graph import CallGraph
+    from repro.frontend.summary import (
+        GlobalSummary,
+        ModuleSummary,
+        ProcedureSummary,
+    )
+
+    mod_a = ModuleSummary(module_name="a")
+    mod_a.globals = [
+        GlobalSummary(name="a.s", module="a", is_static=True)
+    ]
+    mod_a.procedures = [
+        ProcedureSummary(name="user", module="a", global_refs={"a.s": 5}),
+    ]
+    mod_b = ModuleSummary(module_name="b")
+    mod_b.procedures = [
+        ProcedureSummary(name="main", module="b", calls={"entry": 1}),
+        ProcedureSummary(
+            name="entry", module="b", calls={"user": 1},
+            global_refs={"a.s": 5},
+        ),
+    ]
+    graph = CallGraph.build([mod_a, mod_b])
+    graph.normalize_weights()
+    sets = compute_reference_sets(graph, {"a.s"})
+    webs = identify_webs(
+        graph, sets, {"a.s"}, LOOSE, static_modules={"a.s": "a"}
+    )
+    assert any(
+        w.discarded_reason == "static-cross-module-entry" for w in webs
+    )
+
+
+def test_static_same_module_entry_kept():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"user": 1}},
+            "user": {"refs": {"m.s": 5}},
+        },
+    )
+    sets = compute_reference_sets(graph, {"m.s"})
+    webs = identify_webs(
+        graph, sets, {"m.s"}, LOOSE, static_modules={"m.s": "m"}
+    )
+    assert webs[0].discarded_reason is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_web_invariants_on_random_graphs(seed):
+    """Property: the section 4.1.2 invariants hold on arbitrary DAG-ish
+    call graphs with random global reference patterns."""
+    rng = random.Random(seed)
+    size = rng.randint(3, 14)
+    names = [f"p{i}" for i in range(size)]
+    globals_ = [f"g{i}" for i in range(rng.randint(1, 4))]
+    procs = {}
+    for i, name in enumerate(names):
+        calls = {}
+        for _ in range(rng.randint(0, 3)):
+            target = rng.choice(names)
+            if rng.random() < 0.85:
+                # Mostly forward edges; occasionally cycles.
+                later = names[i + 1:]
+                if later:
+                    target = rng.choice(later)
+            if target != name:
+                calls[target] = rng.randint(1, 10)
+        refs = {
+            g: rng.randint(1, 20)
+            for g in globals_
+            if rng.random() < 0.4
+        }
+        procs[name] = {"calls": calls, "refs": refs}
+    graph, _ = build_graph(procs, tuple(globals_))
+    eligible = set(globals_)
+    sets = compute_reference_sets(graph, eligible)
+    webs = identify_webs(graph, sets, eligible, LOOSE)
+    live = [w for w in webs if w.is_live]
+    check_web_invariants(graph, sets, live)

@@ -1,0 +1,195 @@
+"""Instruction selection tests."""
+
+from repro.analyzer.database import default_directives
+from repro.backend.isel import select_function
+from repro.backend.mir import validate_machine_function
+from repro.ir import lower_source
+from repro.opt import optimize_module
+from repro.target import isa
+from repro.target.registers import ARG_REGISTERS, RP, RV, SP
+
+
+def select(source, name="f", opt_level=1):
+    module = lower_source(source, "m")
+    optimize_module(module, opt_level)
+    func = module.functions[name]
+    machine = select_function(func, default_directives(name))
+    validate_machine_function(machine)
+    return machine
+
+
+def instrs(machine):
+    return list(machine.iter_instructions())
+
+
+def count(machine, kind):
+    return sum(1 for i in instrs(machine) if isinstance(i, kind))
+
+
+def test_parameters_moved_from_arg_registers():
+    machine = select("int f(int a, int b) { return a + b; }")
+    moves = [
+        i for i in machine.entry.instructions if isinstance(i, isa.MOV)
+    ]
+    sources = [m.rs for m in moves[:2]]
+    assert sources == [ARG_REGISTERS[0], ARG_REGISTERS[1]]
+
+
+def test_compare_branch_fusion():
+    machine = select(
+        "int f(int a, int b) { if (a < b) return 1; return 2; }"
+    )
+    assert count(machine, isa.BC) >= 1
+    assert count(machine, isa.CMP) == 0  # fused away
+    bc = next(i for i in instrs(machine) if isinstance(i, isa.BC))
+    assert bc.op == "<"
+
+
+def test_comparison_used_as_value_not_fused():
+    machine = select("int f(int a, int b) { return a < b; }")
+    assert count(machine, isa.CMP) == 1
+
+
+def test_fusion_blocked_by_operand_redefinition():
+    machine = select(
+        """
+        int f(int a, int b) {
+          int c = a < b;
+          a = a + 10;
+          if (c) return a;
+          return b;
+        }
+        """
+    )
+    # The comparison result is still branch-only, but "a" is redefined
+    # between compare and branch, so a CMP must be materialized.
+    assert count(machine, isa.CMP) == 1
+
+
+def test_immediate_alu_forms_used():
+    machine = select("int f(int a) { return a + 5; }")
+    assert count(machine, isa.ALUI) >= 1
+    assert count(machine, isa.LDI) == 0
+
+
+def test_zero_register_used_for_zero_constant():
+    machine = select("int f(int a) { return a + 0 * a; }", opt_level=0)
+    # 0 never needs an LDI: the zero register serves.
+    for instr in instrs(machine):
+        if isinstance(instr, isa.LDI):
+            assert instr.imm != 0
+
+
+def test_direct_call_sequence():
+    machine = select(
+        """
+        extern int g(int, int);
+        int f() { return g(1, 2); }
+        """
+    )
+    sequence = instrs(machine)
+    bl_index = next(
+        i for i, ins in enumerate(sequence) if isinstance(ins, isa.BL)
+    )
+    bl = sequence[bl_index]
+    assert bl.callee == "g"
+    assert bl.arg_regs == [ARG_REGISTERS[0], ARG_REGISTERS[1]]
+    assert RV in bl.clobbers and RP in bl.clobbers
+    # Result copied out of RV after the call.
+    result_move = sequence[bl_index + 1]
+    assert isinstance(result_move, isa.MOV)
+    assert result_move.rs == RV
+    assert machine.makes_calls
+
+
+def test_overflow_arguments_stored_to_outgoing_area():
+    machine = select(
+        """
+        extern int g(int, int, int, int, int, int);
+        int f() { return g(1, 2, 3, 4, 5, 6); }
+        """
+    )
+    stores = [
+        i for i in instrs(machine)
+        if isinstance(i, isa.STW) and i.base == SP
+    ]
+    outgoing = [
+        s for s in stores
+        if getattr(s.offset, "kind", None) == "outgoing"
+    ]
+    assert len(outgoing) == 2
+    assert machine.max_outgoing_args == 6
+
+
+def test_global_access_uses_lda_plus_ldw():
+    machine = select("int g; int f() { return g; }", opt_level=0)
+    sequence = instrs(machine)
+    lda = next(i for i in sequence if isinstance(i, isa.LDA))
+    assert lda.symbol == "g"
+    ldw = next(i for i in sequence if isinstance(i, isa.LDW))
+    assert ldw.singleton
+
+
+def test_lda_cached_within_block():
+    machine = select(
+        "int g; int h; int f() { g = 1; g = 2; return g; }", opt_level=0
+    )
+    ldas = [i for i in instrs(machine) if isinstance(i, isa.LDA)]
+    assert len(ldas) == 1  # one address materialization for 3 accesses
+
+
+def test_array_store_not_singleton():
+    machine = select("int a[8]; int f(int i) { a[i] = 1; return 0; }")
+    stw = next(
+        i for i in instrs(machine)
+        if isinstance(i, isa.STW) and i.base != SP
+    )
+    assert not stw.singleton
+
+
+def test_indirect_call_uses_blr():
+    machine = select(
+        """
+        int g(int x) { return x; }
+        int f() { int *p = &g; return p(9); }
+        """
+    )
+    assert count(machine, isa.BLR) == 1
+    lda = next(i for i in instrs(machine) if isinstance(i, isa.LDA))
+    assert lda.is_function
+
+
+def test_builtin_lowered_to_sys():
+    machine = select("int f() { print(7); putc(10); return 0; }")
+    syscalls = [i for i in instrs(machine) if isinstance(i, isa.SYS)]
+    assert [s.kind for s in syscalls] == ["print", "putc"]
+    assert count(machine, isa.BL) == 0
+
+
+def test_return_routes_through_exit_block():
+    machine = select(
+        "int f(int a) { if (a) return 1; return 2; }"
+    )
+    exit_block = machine.exit
+    assert any(isinstance(i, isa.RET) for i in exit_block.instructions)
+    rets = count(machine, isa.RET)
+    assert rets == 1
+
+
+def test_unary_ops_use_zero_register():
+    machine = select("int f(int a) { return -a; }")
+    alu = next(i for i in instrs(machine) if isinstance(i, isa.ALU))
+    assert alu.op == "-"
+    assert alu.ra == 0  # zero register
+
+
+def test_frame_slot_address_via_sp():
+    machine = select(
+        "int f() { int a[4]; a[0] = 1; return a[0]; }"
+    )
+    addr = next(
+        i for i in instrs(machine)
+        if isinstance(i, isa.ALUI) and i.ra == SP
+    )
+    assert getattr(addr.imm, "kind", None) == "slot"
+    assert machine.slot_sizes == [4]

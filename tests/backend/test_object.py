@@ -1,0 +1,83 @@
+"""Object emission tests: layout, fallthrough, branch resolution."""
+
+from repro.analyzer.database import default_directives
+from repro.backend.finalize import finalize_frame
+from repro.backend.isel import select_function
+from repro.backend.object import emit_function
+from repro.backend.regalloc import allocate_function
+from repro.ir import lower_source
+from repro.opt import optimize_module
+from repro.target import isa
+
+
+def emit(source, name="f", opt_level=1):
+    module = lower_source(source, "m")
+    optimize_module(module, opt_level)
+    machine = select_function(
+        module.functions[name], default_directives(name)
+    )
+    allocate_function(machine)
+    finalize_frame(machine)
+    return emit_function(machine)
+
+
+def test_branch_targets_are_instruction_indices():
+    obj = emit("int f(int a) { if (a) return 1; return 2; }")
+    for instruction in obj.instructions:
+        if isinstance(instruction, (isa.B, isa.BC)):
+            assert isinstance(instruction.target, int)
+            assert 0 <= instruction.target < len(obj.instructions)
+
+
+def test_fallthrough_branches_elided():
+    obj = emit(
+        """
+        int f(int a) {
+          int x = 0;
+          if (a) x = 1; else x = 2;
+          return x;
+        }
+        """
+    )
+    # No unconditional branch should target the immediately next index.
+    for index, instruction in enumerate(obj.instructions):
+        if isinstance(instruction, isa.B):
+            assert instruction.target != index + 1
+
+
+def test_single_ret_at_end():
+    obj = emit("int f(int a) { if (a) return a; return 0; }")
+    rets = [
+        i for i in obj.instructions if isinstance(i, isa.RET)
+    ]
+    assert len(rets) == 1
+    assert isinstance(obj.instructions[-1], isa.RET)
+
+
+def test_loop_emits_backward_branch():
+    obj = emit(
+        "int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }"
+    )
+    backward = [
+        i for index, i in enumerate(obj.instructions)
+        if isinstance(i, (isa.B, isa.BC)) and i.target <= index
+    ]
+    assert backward
+
+
+def test_emission_copies_do_not_alias_machine_function():
+    module = lower_source("int f(int a) { if (a) return 1; return 2; }",
+                          "m")
+    optimize_module(module, 1)
+    machine = select_function(module.functions["f"],
+                              default_directives("f"))
+    allocate_function(machine)
+    finalize_frame(machine)
+    first = emit_function(machine)
+    second = emit_function(machine)
+    # Emitting twice must produce independent instruction objects with
+    # identical shapes (the linker mutates branch targets in its copy).
+    assert len(first.instructions) == len(second.instructions)
+    for a, b in zip(first.instructions, second.instructions):
+        assert a is not b
+        assert repr(a) == repr(b)

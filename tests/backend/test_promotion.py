@@ -1,0 +1,118 @@
+"""Web promotion rewriting tests (compiler second phase, section 5)."""
+
+from repro.analyzer.database import ProcedureDirectives, PromotedGlobal
+from repro.backend.promotion import apply_web_promotion
+from repro.ir import lower_source, verify_module
+from repro.ir.instructions import LoadGlobal, Move, Return, StoreGlobal
+from repro.target.registers import CALLEE_SAVES
+
+
+def directives_for(name, promoted):
+    reserved = {p.register for p in promoted}
+    return ProcedureDirectives(
+        name=name,
+        promoted=tuple(promoted),
+        callee=frozenset(CALLEE_SAVES) - reserved,
+    )
+
+
+def promote(source, promoted, name="f"):
+    module = lower_source(source, "m")
+    func = module.functions[name]
+    apply_web_promotion(func, directives_for(name, promoted))
+    verify_module(module)
+    return func
+
+
+def loads_of(func, symbol):
+    return [
+        i for i in func.iter_instructions()
+        if isinstance(i, LoadGlobal) and i.symbol == symbol
+    ]
+
+
+def stores_of(func, symbol):
+    return [
+        i for i in func.iter_instructions()
+        if isinstance(i, StoreGlobal) and i.symbol == symbol
+    ]
+
+
+def test_member_accesses_become_register_moves():
+    func = promote(
+        "int g; int f(int a) { g = g + a; return g; }",
+        [PromotedGlobal("g", 31, is_entry=False)],
+    )
+    assert not loads_of(func, "g")
+    assert not stores_of(func, "g")
+    assert func.pinned_temps
+    (pinned, register), = func.pinned_temps.items()
+    assert register == 31
+
+
+def test_entry_node_loads_at_entry_and_stores_at_exit():
+    func = promote(
+        "int g; int f(int a) { g = g + a; return g; }",
+        [PromotedGlobal("g", 31, is_entry=True, needs_store=True)],
+    )
+    entry_loads = loads_of(func, "g")
+    assert len(entry_loads) == 1
+    assert func.entry.instructions[0] is entry_loads[0]
+    exit_stores = stores_of(func, "g")
+    assert len(exit_stores) >= 1
+    # The store is the last instruction before the return.
+    for block in func.blocks.values():
+        if isinstance(block.terminator, Return) and block.instructions:
+            assert isinstance(block.instructions[-1], StoreGlobal)
+
+
+def test_read_only_web_entry_skips_exit_store():
+    func = promote(
+        "int g; int f() { return g; }",
+        [PromotedGlobal("g", 31, is_entry=True, needs_store=False)],
+    )
+    assert len(loads_of(func, "g")) == 1
+    assert not stores_of(func, "g")
+
+
+def test_entry_store_on_every_return_path():
+    func = promote(
+        "int g; int f(int a) { if (a) { g = 1; return 1; } g = 2; return 2; }",
+        [PromotedGlobal("g", 31, is_entry=True, needs_store=True)],
+    )
+    return_blocks = [
+        b for b in func.blocks.values() if isinstance(b.terminator, Return)
+    ]
+    assert len(return_blocks) >= 2
+    for block in return_blocks:
+        assert isinstance(block.instructions[-1], StoreGlobal)
+
+
+def test_unrelated_globals_untouched():
+    func = promote(
+        "int g; int other; int f() { other = g; return other; }",
+        [PromotedGlobal("g", 31, is_entry=False)],
+    )
+    assert not loads_of(func, "g")
+    assert stores_of(func, "other")
+
+
+def test_two_promotions_in_one_procedure():
+    func = promote(
+        "int g; int h; int f() { g = h + 1; return g + h; }",
+        [
+            PromotedGlobal("g", 31, is_entry=True),
+            PromotedGlobal("h", 30, is_entry=False),
+        ],
+    )
+    assert set(func.pinned_temps.values()) == {30, 31}
+    assert len(loads_of(func, "g")) == 1  # entry load only
+    assert not loads_of(func, "h")
+
+
+def test_no_promotions_is_noop():
+    module = lower_source("int g; int f() { return g; }", "m")
+    func = module.functions["f"]
+    directives = ProcedureDirectives(name="f")
+    assert apply_web_promotion(func, directives) is False
+    assert loads_of(func, "g")

@@ -1,0 +1,126 @@
+"""Interprocedural reference-set dataflow tests (paper section 4.1.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.callgraph.dataflow import compute_reference_sets, eligible_globals
+from repro.frontend.summary import (
+    GlobalSummary,
+    ModuleSummary,
+    ProcedureSummary,
+)
+from tests.support import build_graph, figure3_graph
+
+TABLE1 = {
+    "A": ("g3", "g1 g2 g3", ""),
+    "B": ("g1 g3", "g1 g2", "g3"),
+    "C": ("g2 g3", "g2", "g3"),
+    "D": ("g1", "", "g1 g3"),
+    "E": ("g1 g2", "", "g1 g3"),
+    "F": ("g2", "", "g2 g3"),
+    "G": ("g2", "", "g2 g3"),
+    "H": ("", "", "g2 g3"),
+}
+
+
+def test_table1_reference_sets():
+    """The paper's Table 1, exactly."""
+    graph, _ = figure3_graph()
+    sets = compute_reference_sets(graph, {"g1", "g2", "g3"})
+    for name, (l, c, p) in TABLE1.items():
+        assert sets.l_ref[name] == frozenset(l.split()), ("L_REF", name)
+        assert sets.c_ref[name] == frozenset(c.split()), ("C_REF", name)
+        assert sets.p_ref[name] == frozenset(p.split()), ("P_REF", name)
+
+
+def test_ineligible_globals_excluded_from_sets():
+    graph, _ = figure3_graph()
+    sets = compute_reference_sets(graph, {"g1"})
+    assert sets.l_ref["C"] == frozenset()
+    assert sets.c_ref["A"] == frozenset({"g1"})
+
+
+def test_recursive_cycle_propagation():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"a": 1}, "refs": {"g": 1}},
+            "a": {"calls": {"b": 1}},
+            "b": {"calls": {"a": 1}},
+        },
+        ("g",),
+    )
+    sets = compute_reference_sets(graph, {"g"})
+    # g reaches both cycle members through main.
+    assert "g" in sets.p_ref["a"]
+    assert "g" in sets.p_ref["b"]
+    # And flows up from nowhere (no references below).
+    assert sets.c_ref["main"] == frozenset()
+
+
+def test_c_ref_through_cycles():
+    graph, _ = build_graph(
+        {
+            "main": {"calls": {"a": 1}},
+            "a": {"calls": {"b": 1}},
+            "b": {"calls": {"a": 1, "leaf": 1}},
+            "leaf": {"refs": {"g": 1}},
+        },
+        ("g",),
+    )
+    sets = compute_reference_sets(graph, {"g"})
+    assert "g" in sets.c_ref["main"]
+    assert "g" in sets.c_ref["a"]
+    assert "g" in sets.c_ref["b"]
+    assert sets.c_ref["leaf"] == frozenset()
+
+
+def test_eligible_globals_rules():
+    summary = ModuleSummary(module_name="m")
+    summary.globals = [
+        GlobalSummary(name="ok", module="m"),
+        GlobalSummary(name="arr", module="m", is_scalar_word=False),
+        GlobalSummary(name="aliased", module="m", address_taken=True),
+    ]
+    summary.aliased_globals = ["extern_aliased"]
+    other = ModuleSummary(module_name="n")
+    other.globals = [GlobalSummary(name="extern_aliased", module="n")]
+    assert eligible_globals([summary, other]) == {"ok"}
+
+
+def test_eligibility_aliasing_is_program_wide():
+    defines = ModuleSummary(module_name="def")
+    defines.globals = [GlobalSummary(name="g", module="def")]
+    aliases = ModuleSummary(module_name="alias")
+    aliases.aliased_globals = ["g"]
+    assert eligible_globals([defines, aliases]) == set()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dataflow_fixpoint_properties(seed):
+    """P_REF/C_REF satisfy their defining equations at fixpoint."""
+    import random
+
+    rng = random.Random(seed)
+    names = [f"p{i}" for i in range(rng.randint(3, 10))]
+    procs = {}
+    for i, name in enumerate(names):
+        callees = {
+            rng.choice(names): 1 for _ in range(rng.randint(0, 2))
+        }
+        callees.pop(name, None)
+        refs = {}
+        if rng.random() < 0.5:
+            refs[f"g{rng.randint(0, 2)}"] = 1
+        procs[name] = {"calls": callees, "refs": refs}
+    graph, _ = build_graph(procs, ("g0", "g1", "g2"))
+    eligible = {"g0", "g1", "g2"}
+    sets = compute_reference_sets(graph, eligible)
+    for name in graph.nodes:
+        expected_p = set()
+        for pred in graph.nodes[name].predecessors:
+            expected_p |= sets.p_ref[pred] | sets.l_ref[pred]
+        assert sets.p_ref[name] == frozenset(expected_p), name
+        expected_c = set()
+        for succ in graph.nodes[name].successors:
+            expected_c |= sets.c_ref[succ] | sets.l_ref[succ]
+        assert sets.c_ref[name] == frozenset(expected_c), name

@@ -1,0 +1,170 @@
+"""Call graph construction tests."""
+
+import pytest
+
+from repro.callgraph.graph import CallGraph
+from repro.frontend.summary import (
+    GlobalSummary,
+    ModuleSummary,
+    ProcedureSummary,
+)
+
+
+def make_summary(procs, globals_=()):
+    """procs: list of (name, {callee: freq}) or richer dicts."""
+    summary = ModuleSummary(module_name="m")
+    for entry in procs:
+        if isinstance(entry, ProcedureSummary):
+            summary.procedures.append(entry)
+        else:
+            name, calls = entry
+            summary.procedures.append(
+                ProcedureSummary(name=name, module="m", calls=dict(calls))
+            )
+    summary.globals = [GlobalSummary(name=g, module="m") for g in globals_]
+    return summary
+
+
+def test_basic_edges():
+    graph = CallGraph.build(
+        [make_summary([("main", {"a": 2, "b": 1}), ("a", {}), ("b", {})])]
+    )
+    assert graph.successors("main") == ["a", "b"]
+    assert graph.predecessors("a") == ["main"]
+    assert graph.nodes["main"].successors["a"] == 2
+
+
+def test_start_nodes():
+    graph = CallGraph.build(
+        [make_summary([("main", {"a": 1}), ("a", {}), ("orphan", {})])]
+    )
+    assert graph.start_nodes() == ["main", "orphan"]
+
+
+def test_fully_cyclic_graph_falls_back_to_main():
+    graph = CallGraph.build(
+        [make_summary([("main", {"a": 1}), ("a", {"main": 1})])]
+    )
+    assert graph.start_nodes() == ["main"]
+
+
+def test_calls_to_unknown_procs_ignored():
+    graph = CallGraph.build(
+        [make_summary([("main", {"library_fn": 3})])]
+    )
+    assert graph.successors("main") == []
+
+
+def test_duplicate_procedure_rejected():
+    s1 = make_summary([("f", {})])
+    s2 = make_summary([("f", {})])
+    with pytest.raises(ValueError):
+        CallGraph.build([s1, s2])
+
+
+def test_indirect_call_edges_conservative():
+    summary = ModuleSummary(module_name="m")
+    summary.procedures = [
+        ProcedureSummary(
+            name="main", module="m", calls={"caller": 1},
+            address_taken_procs=["t1", "t2"],
+        ),
+        ProcedureSummary(
+            name="caller", module="m", makes_indirect_calls=True,
+            indirect_call_freq=5,
+        ),
+        ProcedureSummary(name="t1", module="m"),
+        ProcedureSummary(name="t2", module="m"),
+        ProcedureSummary(name="unrelated", module="m"),
+    ]
+    graph = CallGraph.build([summary])
+    assert graph.indirect_targets == {"t1", "t2"}
+    assert set(graph.successors("caller")) == {"t1", "t2"}
+    assert "unrelated" not in graph.successors("caller")
+
+
+def test_scc_detection():
+    graph = CallGraph.build(
+        [make_summary([
+            ("main", {"a": 1}),
+            ("a", {"b": 1}),
+            ("b", {"a": 1, "c": 1}),
+            ("c", {}),
+        ])]
+    )
+    components = {
+        frozenset(c) for c in graph.strongly_connected_components()
+    }
+    assert frozenset({"a", "b"}) in components
+    assert frozenset({"c"}) in components
+
+
+def test_recursive_nodes_include_self_loops():
+    graph = CallGraph.build(
+        [make_summary([("main", {"r": 1}), ("r", {"r": 1})])]
+    )
+    assert graph.recursive_nodes() == {"r"}
+
+
+def test_heuristic_weights_propagate_topdown():
+    graph = CallGraph.build(
+        [make_summary([
+            ("main", {"mid": 10}),
+            ("mid", {"leaf": 10}),
+            ("leaf", {}),
+        ])]
+    )
+    graph.normalize_weights()
+    assert graph.nodes["main"].weight == 1.0
+    assert graph.nodes["mid"].weight == 10.0
+    assert graph.nodes["leaf"].weight == 100.0
+
+
+def test_recursion_boosts_weight():
+    graph = CallGraph.build(
+        [make_summary([
+            ("main", {"rec": 1, "plain": 1}),
+            ("rec", {"rec": 1}),
+            ("plain", {}),
+        ])]
+    )
+    graph.normalize_weights()
+    assert graph.nodes["rec"].weight > graph.nodes["plain"].weight
+
+
+def test_profile_weights_override_heuristics():
+    class FakeProfile:
+        def node_count(self, name):
+            return {"main": 1, "leaf": 777}.get(name, 0)
+
+        def edge_count(self, caller, callee):
+            return 777 if (caller, callee) == ("main", "leaf") else 0
+
+    graph = CallGraph.build(
+        [make_summary([("main", {"leaf": 1}), ("leaf", {})])]
+    )
+    graph.normalize_weights(FakeProfile())
+    assert graph.nodes["leaf"].weight == 777.0
+    assert graph.edge_weight("main", "leaf", FakeProfile()) == 777.0
+
+
+def test_edge_weight_heuristic():
+    graph = CallGraph.build(
+        [make_summary([("main", {"leaf": 4}), ("leaf", {})])]
+    )
+    graph.normalize_weights()
+    assert graph.edge_weight("main", "leaf") == 4.0
+
+
+def test_dominator_tree_over_call_graph():
+    graph = CallGraph.build(
+        [make_summary([
+            ("main", {"a": 1, "b": 1}),
+            ("a", {"c": 1}),
+            ("b", {"c": 1}),
+            ("c", {}),
+        ])]
+    )
+    tree = graph.dominator_tree()
+    assert tree.immediate_dominator("c") == "main"
+    assert tree.immediate_dominator("a") == "main"

@@ -1,0 +1,107 @@
+"""End-to-end pipeline driver tests."""
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    collect_profile,
+    compile_and_run,
+    compile_program,
+    compile_with_database,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+
+SOURCES = {
+    "counter": """
+        int count;
+        int bump(int by) { count += by; return count; }
+    """,
+    "main": """
+        extern int bump(int);
+        extern int count;
+        int main() {
+          int i;
+          for (i = 0; i < 10; i++) bump(i);
+          print(count);
+          return count & 255;
+        }
+    """,
+}
+
+
+def test_compile_and_run_baseline():
+    stats = compile_and_run(SOURCES)
+    assert stats.output == "45\n"
+    assert stats.exit_code == 45
+
+
+def test_compile_program_exposes_artifacts():
+    result = compile_program(SOURCES)
+    assert len(result.phase1_results) == 2
+    assert len(result.objects) == 2
+    assert len(result.summaries) == 2
+    assert result.executable.code_size > 0
+
+
+def test_analyzer_options_engage_ipa():
+    result = compile_program(
+        SOURCES, analyzer_options=AnalyzerOptions.config("C")
+    )
+    assert "bump" in result.database
+    stats = run_executable(result.executable)
+    assert stats.output == "45\n"
+
+
+def test_all_configs_preserve_output():
+    phase1 = run_phase1(SOURCES)
+    profile = collect_profile(phase1)
+    baseline = run_executable(
+        compile_with_database(phase1, ProgramDatabase())
+    )
+    for config in "ABCDEF":
+        options = AnalyzerOptions.config(
+            config, profile if config in "BF" else None
+        )
+        database = analyze_program(
+            [r.summary for r in phase1], options
+        )
+        stats = run_executable(compile_with_database(phase1, database))
+        assert stats.output == baseline.output, config
+        assert stats.exit_code == baseline.exit_code, config
+
+
+def test_phase1_results_reusable_across_configs():
+    phase1 = run_phase1(SOURCES)
+    first = run_executable(compile_with_database(phase1, ProgramDatabase()))
+    second = run_executable(compile_with_database(phase1, ProgramDatabase()))
+    assert first.output == second.output
+    assert first.cycles == second.cycles
+
+
+def test_promotion_reduces_singleton_references():
+    baseline = compile_and_run(SOURCES)
+    promoted = compile_and_run(
+        SOURCES, analyzer_options=AnalyzerOptions.config("C")
+    )
+    assert promoted.singleton_references < baseline.singleton_references
+
+
+def test_sources_as_list_of_pairs():
+    stats = compile_and_run([("m", "int main() { return 9; }")])
+    assert stats.exit_code == 9
+
+
+def test_opt_levels():
+    for level in (0, 1, 2):
+        stats = compile_and_run(SOURCES, opt_level=level)
+        assert stats.output == "45\n"
+
+
+def test_collect_profile_counts():
+    phase1 = run_phase1(SOURCES)
+    profile = collect_profile(phase1)
+    assert profile.node_count("bump") == 10
+    assert profile.edge_count("main", "bump") == 10

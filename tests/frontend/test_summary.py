@@ -1,0 +1,121 @@
+"""Compiler first phase / summary file tests."""
+
+from repro.frontend.phase1 import compile_module_phase1
+from repro.frontend.summary import ModuleSummary
+
+
+def summarize(source, name="m", opt_level=2):
+    return compile_module_phase1(source, name, opt_level).summary
+
+
+def test_procedures_listed():
+    summary = summarize(
+        "int f() { return 0; } static int s() { return 1; }"
+    )
+    names = {p.name for p in summary.procedures}
+    assert names == {"f", "m.s"}
+
+
+def test_global_refs_and_stores_recorded():
+    summary = summarize(
+        """
+        int g; int h;
+        int f() { g = g + 1; return g + h; }
+        """
+    )
+    proc = summary.procedures[0]
+    # Summaries reflect *optimized* code: local promotion caches g in a
+    # temp, leaving one load and one store.
+    assert proc.global_refs["g"] == 2
+    assert proc.global_stores["g"] == 1
+    assert proc.global_refs["h"] >= 1
+    assert "h" not in proc.global_stores
+
+
+def test_calls_recorded_with_frequency():
+    summary = summarize(
+        """
+        extern int h(int);
+        int f(int n) {
+          int i;
+          int s = 0;
+          for (i = 0; i < n; i++) s += h(i);
+          return s;
+        }
+        """
+    )
+    proc = summary.procedures[0]
+    assert proc.calls["h"] == 10
+
+
+def test_address_taken_function_recorded():
+    summary = summarize(
+        """
+        int target(int x) { return x; }
+        int f() { int *p = &target; return p(1); }
+        """
+    )
+    proc = next(p for p in summary.procedures if p.name == "f")
+    assert proc.address_taken_procs == ["target"]
+    assert proc.makes_indirect_calls
+
+
+def test_globals_eligibility_fields():
+    summary = summarize(
+        """
+        int scalar;
+        int arr[4];
+        static int priv;
+        int aliased;
+        int f() { int *p = &aliased; return *p + scalar + arr[0] + priv; }
+        """
+    )
+    by_name = {g.name: g for g in summary.globals}
+    assert by_name["scalar"].is_scalar_word
+    assert not by_name["arr"].is_scalar_word
+    assert by_name["m.priv"].is_static
+    assert by_name["aliased"].address_taken
+    assert not by_name["scalar"].address_taken
+
+
+def test_aliased_extern_global_recorded():
+    summary = summarize(
+        """
+        extern int other;
+        int f() { int *p = &other; return *p; }
+        """
+    )
+    assert "other" in summary.aliased_globals
+
+
+def test_json_round_trip():
+    summary = summarize(
+        """
+        int g;
+        extern int h(int);
+        int f(int n) { g += h(n); return g; }
+        """
+    )
+    restored = ModuleSummary.from_json(summary.to_json())
+    assert restored.module_name == summary.module_name
+    assert len(restored.procedures) == len(summary.procedures)
+    original = summary.procedures[0]
+    copy = restored.procedures[0]
+    assert copy.name == original.name
+    assert copy.calls == original.calls
+    assert copy.global_refs == original.global_refs
+    assert copy.callee_saves_needed == original.callee_saves_needed
+    assert [g.name for g in restored.globals] == [
+        g.name for g in summary.globals
+    ]
+
+
+def test_summary_reflects_optimized_code():
+    # Folding removes a dead global reference entirely.
+    source = "int g; int f() { int x = 0 * g; return 1; }"
+    optimized = summarize(source, opt_level=2)
+    unoptimized = summarize(source, opt_level=0)
+    opt_refs = optimized.procedures[0].global_refs.get("g", 0)
+    raw_refs = unoptimized.procedures[0].global_refs.get("g", 0)
+    assert opt_refs == 0
+    assert raw_refs >= 1

@@ -1,0 +1,79 @@
+"""Workload sanity tests: every Table 3 program compiles, runs, and
+exhibits the structural features its paper counterpart is chosen for."""
+
+import pytest
+
+from repro import AnalyzerOptions, compile_and_run, compile_program
+from repro.workloads import all_workloads, get_workload
+
+WORKLOAD_NAMES = list(all_workloads())
+
+
+def test_registry_matches_table3():
+    workloads = all_workloads()
+    assert list(workloads) == [
+        "dhrystone", "fgrep", "othello", "war", "crtool", "protoc",
+        "paopt",
+    ]
+    counterparts = {w.paper_counterpart for w in workloads.values()}
+    assert counterparts == {
+        "Dhrystone", "Fgrep", "Othello", "War", "CR Tool", "Proto C",
+        "PA Opt",
+    }
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        get_workload("nope")
+
+
+@pytest.mark.parametrize("name", ["dhrystone", "fgrep", "protoc"])
+def test_workload_runs_and_produces_output(name):
+    workload = get_workload(name)
+    stats = compile_and_run(
+        workload.sources, max_cycles=workload.max_cycles
+    )
+    assert stats.output
+    assert stats.cycles > 1000
+
+
+def test_workloads_are_multi_module():
+    for workload in all_workloads().values():
+        assert len(workload.sources) >= 2, workload.name
+
+
+def test_workloads_have_eligible_globals():
+    """Every workload exposes promotable globals — otherwise it cannot
+    exercise the paper's contribution."""
+    from repro.callgraph.dataflow import eligible_globals
+    from repro import run_phase1
+
+    for name in ("dhrystone", "fgrep", "protoc"):
+        workload = get_workload(name)
+        phase1 = run_phase1(workload.sources)
+        eligible = eligible_globals([r.summary for r in phase1])
+        assert len(eligible) >= 3, name
+
+
+def test_paopt_has_many_webs():
+    """The big-application property: many globals, many webs, more than
+    the blanket budget of 6."""
+    workload = get_workload("paopt")
+    result = compile_program(
+        workload.sources, analyzer_options=AnalyzerOptions.config("C")
+    )
+    stats = result.database.statistics
+    assert stats.eligible_globals > 20
+    assert stats.total_webs > 20
+    assert stats.webs_colored > 6  # more than blanket promotion can do
+
+
+def test_dhrystone_promotion_improves_cycles():
+    workload = get_workload("dhrystone")
+    baseline = compile_and_run(workload.sources)
+    promoted = compile_and_run(
+        workload.sources, analyzer_options=AnalyzerOptions.config("C")
+    )
+    assert promoted.output == baseline.output
+    assert promoted.cycles < baseline.cycles
+    assert promoted.singleton_references < baseline.singleton_references

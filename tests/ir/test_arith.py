@@ -1,0 +1,119 @@
+"""32-bit arithmetic semantics tests (shared optimizer/simulator rules)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import arith
+
+int32 = st.integers(min_value=arith.INT_MIN, max_value=arith.INT_MAX)
+
+
+def test_wrap32_identity_in_range():
+    assert arith.wrap32(0) == 0
+    assert arith.wrap32(arith.INT_MAX) == arith.INT_MAX
+    assert arith.wrap32(arith.INT_MIN) == arith.INT_MIN
+
+
+def test_wrap32_overflow():
+    assert arith.wrap32(arith.INT_MAX + 1) == arith.INT_MIN
+    assert arith.wrap32(arith.INT_MIN - 1) == arith.INT_MAX
+    assert arith.wrap32(1 << 32) == 0
+
+
+def test_c_division_truncates_toward_zero():
+    assert arith.c_div(7, 2) == 3
+    assert arith.c_div(-7, 2) == -3
+    assert arith.c_div(7, -2) == -3
+    assert arith.c_div(-7, -2) == 3
+
+
+def test_c_remainder_sign_follows_dividend():
+    assert arith.c_rem(7, 2) == 1
+    assert arith.c_rem(-7, 2) == -1
+    assert arith.c_rem(7, -2) == 1
+    assert arith.c_rem(-7, -2) == -1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(arith.DivisionByZeroError):
+        arith.c_div(1, 0)
+    with pytest.raises(arith.DivisionByZeroError):
+        arith.c_rem(1, 0)
+    with pytest.raises(arith.DivisionByZeroError):
+        arith.eval_binop("/", 1, 0)
+
+
+def test_shift_count_masked():
+    assert arith.eval_binop("<<", 1, 33) == 2
+    assert arith.eval_binop(">>", 4, 34) == 1
+
+
+def test_arithmetic_right_shift_of_negative():
+    assert arith.eval_binop(">>", -8, 1) == -4
+    assert arith.eval_binop(">>", -1, 31) == -1
+
+
+def test_comparisons_produce_zero_one():
+    assert arith.eval_binop("<", 1, 2) == 1
+    assert arith.eval_binop(">=", 1, 2) == 0
+
+
+def test_unops():
+    assert arith.eval_unop("-", 5) == -5
+    assert arith.eval_unop("-", arith.INT_MIN) == arith.INT_MIN  # wraps
+    assert arith.eval_unop("~", 0) == -1
+    assert arith.eval_unop("!", 0) == 1
+    assert arith.eval_unop("!", 17) == 0
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError):
+        arith.eval_binop("**", 1, 2)
+    with pytest.raises(ValueError):
+        arith.eval_unop("+", 1)
+
+
+@given(int32, int32)
+def test_add_matches_two_complement(a, b):
+    expected = (a + b) & arith.WORD_MASK
+    assert arith.eval_binop("+", a, b) & arith.WORD_MASK == expected
+
+
+@given(int32, int32)
+def test_mul_matches_two_complement(a, b):
+    expected = (a * b) & arith.WORD_MASK
+    assert arith.eval_binop("*", a, b) & arith.WORD_MASK == expected
+
+
+@given(int32)
+def test_wrap_is_idempotent(a):
+    assert arith.wrap32(arith.wrap32(a)) == arith.wrap32(a)
+
+
+@given(int32, int32)
+def test_division_identity(a, b):
+    if b == 0:
+        return
+    quotient = arith.eval_binop("/", a, b)
+    remainder = arith.eval_binop("%", a, b)
+    assert arith.wrap32(quotient * b + remainder) == a
+
+
+@given(int32, int32)
+def test_negated_comparisons_consistent(a, b):
+    for op, negated in arith.NEGATED_COMPARISON.items():
+        assert arith.eval_binop(op, a, b) == 1 - arith.eval_binop(
+            negated, a, b
+        )
+
+
+@given(int32, int32)
+def test_swapped_comparisons_consistent(a, b):
+    for op, swapped in arith.SWAPPED_COMPARISON.items():
+        assert arith.eval_binop(op, a, b) == arith.eval_binop(swapped, b, a)
+
+
+@given(int32, int32)
+def test_commutative_ops(a, b):
+    for op in arith.COMMUTATIVE_OPS:
+        assert arith.eval_binop(op, a, b) == arith.eval_binop(op, b, a)

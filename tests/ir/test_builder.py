@@ -1,0 +1,290 @@
+"""AST -> IR lowering tests."""
+
+import pytest
+
+from repro.ir import lower_source, verify_module
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallIndirect,
+    CJump,
+    FrameAddr,
+    Jump,
+    Load,
+    LoadAddr,
+    LoadGlobal,
+    Move,
+    Return,
+    Store,
+    StoreGlobal,
+)
+from repro.ir.values import Const, Temp
+
+
+def lower(source):
+    module = lower_source(source, "m")
+    verify_module(module)
+    return module
+
+
+def instructions_of(function):
+    return list(function.iter_instructions())
+
+
+def test_simple_function_structure():
+    module = lower("int add(int a, int b) { return a + b; }")
+    func = module.functions["add"]
+    assert len(func.params) == 2
+    (instr,) = instructions_of(func)
+    assert isinstance(instr, BinOp)
+    assert instr.op == "+"
+
+
+def test_global_scalar_access_uses_load_store_global():
+    module = lower("int g; int f() { g = g + 1; return g; }")
+    instrs = instructions_of(module.functions["f"])
+    assert any(isinstance(i, LoadGlobal) and i.symbol == "g" for i in instrs)
+    assert any(isinstance(i, StoreGlobal) and i.symbol == "g" for i in instrs)
+
+
+def test_static_global_uses_qualified_name():
+    module = lower("static int s; int f() { return s; }")
+    instrs = instructions_of(module.functions["f"])
+    load = next(i for i in instrs if isinstance(i, LoadGlobal))
+    assert load.symbol == "m.s"
+    assert "m.s" in module.globals
+
+
+def test_global_array_access_not_singleton():
+    module = lower("int a[4]; int f(int i) { return a[i]; }")
+    instrs = instructions_of(module.functions["f"])
+    load = next(i for i in instrs if isinstance(i, Load))
+    assert load.singleton is False
+    assert any(isinstance(i, LoadAddr) and i.symbol == "a" for i in instrs)
+
+
+def test_constant_index_folded_into_offset():
+    module = lower("int a[4]; int f() { return a[2]; }")
+    instrs = instructions_of(module.functions["f"])
+    load = next(i for i in instrs if isinstance(i, Load))
+    assert load.offset == 2
+
+
+def test_local_scalar_is_temp():
+    module = lower("int f() { int x = 5; return x; }")
+    func = module.functions["f"]
+    assert func.frame_slots == []
+
+
+def test_address_taken_local_gets_frame_slot():
+    module = lower(
+        "int f() { int x = 5; int *p = &x; *p = 7; return x; }"
+    )
+    func = module.functions["f"]
+    assert len(func.frame_slots) == 1
+    assert func.frame_slots[0].is_scalar
+    instrs = instructions_of(func)
+    named_loads = [
+        i for i in instrs if isinstance(i, Load) and i.singleton
+    ]
+    assert named_loads  # direct access of x stays a singleton reference
+
+
+def test_local_array_gets_frame_slot_and_init_stores():
+    module = lower("int f() { int a[4] = {1, 2}; return a[1]; }")
+    func = module.functions["f"]
+    assert func.frame_slots[0].size_words == 4
+    stores = [
+        i for i in instructions_of(func) if isinstance(i, Store)
+    ]
+    # Full zero-fill: 4 element stores.
+    assert len(stores) == 4
+    assert sorted(s.offset for s in stores) == [0, 1, 2, 3]
+
+
+def test_uninitialized_local_scalar_zeroed():
+    module = lower("int f() { int x; return x; }")
+    instrs = instructions_of(module.functions["f"])
+    move = next(i for i in instrs if isinstance(i, Move))
+    assert move.src == Const(0)
+
+
+def test_address_taken_param_spilled_to_frame():
+    module = lower("int f(int a) { int *p = &a; *p = 3; return a; }")
+    func = module.functions["f"]
+    assert len(func.frame_slots) == 1
+    first = func.entry.instructions[0]
+    assert isinstance(first, FrameAddr)
+
+
+def test_short_circuit_and_produces_control_flow():
+    module = lower("int f(int a, int b) { if (a && b) return 1; return 0; }")
+    func = module.functions["f"]
+    cjumps = [
+        b.terminator for b in func.blocks.values()
+        if isinstance(b.terminator, CJump)
+    ]
+    assert len(cjumps) >= 2  # one per conjunct
+
+
+def test_short_circuit_value_materializes_zero_one():
+    module = lower("int f(int a, int b) { return a || b; }")
+    func = module.functions["f"]
+    moves = [
+        i for i in instructions_of(func)
+        if isinstance(i, Move) and isinstance(i.src, Const)
+    ]
+    values = {m.src.value for m in moves}
+    assert {0, 1} <= values
+
+
+def test_ternary_lowering():
+    module = lower("int f(int a) { return a ? 10 : 20; }")
+    func = module.functions["f"]
+    moves = [
+        i for i in instructions_of(func)
+        if isinstance(i, Move) and isinstance(i.src, Const)
+    ]
+    assert {m.src.value for m in moves} == {10, 20}
+
+
+def test_direct_call_lowering():
+    module = lower(
+        "int g(int x) { return x; } int f() { return g(7); }"
+    )
+    instrs = instructions_of(module.functions["f"])
+    call = next(i for i in instrs if isinstance(i, Call))
+    assert call.callee == "g"
+    assert call.args == [Const(7)]
+    assert call.dst is not None
+
+
+def test_void_call_has_no_destination():
+    module = lower("void g() { } int f() { g(); return 0; }")
+    instrs = instructions_of(module.functions["f"])
+    call = next(i for i in instrs if isinstance(i, Call))
+    assert call.dst is None
+
+
+def test_builtin_call_marked():
+    module = lower("int f() { print(3); return 0; }")
+    instrs = instructions_of(module.functions["f"])
+    call = next(i for i in instrs if isinstance(i, Call))
+    assert call.is_builtin
+    assert call.callee == "print"
+
+
+def test_indirect_call_strips_function_pointer_deref():
+    module = lower(
+        "int g(int x) { return x; }\n"
+        "int f() { int *p = &g; return (*p)(1); }"
+    )
+    instrs = instructions_of(module.functions["f"])
+    call = next(i for i in instrs if isinstance(i, CallIndirect))
+    # The target must be the pointer value itself, not a memory load.
+    loads = [i for i in instrs if isinstance(i, Load)]
+    assert not loads
+    lda = next(i for i in instrs if isinstance(i, LoadAddr))
+    assert lda.is_function
+
+
+def test_loop_depth_recorded_on_blocks():
+    module = lower(
+        """
+        int f(int n) {
+          int s = 0;
+          int i;
+          int j;
+          for (i = 0; i < n; i++) {
+            for (j = 0; j < n; j++) {
+              s += j;
+            }
+          }
+          return s;
+        }
+        """
+    )
+    func = module.functions["f"]
+    depths = [b.loop_depth for b in func.blocks.values()]
+    assert max(depths) == 2
+    assert func.entry.loop_depth == 0
+
+
+def test_missing_return_gets_implicit_zero():
+    module = lower("int f(int a) { if (a) return 1; }")
+    func = module.functions["f"]
+    returns = [
+        b.terminator for b in func.blocks.values()
+        if isinstance(b.terminator, Return)
+    ]
+    assert any(r.value == Const(0) for r in returns)
+
+
+def test_void_function_implicit_return():
+    module = lower("void f() { }")
+    func = module.functions["f"]
+    (block,) = func.blocks.values()
+    assert isinstance(block.terminator, Return)
+    assert block.terminator.value is None
+
+
+def test_break_and_continue_targets():
+    module = lower(
+        """
+        int f(int n) {
+          int i;
+          int s = 0;
+          for (i = 0; i < n; i++) {
+            if (i == 2) continue;
+            if (i == 5) break;
+            s += i;
+          }
+          return s;
+        }
+        """
+    )
+    func = module.functions["f"]
+    # No unterminated blocks and verification already passed.
+    assert all(b.is_terminated for b in func.blocks.values())
+
+
+def test_extern_reference_recorded():
+    module = lower("extern int g; extern int h(int); "
+                   "int f() { return g + h(1); }")
+    assert module.extern_globals == {"g"}
+    assert module.extern_functions == {"h"}
+
+
+def test_compound_assignment_to_global():
+    module = lower("int g; int f() { g += 5; return g; }")
+    instrs = instructions_of(module.functions["f"])
+    assert any(isinstance(i, StoreGlobal) for i in instrs)
+    binop = next(i for i in instrs if isinstance(i, BinOp))
+    assert binop.op == "+"
+
+
+def test_post_increment_yields_old_value():
+    module = lower("int f() { int x = 5; return x++; }")
+    # Semantics validated end-to-end by simulator tests; here we just
+    # check the lowering produced an add of 1.
+    instrs = instructions_of(module.functions["f"])
+    binop = next(i for i in instrs if isinstance(i, BinOp))
+    assert binop.rhs == Const(1)
+
+
+def test_global_initializers_collected():
+    module = lower("int g = 7; int a[3] = {1, 2}; int z;")
+    assert module.globals["g"].init_words == [7]
+    assert module.globals["a"].init_words == [1, 2]
+    assert module.globals["a"].size_words == 3
+    assert module.globals["z"].init_words == [0]
+
+
+def test_unreachable_code_dropped():
+    module = lower("int f() { return 1; return 2; }")
+    func = module.functions["f"]
+    returns = [
+        b.terminator for b in func.blocks.values()
+        if isinstance(b.terminator, Return)
+    ]
+    assert len(returns) == 1

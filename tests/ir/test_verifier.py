@@ -1,0 +1,128 @@
+"""IR verifier tests."""
+
+import pytest
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    BinOp,
+    CJump,
+    FrameAddr,
+    FrameSlot,
+    Jump,
+    Move,
+    Return,
+)
+from repro.ir.values import Const
+from repro.ir.verifier import IRVerificationError, verify_function
+
+
+def make_function():
+    func = IRFunction("f")
+    func.add_entry_block()
+    return func
+
+
+def test_valid_function_passes():
+    func = make_function()
+    temp = func.new_temp()
+    func.entry.append(Move(temp, Const(1)))
+    func.entry.terminator = Return(temp)
+    verify_function(func)
+
+
+def test_unterminated_block_rejected():
+    func = make_function()
+    with pytest.raises(IRVerificationError, match="unterminated"):
+        verify_function(func)
+
+
+def test_branch_to_unknown_block_rejected():
+    func = make_function()
+    func.entry.terminator = Jump("nowhere")
+    with pytest.raises(IRVerificationError, match="unknown"):
+        verify_function(func)
+
+
+def test_use_of_undefined_temp_rejected():
+    func = make_function()
+    ghost = func.new_temp()
+    func.entry.terminator = Return(ghost)
+    with pytest.raises(IRVerificationError, match="undefined"):
+        verify_function(func)
+
+
+def test_use_defined_on_only_one_path_rejected():
+    func = make_function()
+    temp = func.new_temp()
+    then_block = func.new_block("then")
+    join = func.new_block("join")
+    cond = func.new_temp()
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.terminator = CJump(cond, then_block.label, join.label)
+    then_block.append(Move(temp, Const(2)))
+    then_block.terminator = Jump(join.label)
+    join.terminator = Return(temp)
+    with pytest.raises(IRVerificationError, match="undefined"):
+        verify_function(func)
+
+
+def test_use_defined_on_all_paths_accepted():
+    func = make_function()
+    temp = func.new_temp()
+    then_block = func.new_block("then")
+    else_block = func.new_block("else")
+    join = func.new_block("join")
+    cond = func.new_temp()
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.terminator = CJump(cond, then_block.label, else_block.label)
+    then_block.append(Move(temp, Const(2)))
+    then_block.terminator = Jump(join.label)
+    else_block.append(Move(temp, Const(3)))
+    else_block.terminator = Jump(join.label)
+    join.terminator = Return(temp)
+    verify_function(func)
+
+
+def test_param_is_defined():
+    func = make_function()
+    param = func.new_temp("a")
+    func.params.append(param)
+    func.entry.terminator = Return(param)
+    verify_function(func)
+
+
+def test_pinned_temp_is_defined():
+    func = make_function()
+    pinned = func.new_temp("web.g")
+    func.pinned_temps[pinned] = 31
+    func.entry.terminator = Return(pinned)
+    verify_function(func)
+
+
+def test_foreign_frame_slot_rejected():
+    func = make_function()
+    alien = FrameSlot("alien", 4)
+    temp = func.new_temp()
+    func.entry.append(FrameAddr(temp, alien))
+    func.entry.terminator = Return(Const(0))
+    with pytest.raises(IRVerificationError, match="slot"):
+        verify_function(func)
+
+
+def test_temp_defined_in_loop_accepted():
+    # entry -> head <-> body, head -> exit; temp defined in entry,
+    # redefined in body, used in exit.
+    func = make_function()
+    temp = func.new_temp()
+    head = func.new_block("head")
+    body = func.new_block("body")
+    exit_block = func.new_block("exit")
+    cond = func.new_temp()
+    func.entry.append(Move(temp, Const(0)))
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.terminator = Jump(head.label)
+    head.terminator = CJump(cond, body.label, exit_block.label)
+    body.append(BinOp(temp, "+", temp, Const(1)))
+    body.terminator = Jump(head.label)
+    exit_block.terminator = Return(temp)
+    verify_function(func)

@@ -1,0 +1,205 @@
+"""Semantic analysis unit tests."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.sema import (
+    FunctionSymbol,
+    GlobalSymbol,
+    LocalSymbol,
+    analyze_source,
+)
+
+
+def analyze(source, name="m"):
+    return analyze_source(source, name)
+
+
+def test_globals_collected():
+    info = analyze("int g; int a[4]; static int s;")
+    assert set(info.globals) == {"g", "a", "s"}
+    assert info.globals["a"].is_array
+    assert info.globals["a"].size_words == 4
+    assert info.globals["s"].is_static
+
+
+def test_static_names_qualified():
+    info = analyze("static int s; int g;", name="mod1")
+    assert info.globals["s"].qualified_name == "mod1.s"
+    assert info.globals["g"].qualified_name == "g"
+
+
+def test_static_function_qualified():
+    info = analyze("static int f() { return 0; }", name="mod1")
+    assert info.functions["f"].qualified_name == "mod1.f"
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int g; int g;")
+
+
+def test_global_function_name_clash_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int g; int g() { return 0; }")
+
+
+def test_builtin_name_clash_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int print;")
+
+
+def test_undefined_name_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f() { return missing; }")
+
+
+def test_extern_resolves_references():
+    info = analyze("extern int g; int f() { return g; }")
+    assert info.globals["g"].is_extern_ref
+
+
+def test_prototype_then_definition():
+    info = analyze("int f(int); int f(int a) { return a; }")
+    assert info.functions["f"].is_defined
+    assert info.functions["f"].param_count == 1
+
+
+def test_definition_prototype_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f(int); int f(int a, int b) { return a; }")
+
+
+def test_redefinition_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f() { return 0; } int f() { return 1; }")
+
+
+def test_call_argument_count_checked():
+    with pytest.raises(SemanticError):
+        analyze("int f(int a) { return a; } int g() { return f(); }")
+
+
+def test_builtin_argument_count_checked():
+    with pytest.raises(SemanticError):
+        analyze("int f() { print(1, 2); return 0; }")
+
+
+def test_void_function_value_use_rejected():
+    with pytest.raises(SemanticError):
+        analyze("void f() { } int g() { return f(); }")
+
+
+def test_void_return_with_value_rejected():
+    with pytest.raises(SemanticError):
+        analyze("void f() { return 1; }")
+
+
+def test_int_return_without_value_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f() { return; }")
+
+
+def test_local_scoping_shadows():
+    info = analyze(
+        "int g; int f() { int g = 1; { int g = 2; } return g; }"
+    )
+    func = info.function_infos[0]
+    assert len(func.locals) == 2
+
+
+def test_duplicate_local_in_same_scope_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f() { int x; int x; return 0; }")
+
+
+def test_duplicate_parameter_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f(int a, int a) { return a; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f() { break; return 0; }")
+
+
+def test_continue_inside_loop_allowed():
+    analyze("int f() { while (1) { continue; } return 0; }")
+
+
+def test_assignment_to_array_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int a[4]; int f() { a = 1; return 0; }")
+
+
+def test_assignment_to_function_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int g() { return 0; } int f() { g = 1; return 0; }")
+
+
+def test_address_of_global_sets_aliased():
+    info = analyze("int g; int f() { int *p = &g; return *p; }")
+    assert info.globals["g"].address_taken
+
+
+def test_address_of_array_element_sets_aliased():
+    info = analyze("int a[4]; int f() { int *p = &a[1]; return *p; }")
+    assert info.globals["a"].address_taken
+
+
+def test_address_of_local_marks_it():
+    info = analyze("int f() { int x; int *p = &x; *p = 1; return x; }")
+    local = next(l for l in info.function_infos[0].locals if l.name == "x")
+    assert local.address_taken
+
+
+def test_plain_global_use_does_not_alias():
+    info = analyze("int g; int f() { g = g + 1; return g; }")
+    assert not info.globals["g"].address_taken
+
+
+def test_function_address_taken():
+    info = analyze(
+        "int h(int x) { return x; }\n"
+        "int f() { int *p = &h; return (*p)(3); }"
+    )
+    assert info.functions["h"].address_taken
+
+
+def test_function_name_as_value_marks_address_taken():
+    info = analyze(
+        "int h(int x) { return x; }\n"
+        "int f() { int *p = h; return p(3); }"
+    )
+    assert info.functions["h"].address_taken
+
+
+def test_direct_call_not_indirect():
+    info = analyze("int h() { return 1; } int f() { return h(); }")
+    call = info.function_infos[1].definition.body.statements[0].value
+    assert call.is_indirect is False
+
+
+def test_call_through_variable_is_indirect():
+    info = analyze(
+        "int h() { return 1; }\n"
+        "int f() { int *p = &h; return p(); }"
+    )
+    call = info.function_infos[1].definition.body.statements[1].value
+    assert call.is_indirect is True
+
+
+def test_address_of_builtin_rejected():
+    with pytest.raises(SemanticError):
+        analyze("int f() { int *p = &print; return 0; }")
+
+
+def test_name_resolution_order_local_over_global():
+    info = analyze("int x; int f(int x) { return x; }")
+    name = info.function_infos[0].definition.body.statements[0].value
+    assert isinstance(name.symbol, LocalSymbol)
+
+
+def test_array_size_must_be_positive():
+    with pytest.raises(SemanticError):
+        analyze("int f() { int a[0]; return 0; }")

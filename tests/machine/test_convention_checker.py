@@ -1,0 +1,99 @@
+"""Calling-convention checker tests.
+
+``Simulator(check_conventions=True)`` verifies at every return that the
+callee preserved every register outside the call's declared clobber set.
+It validates the analyzer's directives against real execution — and must
+stay quiet on correct code.
+"""
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    ProgramDatabase,
+    compile_program,
+    compile_with_database,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+from repro.machine.simulator import ConventionViolation, Simulator
+from repro.target import isa
+from repro.target.registers import RP
+from repro.workloads import get_workload
+
+
+def test_clean_program_passes():
+    result = compile_program(
+        {"m": """
+            int helper(int x) { return x * 2; }
+            int main() { print(helper(21)); return 0; }
+        """}
+    )
+    stats = Simulator(result.executable, check_conventions=True).run()
+    assert stats.output == "42\n"
+
+
+def test_violation_detected_on_corrupted_code():
+    """Manually corrupt a callee to smash a callee-saves register."""
+    result = compile_program(
+        {"m": """
+            int helper(int x) { return x + 1; }
+            int main() { return helper(1); }
+        """}
+    )
+    exe = result.executable
+    start = exe.function_entries["helper"]
+    # Inject a write to r20 (callee-saves, not in any clobber set) at
+    # the top of helper.
+    exe.instructions[start] = isa.LDI(20, 12345)
+    with pytest.raises(ConventionViolation, match="r20"):
+        Simulator(exe, check_conventions=True).run()
+
+
+def test_promoted_registers_exempted():
+    sources = {
+        "m": """
+            int g;
+            int bump() { g = g + 1; return g; }
+            int main() {
+              int i;
+              for (i = 0; i < 5; i++) bump();
+              print(g);
+              return 0;
+            }
+        """
+    }
+    phase1 = run_phase1(sources)
+    database = analyze_program(
+        [r.summary for r in phase1], AnalyzerOptions.config("C")
+    )
+    exe = compile_with_database(phase1, database)
+    stats = Simulator(
+        exe,
+        check_conventions=True,
+        volatile_registers=database.convention_volatile_registers(),
+    ).run()
+    assert stats.output == "5\n"
+
+
+@pytest.mark.parametrize("config", ["A", "C", "D", "E"])
+def test_workload_respects_conventions(config):
+    workload = get_workload("fgrep")
+    phase1 = run_phase1(workload.sources)
+    database = analyze_program(
+        [r.summary for r in phase1], AnalyzerOptions.config(config)
+    )
+    exe = compile_with_database(phase1, database)
+    stats = Simulator(
+        exe,
+        check_conventions=True,
+        volatile_registers=database.convention_volatile_registers(),
+    ).run(workload.max_cycles)
+    assert stats.output
+
+
+def test_baseline_conventions_hold():
+    workload = get_workload("dhrystone")
+    phase1 = run_phase1(workload.sources)
+    exe = compile_with_database(phase1, ProgramDatabase())
+    Simulator(exe, check_conventions=True).run(workload.max_cycles)

@@ -1,0 +1,58 @@
+"""Profiler (gprof-equivalent) tests."""
+
+from repro import compile_program, run_executable
+from repro.machine.profiler import ProfileData
+
+
+SOURCE = """
+int leaf(int x) { return x + 1; }
+int mid(int x) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 4; i++) s += leaf(x + i);
+  return s;
+}
+int main() {
+  int i;
+  int total = 0;
+  for (i = 0; i < 3; i++) total += mid(i);
+  print(total);
+  return 0;
+}
+"""
+
+
+def profile_of(source):
+    result = compile_program({"m": source})
+    stats = run_executable(result.executable)
+    return ProfileData.from_stats(stats)
+
+
+def test_node_counts():
+    profile = profile_of(SOURCE)
+    assert profile.node_count("main") == 1
+    assert profile.node_count("mid") == 3
+    assert profile.node_count("leaf") == 12
+    assert profile.node_count("nonexistent") == 0
+
+
+def test_edge_counts():
+    profile = profile_of(SOURCE)
+    assert profile.edge_count("main", "mid") == 3
+    assert profile.edge_count("mid", "leaf") == 12
+    assert profile.edge_count("main", "leaf") == 0
+
+
+def test_stub_edge_filtered():
+    profile = profile_of(SOURCE)
+    assert all(caller != "<stub>" for caller, _ in profile.call_edges)
+
+
+def test_profile_feeds_analyzer_configs():
+    from repro.analyzer.options import AnalyzerOptions
+
+    profile = profile_of(SOURCE)
+    options_b = AnalyzerOptions.config("B", profile)
+    assert options_b.profile is profile
+    options_f = AnalyzerOptions.config("F", profile)
+    assert options_f.global_promotion == "webs"

@@ -1,0 +1,226 @@
+"""PRISM simulator tests: semantics, metrics, faults."""
+
+import pytest
+
+from repro import compile_program, run_executable
+from repro.machine.simulator import (
+    CostModel,
+    ExecutionLimitExceeded,
+    MachineError,
+    Simulator,
+)
+
+
+def run_source(source, opt_level=2, **kwargs):
+    result = compile_program({"m": source}, opt_level)
+    return run_executable(result.executable, **kwargs)
+
+
+def test_exit_code_from_main():
+    stats = run_source("int main() { return 42; }")
+    assert stats.exit_code == 42
+
+
+def test_print_output():
+    stats = run_source(
+        "int main() { print(1); print(-23); print(0); return 0; }"
+    )
+    assert stats.output == "1\n-23\n0\n"
+
+
+def test_putc_output():
+    stats = run_source(
+        "int main() { putc('h'); putc('i'); putc(10); return 0; }"
+    )
+    assert stats.output == "hi\n"
+
+
+def test_arithmetic_matches_c_semantics():
+    stats = run_source(
+        """
+        int main() {
+          print(7 / 2);
+          print(-7 / 2);
+          print(7 % -2);
+          print(-7 % 2);
+          print(1 << 10);
+          print(-16 >> 2);
+          print(2147483647 + 1);
+          print(-2147483647 - 2);
+          return 0;
+        }
+        """,
+        opt_level=0,  # force runtime evaluation
+    )
+    assert stats.output.splitlines() == [
+        "3", "-3", "1", "-1", "1024", "-4",
+        "-2147483648", "2147483647",
+    ]
+
+
+def test_constant_folding_agrees_with_runtime():
+    source = """
+    int main() {
+      int a = -7;
+      int b = 2;
+      print(a / b);
+      print(a % b);
+      print(a >> 1);
+      return 0;
+    }
+    """
+    folded = run_source(source, opt_level=2)
+    runtime = run_source(source, opt_level=0)
+    assert folded.output == runtime.output
+
+
+def test_division_by_zero_faults():
+    with pytest.raises(MachineError, match="division"):
+        run_source("int main() { int z = 0; return 1 / z; }")
+
+
+def test_remainder_by_zero_faults():
+    with pytest.raises(MachineError, match="remainder"):
+        run_source("int main() { int z = 0; return 1 % z; }")
+
+
+def test_wild_store_faults():
+    with pytest.raises(MachineError, match="store"):
+        run_source(
+            "int main() { int *p = 3; *p = 1; return 0; }"
+        )
+
+
+def test_guard_region_reads_zero():
+    stats = run_source(
+        "int main() { int *p = 40; return *p + 5; }"
+    )
+    assert stats.exit_code == 5
+
+
+def test_cycle_limit_enforced():
+    with pytest.raises(ExecutionLimitExceeded):
+        run_source(
+            "int main() { for (;;) ; return 0; }", max_cycles=10_000
+        )
+
+
+def test_cycle_and_instruction_counts_positive():
+    stats = run_source("int main() { print(1); return 0; }")
+    assert stats.instructions > 0
+    assert stats.cycles == stats.instructions  # default cost model
+
+
+def test_cost_model_changes_cycles():
+    result = compile_program(
+        {"m": "int main() { int a = 6; int b = 2; return a * b / 2; }"},
+        opt_level=0,
+    )
+    cheap = run_executable(result.executable)
+    costly = run_executable(
+        result.executable, cost_model=CostModel(mul=8, div=30)
+    )
+    assert costly.cycles > cheap.cycles
+    assert costly.instructions == cheap.instructions
+
+
+def test_singleton_vs_array_accounting():
+    stats = run_source(
+        """
+        int g;
+        int arr[8];
+        int main() {
+          int i;
+          for (i = 0; i < 8; i++) arr[i] = i;  // array: not singleton
+          g = arr[3];                           // one singleton store
+          return g;
+        }
+        """,
+        opt_level=0,
+    )
+    assert stats.stores >= 9
+    assert stats.singleton_stores >= 1
+    assert stats.singleton_stores < stats.stores
+
+
+def test_call_counts_recorded():
+    stats = run_source(
+        """
+        int helper(int x) { return x + 1; }
+        int main() {
+          int i;
+          int s = 0;
+          for (i = 0; i < 5; i++) s = helper(s);
+          return s;
+        }
+        """
+    )
+    assert stats.call_counts["helper"] == 5
+    assert stats.call_counts["main"] == 1
+    assert stats.call_edges[("main", "helper")] == 5
+
+
+def test_indirect_call_counts_attributed():
+    stats = run_source(
+        """
+        int target(int x) { return x * 2; }
+        int main() {
+          int *p = &target;
+          return p(4);
+        }
+        """
+    )
+    assert stats.call_counts["target"] == 1
+    assert stats.call_edges[("main", "target")] == 1
+
+
+def test_indirect_call_to_data_address_faults():
+    with pytest.raises(MachineError, match="indirect"):
+        run_source(
+            """
+            int g;
+            int main() { int *p = &g; return p(1); }
+            """
+        )
+
+
+def test_recursion_deep_but_bounded():
+    stats = run_source(
+        """
+        int sum(int n) {
+          if (n == 0) return 0;
+          return n + sum(n - 1);
+        }
+        int main() { return sum(500) & 255; }
+        """
+    )
+    assert stats.exit_code == (500 * 501 // 2) & 255
+    assert stats.call_counts["sum"] == 501
+
+
+def test_memory_isolated_between_runs():
+    result = compile_program(
+        {"m": "int g; int main() { g = g + 1; return g; }"}
+    )
+    first = run_executable(result.executable)
+    second = run_executable(result.executable)
+    assert first.exit_code == second.exit_code == 1
+
+
+def test_globals_initialized_from_data_segment():
+    stats = run_source(
+        """
+        int a = 11;
+        int arr[4] = {5, 6};
+        static int s = -3;
+        int main() { return a + arr[0] + arr[1] + arr[3] + s; }
+        """
+    )
+    assert stats.exit_code == 11 + 5 + 6 + 0 - 3
+
+
+def test_total_calls_property():
+    stats = run_source(
+        "int f() { return 1; } int main() { return f() + f(); }"
+    )
+    assert stats.total_calls == 3  # main + 2x f

@@ -1,0 +1,107 @@
+"""CFG cleanup pass tests."""
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import CJump, Jump, Move, Return
+from repro.ir.values import Const
+from repro.opt import cfg_cleanup
+
+
+def new_function():
+    func = IRFunction("f")
+    func.add_entry_block()
+    return func
+
+
+def test_unreachable_block_removed():
+    func = new_function()
+    dead = func.new_block("dead")
+    dead.terminator = Return(Const(1))
+    func.entry.terminator = Return(Const(0))
+    assert cfg_cleanup.run(func)
+    assert "dead" not in {b.label for b in func.blocks.values()}
+
+
+def test_empty_forwarder_threaded():
+    func = new_function()
+    hop = func.new_block("hop")
+    target = func.new_block("target")
+    func.entry.terminator = Jump(hop.label)
+    hop.terminator = Jump(target.label)
+    target.terminator = Return(Const(0))
+    cfg_cleanup.run(func)
+    # entry now reaches target directly; everything merged into entry.
+    assert isinstance(func.entry.terminator, Return)
+
+
+def test_forwarder_chain_threaded():
+    func = new_function()
+    hops = [func.new_block(f"h{i}") for i in range(4)]
+    target = func.new_block("target")
+    func.entry.terminator = Jump(hops[0].label)
+    for i, hop in enumerate(hops):
+        next_label = hops[i + 1].label if i + 1 < len(hops) else target.label
+        hop.terminator = Jump(next_label)
+    target.terminator = Return(Const(0))
+    cfg_cleanup.run(func)
+    assert isinstance(func.entry.terminator, Return)
+
+
+def test_cjump_with_identical_targets_collapsed():
+    func = new_function()
+    target = func.new_block("t")
+    cond = func.new_temp()
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.terminator = CJump(cond, target.label, target.label)
+    target.terminator = Return(Const(0))
+    cfg_cleanup.run(func)
+    assert isinstance(func.entry.terminator, Return) or isinstance(
+        func.entry.terminator, Jump
+    )
+    # After collapsing + merging, only one block remains.
+    assert len(func.blocks) == 1
+
+
+def test_straightline_merge_preserves_instructions():
+    func = new_function()
+    second = func.new_block("second")
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, Const(1)))
+    func.entry.terminator = Jump(second.label)
+    second.append(Move(b, Const(2)))
+    second.terminator = Return(b)
+    cfg_cleanup.run(func)
+    assert len(func.blocks) == 1
+    assert len(func.entry.instructions) == 2
+
+
+def test_block_with_two_predecessors_not_merged():
+    func = new_function()
+    left = func.new_block("left")
+    right = func.new_block("right")
+    join = func.new_block("join")
+    cond = func.new_temp()
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.terminator = CJump(cond, left.label, right.label)
+    left.append(Move(func.new_temp(), Const(1)))
+    left.terminator = Jump(join.label)
+    right.append(Move(func.new_temp(), Const(2)))
+    right.terminator = Jump(join.label)
+    join.terminator = Return(Const(0))
+    cfg_cleanup.run(func)
+    assert join.label in func.blocks
+
+
+def test_self_loop_not_threaded_into_infinite_recursion():
+    func = new_function()
+    loop = func.new_block("loop")
+    func.entry.terminator = Jump(loop.label)
+    loop.terminator = Jump(loop.label)
+    cfg_cleanup.run(func)  # must terminate
+    assert loop.label in func.blocks
+
+
+def test_no_change_returns_false():
+    func = new_function()
+    func.entry.terminator = Return(Const(0))
+    assert cfg_cleanup.run(func) is False

@@ -1,0 +1,160 @@
+"""Constant folding/propagation pass tests."""
+
+from repro.ir import lower_source
+from repro.ir.function import IRFunction
+from repro.ir.instructions import BinOp, Call, CJump, Jump, Move, Return, UnOp
+from repro.ir.values import Const, Temp
+from repro.opt import constant_folding
+
+
+def fold(func):
+    constant_folding.run(func)
+    return func
+
+
+def new_function():
+    func = IRFunction("f")
+    func.add_entry_block()
+    return func
+
+
+def test_binop_on_constants_folds():
+    func = new_function()
+    t = func.new_temp()
+    func.entry.append(BinOp(t, "+", Const(2), Const(3)))
+    func.entry.terminator = Return(t)
+    fold(func)
+    (instr,) = func.entry.instructions
+    assert isinstance(instr, Move)
+    assert instr.src == Const(5)
+
+
+def test_constant_propagates_through_moves():
+    func = new_function()
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, Const(4)))
+    func.entry.append(BinOp(b, "*", a, Const(3)))
+    func.entry.terminator = Return(b)
+    fold(func)
+    assert isinstance(func.entry.instructions[1], Move)
+    assert func.entry.instructions[1].src == Const(12)
+
+
+def test_division_by_zero_not_folded():
+    func = new_function()
+    t = func.new_temp()
+    func.entry.append(BinOp(t, "/", Const(1), Const(0)))
+    func.entry.terminator = Return(t)
+    fold(func)
+    assert isinstance(func.entry.instructions[0], BinOp)
+
+
+def test_unop_folds():
+    func = new_function()
+    t = func.new_temp()
+    func.entry.append(UnOp(t, "-", Const(7)))
+    func.entry.terminator = Return(t)
+    fold(func)
+    assert func.entry.instructions[0].src == Const(-7)
+
+
+def test_algebraic_identities():
+    cases = [
+        ("+", 0, lambda i: isinstance(i, Move) and isinstance(i.src, Temp)),
+        ("*", 1, lambda i: isinstance(i, Move) and isinstance(i.src, Temp)),
+        ("*", 0, lambda i: isinstance(i, Move) and i.src == Const(0)),
+        ("&", 0, lambda i: isinstance(i, Move) and i.src == Const(0)),
+        ("-", 0, lambda i: isinstance(i, Move) and isinstance(i.src, Temp)),
+    ]
+    for op, const, check in cases:
+        func = new_function()
+        x = func.new_temp("x")
+        func.params.append(x)
+        t = func.new_temp()
+        func.entry.append(BinOp(t, op, x, Const(const)))
+        func.entry.terminator = Return(t)
+        fold(func)
+        assert check(func.entry.instructions[0]), (op, const)
+
+
+def test_same_operand_identities():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    t = func.new_temp()
+    func.entry.append(BinOp(t, "-", x, x))
+    func.entry.terminator = Return(t)
+    fold(func)
+    assert func.entry.instructions[0].src == Const(0)
+
+
+def test_commutative_constant_canonicalized_right():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    t = func.new_temp()
+    func.entry.append(BinOp(t, "+", Const(5), x))
+    func.entry.terminator = Return(t)
+    fold(func)
+    instr = func.entry.instructions[0]
+    assert isinstance(instr, BinOp)
+    assert instr.rhs == Const(5)
+
+
+def test_constant_condition_becomes_jump():
+    func = new_function()
+    then_block = func.new_block("then")
+    else_block = func.new_block("else")
+    cond = func.new_temp()
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.terminator = CJump(cond, then_block.label, else_block.label)
+    then_block.terminator = Return(Const(1))
+    else_block.terminator = Return(Const(2))
+    fold(func)
+    assert isinstance(func.entry.terminator, Jump)
+    assert func.entry.terminator.target == then_block.label
+
+
+def test_redefinition_invalidates_constant():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, Const(1)))
+    func.entry.append(Move(a, x))  # a no longer constant
+    func.entry.append(BinOp(b, "+", a, Const(0)))
+    func.entry.terminator = Return(b)
+    fold(func)
+    final = func.entry.instructions[2]
+    assert isinstance(final, Move)
+    assert final.src is a
+
+
+def test_pinned_temp_constant_killed_by_call():
+    func = new_function()
+    pinned = func.new_temp("web.g")
+    func.pinned_temps[pinned] = 31
+    t = func.new_temp()
+    func.entry.append(Move(pinned, Const(10)))
+    func.entry.append(Call(None, "other", []))
+    func.entry.append(BinOp(t, "+", pinned, Const(1)))
+    func.entry.terminator = Return(t)
+    fold(func)
+    final = func.entry.instructions[2]
+    # Must NOT fold to 11: the callee may have changed the register.
+    assert isinstance(final, BinOp)
+    assert final.lhs is pinned
+
+
+def test_end_to_end_source_folding():
+    module = lower_source(
+        "int f() { int a = 2 + 3 * 4; return a - 14; }", "m"
+    )
+    constant_folding.run(module.functions["f"])
+    returns = [
+        b.terminator for b in module.functions["f"].blocks.values()
+    ]
+    # After folding + the builder's own folding, everything is constant.
+    assert any(isinstance(t, Return) for t in returns)

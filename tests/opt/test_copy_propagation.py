@@ -1,0 +1,105 @@
+"""Copy propagation pass tests."""
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import BinOp, Call, Move, Return
+from repro.ir.values import Const
+from repro.opt import copy_propagation
+
+
+def new_function():
+    func = IRFunction("f")
+    func.add_entry_block()
+    return func
+
+
+def test_copy_propagated_to_use():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, x))
+    func.entry.append(BinOp(b, "+", a, Const(1)))
+    func.entry.terminator = Return(b)
+    assert copy_propagation.run(func)
+    assert func.entry.instructions[1].lhs is x
+
+
+def test_copy_killed_by_source_redefinition():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, x))
+    func.entry.append(Move(x, Const(9)))  # x redefined
+    func.entry.append(BinOp(b, "+", a, Const(1)))
+    func.entry.terminator = Return(b)
+    copy_propagation.run(func)
+    assert func.entry.instructions[2].lhs is a  # not replaced
+
+
+def test_copy_killed_by_destination_redefinition():
+    func = new_function()
+    x = func.new_temp("x")
+    y = func.new_temp("y")
+    func.params.extend([x, y])
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, x))
+    func.entry.append(Move(a, y))
+    func.entry.append(BinOp(b, "+", a, Const(1)))
+    func.entry.terminator = Return(b)
+    copy_propagation.run(func)
+    assert func.entry.instructions[2].lhs is y
+
+
+def test_copy_chains_propagate():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    c = func.new_temp()
+    func.entry.append(Move(a, x))
+    func.entry.append(Move(b, a))
+    func.entry.append(BinOp(c, "*", b, b))
+    func.entry.terminator = Return(c)
+    copy_propagation.run(func)
+    assert func.entry.instructions[2].lhs is x
+    assert func.entry.instructions[2].rhs is x
+
+
+def test_terminator_uses_rewritten():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    func.entry.append(Move(a, x))
+    func.entry.terminator = Return(a)
+    copy_propagation.run(func)
+    assert func.entry.terminator.value is x
+
+
+def test_copies_involving_pinned_temps_killed_at_calls():
+    func = new_function()
+    pinned = func.new_temp("web.g")
+    func.pinned_temps[pinned] = 30
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(Move(a, pinned))  # a = old g
+    func.entry.append(Call(None, "mutator", []))
+    func.entry.append(Move(b, a))
+    func.entry.terminator = Return(b)
+    copy_propagation.run(func)
+    # "a" must NOT be replaced by pinned after the call: pinned now holds
+    # the NEW g, while a deliberately holds the old value.
+    assert func.entry.instructions[2].src is a
+
+
+def test_no_change_reports_false():
+    func = new_function()
+    t = func.new_temp()
+    func.entry.append(Move(t, Const(1)))
+    func.entry.terminator = Return(t)
+    assert copy_propagation.run(func) is False

@@ -1,0 +1,133 @@
+"""Local CSE pass tests."""
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    FrameAddr,
+    FrameSlot,
+    LoadAddr,
+    Move,
+    Return,
+)
+from repro.ir.values import Const
+from repro.opt import cse
+
+
+def new_function():
+    func = IRFunction("f")
+    func.add_entry_block()
+    return func
+
+
+def test_repeated_binop_replaced_by_move():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    c = func.new_temp()
+    func.entry.append(BinOp(a, "+", x, Const(1)))
+    func.entry.append(BinOp(b, "+", x, Const(1)))
+    func.entry.append(BinOp(c, "*", a, b))
+    func.entry.terminator = Return(c)
+    assert cse.run(func)
+    second = func.entry.instructions[1]
+    assert isinstance(second, Move)
+    assert second.src is a
+
+
+def test_different_operands_not_merged():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(BinOp(a, "+", x, Const(1)))
+    func.entry.append(BinOp(b, "+", x, Const(2)))
+    func.entry.terminator = Return(b)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[1], BinOp)
+
+
+def test_operand_redefinition_invalidates():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(BinOp(a, "+", x, Const(1)))
+    func.entry.append(Move(x, Const(5)))
+    func.entry.append(BinOp(b, "+", x, Const(1)))
+    func.entry.terminator = Return(b)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[2], BinOp)
+
+
+def test_result_redefinition_invalidates():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(BinOp(a, "+", x, Const(1)))
+    func.entry.append(Move(a, Const(5)))  # cached result gone
+    func.entry.append(BinOp(b, "+", x, Const(1)))
+    func.entry.terminator = Return(b)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[2], BinOp)
+
+
+def test_loadaddr_deduplicated():
+    func = new_function()
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(LoadAddr(a, "g"))
+    func.entry.append(LoadAddr(b, "g"))
+    func.entry.terminator = Return(b)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[1], Move)
+
+
+def test_frameaddr_deduplicated_by_slot_identity():
+    func = new_function()
+    slot = func.add_frame_slot(FrameSlot("arr", 4))
+    other = func.add_frame_slot(FrameSlot("arr2", 4))
+    a = func.new_temp()
+    b = func.new_temp()
+    c = func.new_temp()
+    func.entry.append(FrameAddr(a, slot))
+    func.entry.append(FrameAddr(b, slot))
+    func.entry.append(FrameAddr(c, other))
+    func.entry.terminator = Return(c)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[1], Move)
+    assert isinstance(func.entry.instructions[2], FrameAddr)
+
+
+def test_expressions_over_pinned_temps_killed_at_calls():
+    func = new_function()
+    pinned = func.new_temp("web.g")
+    func.pinned_temps[pinned] = 29
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(BinOp(a, "+", pinned, Const(1)))
+    func.entry.append(Call(None, "mutator", []))
+    func.entry.append(BinOp(b, "+", pinned, Const(1)))
+    func.entry.terminator = Return(b)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[2], BinOp)
+
+
+def test_division_cse_allowed():
+    func = new_function()
+    x = func.new_temp("x")
+    y = func.new_temp("y")
+    func.params.extend([x, y])
+    a = func.new_temp()
+    b = func.new_temp()
+    func.entry.append(BinOp(a, "/", x, y))
+    func.entry.append(BinOp(b, "/", x, y))
+    func.entry.terminator = Return(b)
+    cse.run(func)
+    assert isinstance(func.entry.instructions[1], Move)

@@ -1,0 +1,127 @@
+"""Dead code elimination tests."""
+
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Jump,
+    Load,
+    Move,
+    Return,
+    Store,
+    StoreGlobal,
+)
+from repro.ir.values import Const
+from repro.opt import dce
+
+
+def new_function():
+    func = IRFunction("f")
+    func.add_entry_block()
+    return func
+
+
+def test_unused_pure_computation_removed():
+    func = new_function()
+    dead = func.new_temp()
+    live = func.new_temp()
+    func.entry.append(BinOp(dead, "+", Const(1), Const(2)))
+    func.entry.append(Move(live, Const(3)))
+    func.entry.terminator = Return(live)
+    assert dce.run(func)
+    assert len(func.entry.instructions) == 1
+
+
+def test_chain_of_dead_code_removed():
+    func = new_function()
+    a = func.new_temp()
+    b = func.new_temp()
+    c = func.new_temp()
+    func.entry.append(Move(a, Const(1)))
+    func.entry.append(BinOp(b, "+", a, Const(2)))
+    func.entry.append(BinOp(c, "*", b, b))  # c unused
+    func.entry.terminator = Return(Const(0))
+    dce.run(func)
+    assert func.entry.instructions == []
+
+
+def test_side_effecting_instructions_kept():
+    func = new_function()
+    dead = func.new_temp()
+    addr = func.new_temp()
+    func.entry.append(Move(addr, Const(2000)))
+    func.entry.append(Load(dead, addr))  # result unused, but may fault
+    func.entry.append(Store(addr, Const(1)))
+    func.entry.append(StoreGlobal("g", Const(2)))
+    func.entry.append(Call(dead, "h", []))
+    func.entry.terminator = Return(None)
+    dce.run(func)
+    kinds = [type(i).__name__ for i in func.entry.instructions]
+    assert kinds == ["Move", "Load", "Store", "StoreGlobal", "Call"]
+
+
+def test_division_with_nonzero_constant_divisor_removable():
+    func = new_function()
+    dead = func.new_temp()
+    func.entry.append(BinOp(dead, "/", Const(10), Const(2)))
+    func.entry.terminator = Return(Const(0))
+    dce.run(func)
+    assert func.entry.instructions == []
+
+
+def test_division_by_possibly_zero_kept():
+    func = new_function()
+    x = func.new_temp("x")
+    func.params.append(x)
+    dead = func.new_temp()
+    func.entry.append(BinOp(dead, "/", Const(10), x))
+    func.entry.terminator = Return(Const(0))
+    dce.run(func)
+    assert len(func.entry.instructions) == 1
+
+
+def test_value_live_across_blocks_kept():
+    func = new_function()
+    t = func.new_temp()
+    exit_block = func.new_block("exit")
+    func.entry.append(Move(t, Const(42)))
+    func.entry.terminator = Jump(exit_block.label)
+    exit_block.terminator = Return(t)
+    dce.run(func)
+    assert len(func.entry.instructions) == 1
+
+
+def test_write_to_pinned_temp_before_return_kept():
+    func = new_function()
+    pinned = func.new_temp("web.g")
+    func.pinned_temps[pinned] = 31
+    func.entry.append(Move(pinned, Const(7)))
+    func.entry.terminator = Return(None)
+    dce.run(func)
+    # The register value IS the global; it is observable by the caller.
+    assert len(func.entry.instructions) == 1
+
+
+def test_write_to_pinned_temp_before_call_kept():
+    func = new_function()
+    pinned = func.new_temp("web.g")
+    func.pinned_temps[pinned] = 31
+    func.entry.append(Move(pinned, Const(7)))
+    func.entry.append(Call(None, "reader", []))
+    func.entry.append(Move(pinned, Const(9)))
+    func.entry.terminator = Return(None)
+    dce.run(func)
+    # Both writes observable: by the callee and by the caller.
+    moves = [i for i in func.entry.instructions if isinstance(i, Move)]
+    assert len(moves) == 2
+
+
+def test_unpinned_overwritten_value_removed():
+    func = new_function()
+    t = func.new_temp()
+    func.entry.append(Move(t, Const(7)))
+    func.entry.append(Move(t, Const(9)))
+    func.entry.terminator = Return(t)
+    dce.run(func)
+    assert len(func.entry.instructions) == 1
+    assert func.entry.instructions[0].src == Const(9)

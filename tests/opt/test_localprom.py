@@ -1,0 +1,132 @@
+"""Intraprocedural global caching (local promotion) tests."""
+
+from repro.ir import lower_source
+from repro.ir.instructions import (
+    Call,
+    Load,
+    LoadGlobal,
+    Store,
+    StoreGlobal,
+)
+from repro.opt import localprom
+
+
+def run_on(source, name="f"):
+    module = lower_source(source, "m")
+    func = module.functions[name]
+    localprom.run(func, module)
+    return module, func
+
+
+def count(func, kind, symbol=None):
+    total = 0
+    for instr in func.iter_instructions():
+        if isinstance(instr, kind):
+            if symbol is None or instr.symbol == symbol:
+                total += 1
+    return total
+
+
+def test_repeated_reads_in_block_load_once():
+    _, func = run_on(
+        "int g; int f() { return g + g + g; }"
+    )
+    assert count(func, LoadGlobal, "g") == 1
+
+
+def test_store_sunk_to_block_end():
+    _, func = run_on(
+        "int g; int f() { g = 1; g = 2; g = 3; return 0; }"
+    )
+    assert count(func, StoreGlobal, "g") == 1
+
+
+def test_dirty_value_flushed_before_call():
+    _, func = run_on(
+        """
+        int g;
+        extern int h();
+        int f() { g = 1; h(); return 0; }
+        """
+    )
+    block = func.entry
+    store_index = next(
+        i for i, ins in enumerate(block.instructions)
+        if isinstance(ins, StoreGlobal)
+    )
+    call_index = next(
+        i for i, ins in enumerate(block.instructions)
+        if isinstance(ins, Call) and not ins.is_builtin
+    )
+    assert store_index < call_index
+
+
+def test_cache_invalidated_after_call():
+    _, func = run_on(
+        """
+        int g;
+        extern int h();
+        int f() { int a = g; h(); return a + g; }
+        """
+    )
+    # g must be loaded twice: once before, once after the call.
+    assert count(func, LoadGlobal, "g") == 2
+
+
+def test_pointer_store_invalidates_aliasable_global():
+    _, func = run_on(
+        """
+        int g;
+        int f(int *p) { int a = g; *p = 5; return a + g; }
+        """
+    )
+    assert count(func, LoadGlobal, "g") == 2
+
+
+def test_pointer_load_does_not_invalidate_clean_cache():
+    _, func = run_on(
+        """
+        int g;
+        int f(int *p) { int a = g; int b = *p; return a + g + b; }
+        """
+    )
+    assert count(func, LoadGlobal, "g") == 1
+
+
+def test_pointer_load_forces_writeback_of_dirty_value():
+    _, func = run_on(
+        """
+        int g;
+        int f(int *p) { g = 7; return *p + g; }
+        """
+    )
+    block = func.entry
+    store_index = next(
+        i for i, ins in enumerate(block.instructions)
+        if isinstance(ins, StoreGlobal)
+    )
+    load_index = next(
+        i for i, ins in enumerate(block.instructions)
+        if isinstance(ins, Load)
+    )
+    assert store_index < load_index
+
+
+def test_static_unaliased_global_survives_pointer_store():
+    _, func = run_on(
+        """
+        static int s;
+        int f(int *p) { int a = s; *p = 5; return a + s; }
+        """
+    )
+    assert count(func, LoadGlobal, "m.s") == 1
+
+
+def test_extern_global_treated_conservatively():
+    _, func = run_on(
+        """
+        extern int g;
+        int f(int *p) { int a = g; *p = 5; return a + g; }
+        """
+    )
+    assert count(func, LoadGlobal, "g") == 2

@@ -1,0 +1,75 @@
+"""Optimization pipeline tests: structure and semantic preservation."""
+
+import pytest
+
+from repro import compile_and_run
+from repro.ir import lower_source, verify_module
+from repro.opt import optimize_module
+from repro.testing import generate_program
+
+SOURCE = """
+int g;
+extern int h(int);
+int f(int n) {
+  int i;
+  int total = 0;
+  int unused = 123 * 456;
+  for (i = 0; i < n; i++) {
+    total += g + g;
+    g = total;
+  }
+  return total + 0;
+}
+"""
+
+
+def test_pipeline_preserves_verification():
+    for level in (0, 1, 2):
+        module = lower_source(SOURCE, "m")
+        optimize_module(module, level)
+        verify_module(module)
+
+
+def test_level_zero_is_identity():
+    module = lower_source(SOURCE, "m")
+    before = sum(
+        len(b.instructions) for b in module.functions["f"].blocks.values()
+    )
+    optimize_module(module, 0)
+    after = sum(
+        len(b.instructions) for b in module.functions["f"].blocks.values()
+    )
+    assert before == after
+
+
+def test_higher_levels_shrink_code():
+    sizes = {}
+    for level in (0, 1, 2):
+        module = lower_source(SOURCE, "m")
+        optimize_module(module, level)
+        sizes[level] = sum(
+            len(b.instructions)
+            for b in module.functions["f"].blocks.values()
+        )
+    assert sizes[1] < sizes[0]
+    assert sizes[2] <= sizes[1]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_opt_levels_preserve_semantics(seed):
+    """Differential oracle: random programs behave identically at every
+    optimization level."""
+    sources = generate_program(seed + 1000)
+    results = set()
+    for level in (0, 1, 2):
+        stats = compile_and_run(sources, level, max_cycles=50_000_000)
+        results.add((stats.output, stats.exit_code))
+    assert len(results) == 1
+
+
+def test_optimized_code_runs_faster():
+    sources = generate_program(77, num_modules=2, functions_per_module=4)
+    slow = compile_and_run(sources, 0, max_cycles=100_000_000)
+    fast = compile_and_run(sources, 2, max_cycles=100_000_000)
+    assert fast.output == slow.output
+    assert fast.cycles <= slow.cycles

@@ -1,0 +1,64 @@
+"""Shared helpers for building synthetic call graphs in tests."""
+
+from repro.callgraph.graph import CallGraph
+from repro.frontend.summary import (
+    GlobalSummary,
+    ModuleSummary,
+    ProcedureSummary,
+)
+
+
+def build_graph(procs, globals_=(), module="m"):
+    """Build a call graph from a compact spec.
+
+    Args:
+        procs: mapping ``name -> spec`` where spec is a dict with optional
+            keys ``calls`` ({callee: freq}), ``refs`` ({global: freq}),
+            ``stores`` ({global: freq}), ``need`` (callee-saves estimate).
+        globals_: names of (eligible) global variables.
+
+    Returns:
+        (CallGraph with normalized weights, ModuleSummary)
+    """
+    summary = ModuleSummary(module_name=module)
+    for name, spec in procs.items():
+        summary.procedures.append(
+            ProcedureSummary(
+                name=name,
+                module=module,
+                calls=dict(spec.get("calls", {})),
+                global_refs=dict(spec.get("refs", {})),
+                global_stores=dict(spec.get("stores", {})),
+                callee_saves_needed=spec.get("need", 0),
+                makes_indirect_calls=spec.get("indirect", False),
+                address_taken_procs=list(spec.get("address_taken", [])),
+            )
+        )
+    summary.globals = [
+        GlobalSummary(name=g, module=module) for g in globals_
+    ]
+    graph = CallGraph.build([summary])
+    graph.normalize_weights()
+    return graph, summary
+
+
+FIGURE3_PROCS = {
+    "A": {"calls": {"B": 1, "C": 1}, "refs": {"g3": 10},
+          "stores": {"g3": 5}},
+    "B": {"calls": {"D": 1, "E": 1}, "refs": {"g1": 10, "g3": 10},
+          "stores": {"g1": 5, "g3": 5}},
+    "C": {"calls": {"F": 1, "G": 1}, "refs": {"g2": 10, "g3": 10},
+          "stores": {"g2": 5, "g3": 5}},
+    "D": {"refs": {"g1": 10}, "stores": {"g1": 5}},
+    "E": {"refs": {"g1": 10, "g2": 10}, "stores": {"g1": 5, "g2": 5}},
+    "F": {"calls": {"H": 1}, "refs": {"g2": 10}, "stores": {"g2": 5}},
+    "G": {"calls": {"H": 1}, "refs": {"g2": 10}, "stores": {"g2": 5}},
+    "H": {},
+}
+
+FIGURE3_GLOBALS = ("g1", "g2", "g3")
+
+
+def figure3_graph():
+    """The paper's Figure 3 example call graph."""
+    return build_graph(FIGURE3_PROCS, FIGURE3_GLOBALS)
