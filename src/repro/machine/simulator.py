@@ -29,7 +29,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.linker.link import Executable
-from repro.target import isa
+from repro.target import costs, isa
 from repro.target.registers import NUM_REGISTERS, RP, RV, SP
 
 _WORD_MASK = 0xFFFFFFFF
@@ -48,14 +48,14 @@ class ExecutionLimitExceeded(MachineError):
 class CostModel:
     """Cycles charged per instruction category."""
 
-    alu: int = 1
-    mul: int = 1
-    div: int = 1
-    load: int = 1
-    store: int = 1
-    branch: int = 1
-    call: int = 1
-    other: int = 1
+    alu: int = costs.ALU_CYCLES
+    mul: int = costs.MUL_CYCLES
+    div: int = costs.DIV_CYCLES
+    load: int = costs.LOAD_CYCLES
+    store: int = costs.STORE_CYCLES
+    branch: int = costs.BRANCH_CYCLES
+    call: int = costs.CALL_CYCLES
+    other: int = costs.OTHER_CYCLES
 
 
 @dataclass

@@ -1,0 +1,59 @@
+"""PRISM target description.
+
+The simulated 32-register load-store RISC machine the reproduction
+compiles for (DESIGN.md: "Same register-file shape and linkage
+convention" as the paper's PA-RISC setting):
+
+* :mod:`repro.target.registers` — register file and software linkage
+  convention (16 callee-saves / 13 caller-saves registers);
+* :mod:`repro.target.isa` — the machine instruction set, shared by
+  instruction selection, the register allocator, the linker, and the
+  simulator;
+* :mod:`repro.target.frame` — stack frame layout and symbolic frame
+  locations resolved at frame finalization;
+* :mod:`repro.target.costs` — the default cycle cost model (one cycle
+  per instruction, matching the paper's "excluding cache miss
+  penalties" accounting).
+"""
+
+from repro.target import costs, frame, isa, registers
+from repro.target.frame import FrameLayout, FrameLoc
+from repro.target.isa import MInstr, Reg, VReg
+from repro.target.registers import (
+    ALL_ALLOCATABLE,
+    ARG_REGISTERS,
+    CALLEE_SAVES,
+    CALLER_SAVES,
+    MAX_REG_ARGS,
+    NUM_REGISTERS,
+    RP,
+    RV,
+    SP,
+    ZERO,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "ALL_ALLOCATABLE",
+    "ARG_REGISTERS",
+    "CALLEE_SAVES",
+    "CALLER_SAVES",
+    "FrameLayout",
+    "FrameLoc",
+    "MAX_REG_ARGS",
+    "MInstr",
+    "NUM_REGISTERS",
+    "RP",
+    "RV",
+    "Reg",
+    "SP",
+    "VReg",
+    "ZERO",
+    "costs",
+    "frame",
+    "isa",
+    "register_name",
+    "register_number",
+    "registers",
+]

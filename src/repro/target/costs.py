@@ -1,0 +1,18 @@
+"""Default PRISM cycle cost model.
+
+One cycle per instruction across the board — the paper reports cycle
+counts "excluding cache miss penalties", so no memory hierarchy is
+modelled and loads cost the same as ALU operations.  Experiments that
+want a different machine balance (e.g. slow multiply/divide) construct a
+:class:`repro.machine.simulator.CostModel` with overrides; these
+constants are the single source of the defaults.
+"""
+
+ALU_CYCLES = 1
+MUL_CYCLES = 1
+DIV_CYCLES = 1
+LOAD_CYCLES = 1
+STORE_CYCLES = 1
+BRANCH_CYCLES = 1
+CALL_CYCLES = 1
+OTHER_CYCLES = 1

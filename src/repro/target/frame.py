@@ -1,0 +1,125 @@
+"""PRISM stack frame layout.
+
+The stack grows downward through word-addressed memory; SP is lowered by
+the frame size in the prologue and raised back in the epilogue, so all
+frame accesses are non-negative offsets from the adjusted SP:
+
+::
+
+    higher addresses (caller's frame)
+    +---------------------------+
+    | incoming overflow args    |  caller's outgoing area
+    +===========================+  <- SP before prologue
+    | local slots               |  arrays / aliased locals
+    | saved callee/MSPILL regs  |
+    | saved RP                  |  only when the procedure makes calls
+    | spill slots               |
+    | outgoing overflow args    |  5th and later call arguments
+    +===========================+  <- SP after prologue
+    lower addresses
+
+The outgoing overflow area sits at the bottom so a callee can find its
+incoming overflow arguments at ``frame_size + (index - MAX_REG_ARGS)``
+without knowing anything about the caller's frame: the caller's SP at
+the call *is* its adjusted SP, and argument ``index`` lives
+``index - MAX_REG_ARGS`` words above it.
+
+Until frame finalization runs, instructions reference frame positions
+symbolically through :class:`FrameLoc`; :class:`FrameLayout` assigns the
+concrete word offsets once the spill count and save set are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.target.registers import MAX_REG_ARGS
+
+
+class FrameLoc:
+    """A symbolic frame location, resolved by :meth:`FrameLayout.resolve`.
+
+    Kinds and their ``index`` meaning:
+
+    * ``"outgoing"`` — overflow argument slot; index is the *argument*
+      position (``MAX_REG_ARGS`` or higher);
+    * ``"incoming"`` — same, but relative to the caller's frame;
+    * ``"spill"``    — allocator spill slot number;
+    * ``"saved_rp"`` — the return-pointer save slot (index unused);
+    * ``"saved_reg"``— save slot of physical register ``index``;
+    * ``"slot"``     — local frame slot number (arrays, aliased locals).
+    """
+
+    __slots__ = ("kind", "index")
+
+    KINDS = ("outgoing", "incoming", "spill", "saved_rp", "saved_reg",
+             "slot")
+
+    def __init__(self, kind: str, index: int = 0):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown frame location kind {kind!r}")
+        self.kind = kind
+        self.index = index
+
+    def __repr__(self) -> str:
+        if self.kind == "saved_rp":
+            return "{saved_rp}"
+        return f"{{{self.kind}.{self.index}}}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FrameLoc)
+            and self.kind == other.kind
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.index))
+
+
+@dataclass
+class FrameLayout:
+    """Concrete frame layout of one procedure, fixed after allocation.
+
+    Offsets are words above the adjusted SP.  A procedure needing
+    nothing (leaf, no locals, no saves) has ``frame_size == 0`` and
+    never adjusts SP at all.
+    """
+
+    slot_sizes: list = field(default_factory=list)
+    num_spills: int = 0
+    saved_registers: list = field(default_factory=list)
+    save_rp: bool = False
+    max_outgoing_args: int = 0
+
+    def __post_init__(self):
+        self.outgoing_words = max(0, self.max_outgoing_args - MAX_REG_ARGS)
+        self._spill_base = self.outgoing_words
+        self._rp_offset = self._spill_base + self.num_spills
+        self._saved_base = self._rp_offset + (1 if self.save_rp else 0)
+        self._saved_offset = {
+            register: self._saved_base + position
+            for position, register in enumerate(self.saved_registers)
+        }
+        self._slot_base: list = []
+        offset = self._saved_base + len(self.saved_registers)
+        for size in self.slot_sizes:
+            self._slot_base.append(offset)
+            offset += size
+        self.frame_size = offset
+
+    def resolve(self, loc: FrameLoc) -> int:
+        """Word offset (from the adjusted SP) of a symbolic location."""
+        if loc.kind == "outgoing":
+            return loc.index - MAX_REG_ARGS
+        if loc.kind == "incoming":
+            return self.frame_size + (loc.index - MAX_REG_ARGS)
+        if loc.kind == "spill":
+            return self._spill_base + loc.index
+        if loc.kind == "saved_rp":
+            return self._rp_offset
+        if loc.kind == "saved_reg":
+            return self._saved_offset[loc.index]
+        if loc.kind == "slot":
+            return self._slot_base[loc.index]
+        raise ValueError(f"unresolvable frame location {loc!r}")

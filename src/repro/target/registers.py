@@ -1,0 +1,68 @@
+"""PRISM register file and software linkage convention.
+
+Thirty-two general registers, partitioned by software convention
+(DESIGN.md: 16 callee-saves / 13 caller-saves):
+
+========  =========  ====================================================
+register  name       role
+========  =========  ====================================================
+r0        ``ZERO``   hardwired zero: reads 0, writes are discarded
+r1        ``RV``     return value; caller-saves
+r2        ``SP``     stack pointer; reserved (never allocated)
+r3        ``RP``     return pointer, written by ``BL``/``BLR``; reserved
+r4-r7     args       first four arguments; caller-saves
+r8-r15    —          caller-saves scratch
+r16-r31   —          callee-saves
+========  =========  ====================================================
+
+The caller-saves set is ``{RV} ∪ {r4..r15}`` (13 registers); the
+callee-saves set is ``{r16..r31}`` (16 registers).  The analyzer's
+FREE/CALLER/CALLEE/MSPILL usage sets (paper Figure 6) start from this
+convention and the backend allocator draws from ``ALL_ALLOCATABLE`` —
+everything except ZERO, SP, and RP.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+# Special registers.
+ZERO = 0  # hardwired zero
+RV = 1  # return value
+SP = 2  # stack pointer
+RP = 3  # return pointer (link register)
+
+# Up to four arguments travel in registers (docs/TINYC.md: r4-r7).
+ARG_REGISTERS = (4, 5, 6, 7)
+MAX_REG_ARGS = len(ARG_REGISTERS)
+
+# Linkage convention: 13 caller-saves, 16 callee-saves.
+CALLER_SAVES = frozenset({RV}) | frozenset(range(4, 16))
+CALLEE_SAVES = frozenset(range(16, NUM_REGISTERS))
+
+# Every register the allocator may hand out.
+ALL_ALLOCATABLE = CALLER_SAVES | CALLEE_SAVES
+
+_SPECIAL_NAMES = {ZERO: "zero", RV: "rv", SP: "sp", RP: "rp"}
+
+
+def register_name(register: int) -> str:
+    """Human-readable name of a physical register (``r8``, ``rv``...)."""
+    if not 0 <= register < NUM_REGISTERS:
+        raise ValueError(f"no such register: {register}")
+    return _SPECIAL_NAMES.get(register, f"r{register}")
+
+
+def register_number(name: str) -> int:
+    """Inverse of :func:`register_name`."""
+    for register, special in _SPECIAL_NAMES.items():
+        if name == special:
+            return register
+    if name.startswith("r"):
+        try:
+            register = int(name[1:])
+        except ValueError:
+            raise ValueError(f"no such register: {name!r}") from None
+        if 0 <= register < NUM_REGISTERS and register not in _SPECIAL_NAMES:
+            return register
+    raise ValueError(f"no such register: {name!r}")

@@ -1,13 +1,28 @@
 """Every example script must run cleanly (they are living documentation)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env():
+    # pytest's ``pythonpath`` ini setting puts src/ on *this* process's
+    # path but is not inherited by subprocesses; examples import repro,
+    # so hand them the path explicitly.
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + existing if existing else src
+    )
+    return env
 
 
 def test_examples_exist():
@@ -22,6 +37,7 @@ def test_example_runs(name):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip()

@@ -1,0 +1,99 @@
+"""Frame layout invariants: area ordering, non-overlap, and the
+incoming/outgoing duality that lets a callee find overflow arguments
+without knowing its caller's frame."""
+
+import pytest
+
+from repro.target.frame import FrameLayout, FrameLoc
+from repro.target.registers import MAX_REG_ARGS
+
+
+def full_layout():
+    return FrameLayout(
+        slot_sizes=[4, 1],
+        num_spills=2,
+        saved_registers=[16, 20, 31],
+        save_rp=True,
+        max_outgoing_args=6,
+    )
+
+
+def test_empty_layout_has_no_frame():
+    layout = FrameLayout()
+    assert layout.frame_size == 0
+
+
+def test_frame_size_totals_every_area():
+    layout = full_layout()
+    # outgoing overflow (6-4=2) + spills (2) + RP (1) + saves (3)
+    # + slots (4+1).
+    assert layout.frame_size == 2 + 2 + 1 + 3 + 5
+
+
+def test_all_offsets_distinct_and_in_frame():
+    layout = full_layout()
+    locations = (
+        [FrameLoc("outgoing", MAX_REG_ARGS + i) for i in range(2)]
+        + [FrameLoc("spill", i) for i in range(2)]
+        + [FrameLoc("saved_rp")]
+        + [FrameLoc("saved_reg", r) for r in (16, 20, 31)]
+        + [FrameLoc("slot", i) for i in range(2)]
+    )
+    offsets = [layout.resolve(loc) for loc in locations]
+    assert len(set(offsets)) == len(offsets)
+    for offset in offsets:
+        assert 0 <= offset < layout.frame_size
+
+
+def test_slot_offsets_leave_room_for_slot_sizes():
+    layout = full_layout()
+    slot0 = layout.resolve(FrameLoc("slot", 0))
+    slot1 = layout.resolve(FrameLoc("slot", 1))
+    assert slot1 - slot0 == 4  # slot 0 occupies 4 words
+    assert slot1 + 1 <= layout.frame_size
+
+
+def test_incoming_mirrors_callers_outgoing():
+    # Callee SP = caller SP - callee frame size, so for any argument
+    # index: callee's incoming offset == frame_size + caller's outgoing
+    # offset for the same index.
+    layout = full_layout()
+    for index in (MAX_REG_ARGS, MAX_REG_ARGS + 1):
+        outgoing = layout.resolve(FrameLoc("outgoing", index))
+        incoming = layout.resolve(FrameLoc("incoming", index))
+        assert incoming == layout.frame_size + outgoing
+
+
+def test_outgoing_area_sits_at_stack_bottom():
+    layout = full_layout()
+    assert layout.resolve(FrameLoc("outgoing", MAX_REG_ARGS)) == 0
+
+
+def test_no_outgoing_words_for_register_only_calls():
+    layout = FrameLayout(max_outgoing_args=MAX_REG_ARGS)
+    assert layout.outgoing_words == 0
+    assert layout.frame_size == 0
+
+
+def test_saved_reg_lookup_by_register_number():
+    layout = full_layout()
+    offsets = [
+        layout.resolve(FrameLoc("saved_reg", r)) for r in (16, 20, 31)
+    ]
+    assert offsets == sorted(offsets)
+    with pytest.raises(KeyError):
+        layout.resolve(FrameLoc("saved_reg", 17))  # not saved here
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FrameLoc("stack")
+
+
+def test_frameloc_equality_and_repr():
+    assert FrameLoc("spill", 1) == FrameLoc("spill", 1)
+    assert FrameLoc("spill", 1) != FrameLoc("spill", 2)
+    assert FrameLoc("spill", 1) != FrameLoc("slot", 1)
+    assert len({FrameLoc("spill", 1), FrameLoc("spill", 1)}) == 1
+    assert repr(FrameLoc("saved_rp")) == "{saved_rp}"
+    assert repr(FrameLoc("slot", 3)) == "{slot.3}"

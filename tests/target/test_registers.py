@@ -1,0 +1,91 @@
+"""Linkage-convention invariants of the PRISM register file.
+
+Every layer of the system leans on these properties: the analyzer's
+Figure 6 sets start from CALLER_SAVES/CALLEE_SAVES, the backend draws
+from ALL_ALLOCATABLE, and the simulator's convention checker assumes
+exactly this partition.
+"""
+
+from repro.target.registers import (
+    ALL_ALLOCATABLE,
+    ARG_REGISTERS,
+    CALLEE_SAVES,
+    CALLER_SAVES,
+    MAX_REG_ARGS,
+    NUM_REGISTERS,
+    RP,
+    RV,
+    SP,
+    ZERO,
+    register_name,
+    register_number,
+)
+
+
+def test_register_file_shape():
+    # DESIGN.md: 32 registers, 16 callee-saves, 13 caller-saves.
+    assert NUM_REGISTERS == 32
+    assert len(CALLEE_SAVES) == 16
+    assert len(CALLER_SAVES) == 13
+
+
+def test_special_registers_are_distinct_and_in_range():
+    specials = {ZERO, RV, SP, RP}
+    assert len(specials) == 4
+    for register in specials:
+        assert 0 <= register < NUM_REGISTERS
+    assert ZERO == 0  # the simulator drops writes to register 0
+
+
+def test_caller_and_callee_sets_disjoint():
+    assert not CALLER_SAVES & CALLEE_SAVES
+
+
+def test_allocatable_is_exactly_the_two_conventions():
+    assert ALL_ALLOCATABLE == CALLER_SAVES | CALLEE_SAVES
+
+
+def test_reserved_registers_never_allocatable():
+    for register in (ZERO, SP, RP):
+        assert register not in ALL_ALLOCATABLE
+
+
+def test_return_value_register_is_caller_saves():
+    assert RV in CALLER_SAVES
+
+
+def test_argument_registers_consistent():
+    # docs/TINYC.md: up to four arguments travel in r4-r7.
+    assert ARG_REGISTERS == (4, 5, 6, 7)
+    assert MAX_REG_ARGS == len(ARG_REGISTERS)
+    assert set(ARG_REGISTERS) <= CALLER_SAVES
+    assert RV not in ARG_REGISTERS
+
+
+def test_every_register_accounted_for():
+    reserved = {ZERO, SP, RP}
+    assert reserved | ALL_ALLOCATABLE == set(range(NUM_REGISTERS))
+    assert len(reserved) + len(ALL_ALLOCATABLE) == NUM_REGISTERS
+
+
+def test_register_name_round_trips():
+    for register in range(NUM_REGISTERS):
+        assert register_number(register_name(register)) == register
+
+
+def test_register_names_unique():
+    names = [register_name(r) for r in range(NUM_REGISTERS)]
+    assert len(set(names)) == NUM_REGISTERS
+
+
+def test_register_name_rejects_out_of_range():
+    import pytest
+
+    with pytest.raises(ValueError):
+        register_name(NUM_REGISTERS)
+    with pytest.raises(ValueError):
+        register_name(-1)
+    with pytest.raises(ValueError):
+        register_number("r99")
+    with pytest.raises(ValueError):
+        register_number("bogus")
