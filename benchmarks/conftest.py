@@ -5,23 +5,35 @@ session: every Table 3 workload is compiled at the level-2 baseline and
 under every analyzer configuration A-F, then simulated.  Individual
 benchmark modules print their table from these cached results and use
 ``benchmark`` to time a representative kernel of the stage they cover.
+
+The matrix is compiled through one shared
+:class:`~repro.driver.scheduler.CompilationScheduler` (parallel worker
+processes when the host has more than one CPU, plus a per-session
+artifact cache), so the seven analyzer configurations share every
+phase-1 artifact and every phase-2 object module whose directives a
+configuration change left untouched.  Alongside the printed tables the
+session writes ``benchmarks/BENCH_results.json`` with the per-workload
+counters and the scheduler's wall-clock/cache statistics.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 
 import pytest
 
 from repro import (
     AnalyzerOptions,
+    CompilationScheduler,
     ProgramDatabase,
     collect_profile,
     compile_with_database,
     run_executable,
     run_phase1,
 )
-from repro.analyzer.driver import analyze_program
 from repro.machine.simulator import ExecutionStats
 from repro.workloads import all_workloads
 
@@ -56,23 +68,26 @@ class WorkloadResults:
         return 100.0 * (base - stats.singleton_references) / base
 
 
-def _run_workload(name, workload) -> WorkloadResults:
-    phase1 = run_phase1(workload.sources, 2)
+def _run_workload(name, workload, scheduler) -> WorkloadResults:
+    phase1 = run_phase1(workload.sources, 2, scheduler=scheduler)
     summaries = [r.summary for r in phase1]
     baseline = run_executable(
-        compile_with_database(phase1, ProgramDatabase(), 2),
+        compile_with_database(phase1, ProgramDatabase(), 2,
+                              scheduler=scheduler),
         max_cycles=workload.max_cycles,
     )
-    profile = collect_profile(phase1, max_cycles=workload.max_cycles)
+    profile = collect_profile(phase1, max_cycles=workload.max_cycles,
+                              scheduler=scheduler)
     results = WorkloadResults(name, baseline, phase1=phase1,
                               profile=profile)
     for config in "ABCDEF":
         options = AnalyzerOptions.config(
             config, profile if config in "BF" else None
         )
-        database = analyze_program(summaries, options)
+        database = scheduler.analyze(summaries, options)
         stats = run_executable(
-            compile_with_database(phase1, database, 2),
+            compile_with_database(phase1, database, 2,
+                                  scheduler=scheduler),
             max_cycles=workload.max_cycles,
         )
         if stats.output != baseline.output:  # pragma: no cover
@@ -81,15 +96,48 @@ def _run_workload(name, workload) -> WorkloadResults:
             )
         results.configs[config] = stats
         results.databases[config] = database
+    _BENCH_WORKLOADS[name] = {
+        "baseline": _stats_payload(baseline),
+        "configs": {
+            config: _stats_payload(stats)
+            for config, stats in results.configs.items()
+        },
+    }
     return results
+
+
+def _stats_payload(stats: ExecutionStats) -> dict:
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "memory_references": stats.memory_references,
+        "singleton_references": stats.singleton_references,
+    }
+
+
+# Machine-readable mirror of the printed tables, written at session end.
+_BENCH_WORKLOADS: dict = {}
+
+
+# Scheduler statistics for the whole matrix, captured for the JSON
+# report written at session end.
+_SCHEDULER_METRICS: dict = {}
 
 
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
+    cpus = os.cpu_count() or 1
     results = {}
-    for name, workload in all_workloads().items():
-        results[name] = _run_workload(name, workload)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        with CompilationScheduler(
+            jobs=min(cpus, 8) if cpus > 1 else 1, cache_dir=cache
+        ) as scheduler:
+            for name, workload in all_workloads().items():
+                results[name] = _run_workload(name, workload, scheduler)
+            _SCHEDULER_METRICS.update(
+                scheduler.metrics_snapshot().to_json_dict()
+            )
     return results
 
 
@@ -167,13 +215,30 @@ def record_note(text):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    written = []
+    if _BENCH_WORKLOADS or _SCHEDULER_METRICS:
+        json_path = os.path.join(
+            os.path.dirname(__file__), "BENCH_results.json"
+        )
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "legend": CONFIG_LEGEND,
+                    "workloads": _BENCH_WORKLOADS,
+                    "scheduler": _SCHEDULER_METRICS,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        written.append(json_path)
     if not _RESULT_LINES:
         return
-    import os
-
     path = os.path.join(os.path.dirname(__file__), "latest_results.txt")
     with open(path, "w") as handle:
         handle.write("\n".join(_RESULT_LINES) + "\n")
+    written.append(path)
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
         reporter.write_line("")
@@ -183,5 +248,5 @@ def pytest_sessionfinish(session, exitstatus):
         for line in _RESULT_LINES:
             reporter.write_line(line)
         reporter.write_line(
-            f"(also written to {path})"
+            f"(also written to {', '.join(written)})"
         )

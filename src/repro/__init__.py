@@ -38,6 +38,7 @@ from repro.driver.pipeline import (
     compile_with_database,
     run_phase1,
 )
+from repro.driver.scheduler import CompilationScheduler, MetricsSnapshot
 from repro.machine.profiler import ProfileData
 from repro.machine.simulator import (
     ConventionViolation,
@@ -55,7 +56,9 @@ __all__ = [
     "ConventionViolation",
     "Simulator",
     "CompilationResult",
+    "CompilationScheduler",
     "CostModel",
+    "MetricsSnapshot",
     "ExecutionStats",
     "MachineError",
     "PAPER_CONFIGS",

@@ -16,6 +16,7 @@ Each entry contains:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Optional
@@ -111,6 +112,38 @@ def default_directives(name: str) -> ProcedureDirectives:
     return ProcedureDirectives(name=name)
 
 
+def directive_payload(directives: ProcedureDirectives) -> dict:
+    """Canonical JSON-able form of one procedure's directives.
+
+    The single source of truth for directive serialization: both the
+    database's JSON round-trip and the per-module digests the
+    incremental driver keys its phase-2 cache on are built from it.
+    """
+    return {
+        "free": sorted(directives.free),
+        "caller": sorted(directives.caller),
+        "callee": sorted(directives.callee),
+        "mspill": sorted(directives.mspill),
+        "is_cluster_root": directives.is_cluster_root,
+        "caller_prefix": (
+            list(directives.caller_prefix)
+            if directives.caller_prefix is not None
+            else None
+        ),
+        "subtree_caller_used": sorted(directives.subtree_caller_used),
+        "promoted": [
+            {
+                "name": p.name,
+                "register": p.register,
+                "is_entry": p.is_entry,
+                "needs_store": p.needs_store,
+                "wrap_callees": sorted(p.wrap_callees),
+            }
+            for p in directives.promoted
+        ],
+    }
+
+
 @dataclass
 class WebRecord:
     """Analyzer census entry for one web (used by stats and Table 2)."""
@@ -204,32 +237,27 @@ class ProgramDatabase:
     def to_json(self) -> str:
         """Serialize the database (directives only) to JSON."""
         payload = {
-            name: {
-                "free": sorted(d.free),
-                "caller": sorted(d.caller),
-                "callee": sorted(d.callee),
-                "mspill": sorted(d.mspill),
-                "is_cluster_root": d.is_cluster_root,
-                "caller_prefix": (
-                    list(d.caller_prefix)
-                    if d.caller_prefix is not None
-                    else None
-                ),
-                "subtree_caller_used": sorted(d.subtree_caller_used),
-                "promoted": [
-                    {
-                        "name": p.name,
-                        "register": p.register,
-                        "is_entry": p.is_entry,
-                        "needs_store": p.needs_store,
-                        "wrap_callees": sorted(p.wrap_callees),
-                    }
-                    for p in d.promoted
-                ],
-            }
+            name: directive_payload(d)
             for name, d in self.procedures.items()
         }
         return json.dumps(payload, indent=2, sort_keys=True)
+
+    def directive_digest(self, names) -> str:
+        """Digest of the directives phase 2 would see for ``names``.
+
+        ``names`` is the set of procedures one module's compilation can
+        query (its own definitions plus its direct callees; see
+        :func:`repro.backend.phase2.module_directive_names`).  Because
+        :meth:`get` answers the standard convention for unknown names,
+        a procedure with explicitly-default directives digests the same
+        as an absent one — exactly the equivalence phase 2 observes.
+        """
+        payload = {
+            name: directive_payload(self.get(name))
+            for name in sorted(set(names))
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ProgramDatabase":

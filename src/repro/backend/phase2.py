@@ -28,6 +28,21 @@ from repro.ir.module import IRModule
 from repro.opt.pipeline import _local_fixpoint
 
 
+def module_directive_names(module: IRModule) -> frozenset:
+    """Names whose directives can influence this module's phase 2.
+
+    Phase 2 consults the database for (a) every procedure the module
+    defines — promotion rewrites and the allocator's usage sets — and
+    (b) every direct callee, whose ``caller_prefix`` /
+    ``subtree_caller_used`` shape the clobber sets at call sites.
+    Intra-module callees are already covered by (a); indirect calls
+    assume the full convention and never consult the database.  The
+    incremental driver digests exactly this set to decide whether a new
+    program database requires recompiling the module.
+    """
+    return frozenset(module.functions) | frozenset(module.extern_functions)
+
+
 def compile_module_phase2(
     module: IRModule,
     database: ProgramDatabase,

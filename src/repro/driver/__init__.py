@@ -1,19 +1,26 @@
 """End-to-end compilation pipeline."""
 
+from repro.driver.cache import ArtifactCache
 from repro.driver.pipeline import (
     CompilationResult,
     collect_profile,
     compile_and_run,
     compile_program,
     compile_with_database,
+    default_scheduler,
     run_phase1,
 )
+from repro.driver.scheduler import CompilationScheduler, MetricsSnapshot
 
 __all__ = [
+    "ArtifactCache",
     "CompilationResult",
+    "CompilationScheduler",
+    "MetricsSnapshot",
     "collect_profile",
     "compile_and_run",
     "compile_program",
     "compile_with_database",
+    "default_scheduler",
     "run_phase1",
 ]

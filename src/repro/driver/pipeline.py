@@ -14,73 +14,100 @@ paper's Table 4 compiles the *same* program under seven analyzer
 configurations, :func:`run_phase1` / :func:`compile_with_database` let
 benchmarks share the phase-1 work: phase 2 deep-copies the IR so one
 phase-1 result can feed many configurations.
+
+Every function here delegates to a
+:class:`~repro.driver.scheduler.CompilationScheduler`.  The module-level
+default is serial and uncached (bit-identical to the historical driver);
+pass ``scheduler=`` — or set ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` in the
+environment before first use — to compile modules in parallel worker
+processes and reuse cached per-module artifacts across runs.  See
+``docs/PIPELINE.md``.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.analyzer.database import ProgramDatabase
-from repro.analyzer.driver import analyze_program
 from repro.analyzer.options import AnalyzerOptions
-from repro.backend.phase2 import compile_module_phase2
-from repro.frontend.phase1 import Phase1Result, compile_module_phase1
-from repro.linker.link import Executable, link
+from repro.linker.link import Executable
 from repro.machine.profiler import ProfileData
 from repro.machine.simulator import ExecutionStats, run_executable
 
 Sources = Union[dict, list]
 
+_default_scheduler = None
+
+
+def default_scheduler():
+    """The process-wide scheduler behind the plain function API.
+
+    Serial and uncached unless the ``REPRO_JOBS`` (worker count; ``0``
+    means one per CPU) / ``REPRO_CACHE_DIR`` environment variables say
+    otherwise at first use.
+    """
+    global _default_scheduler
+    if _default_scheduler is None:
+        import os
+
+        from repro.driver.scheduler import CompilationScheduler
+
+        jobs: Optional[int] = int(os.environ.get("REPRO_JOBS", "1"))
+        if jobs == 0:
+            jobs = None  # auto: one worker per CPU
+        _default_scheduler = CompilationScheduler(
+            jobs=jobs, cache_dir=os.environ.get("REPRO_CACHE_DIR") or None
+        )
+    return _default_scheduler
+
 
 @dataclass
 class CompilationResult:
-    """Everything produced by one full compilation."""
+    """Everything produced by one full compilation.
+
+    ``metrics`` (a :class:`~repro.driver.scheduler.MetricsSnapshot`)
+    reports this compilation's per-stage wall-clock seconds, task
+    counts, and cache hit/miss/corruption counters.
+    """
 
     executable: Executable
     database: ProgramDatabase
     phase1_results: list = field(default_factory=list)
     objects: list = field(default_factory=list)
+    metrics: object = None
 
     @property
     def summaries(self) -> list:
         return [result.summary for result in self.phase1_results]
 
 
-def _normalize_sources(sources: Sources) -> list:
-    if isinstance(sources, dict):
-        return sorted(sources.items())
-    return list(sources)
-
-
-def run_phase1(sources: Sources, opt_level: int = 2) -> list:
+def run_phase1(
+    sources: Sources, opt_level: int = 2, scheduler=None
+) -> list:
     """Compiler first phase over every module."""
-    return [
-        compile_module_phase1(text, name, opt_level)
-        for name, text in _normalize_sources(sources)
-    ]
+    scheduler = scheduler or default_scheduler()
+    return scheduler.run_phase1(sources, opt_level)
 
 
 def compile_with_database(
     phase1_results: list,
     database: ProgramDatabase,
     opt_level: int = 2,
+    scheduler=None,
 ) -> Executable:
     """Compiler second phase + link, leaving phase-1 results intact."""
-    objects = []
-    for result in phase1_results:
-        ir_module = copy.deepcopy(result.ir_module)
-        objects.append(
-            compile_module_phase2(ir_module, database, opt_level)
-        )
-    return link(objects)
+    scheduler = scheduler or default_scheduler()
+    return scheduler.compile_with_database(
+        phase1_results, database, opt_level
+    )
 
 
 def compile_program(
     sources: Sources,
     opt_level: int = 2,
     analyzer_options: Optional[AnalyzerOptions] = None,
+    scheduler=None,
 ) -> CompilationResult:
     """Compile a whole program.
 
@@ -90,23 +117,12 @@ def compile_program(
         analyzer_options: ``None`` disables interprocedural register
             allocation entirely (the level-2 baseline); otherwise the
             program analyzer runs with these options.
+        scheduler: A :class:`~repro.driver.scheduler.CompilationScheduler`
+            to compile on (parallel workers, artifact cache); defaults
+            to the serial, uncached module-level one.
     """
-    phase1_results = run_phase1(sources, opt_level)
-    if analyzer_options is not None:
-        database = analyze_program(
-            [result.summary for result in phase1_results],
-            analyzer_options,
-        )
-    else:
-        database = ProgramDatabase()
-    objects = []
-    for result in phase1_results:
-        ir_module = copy.deepcopy(result.ir_module)
-        objects.append(
-            compile_module_phase2(ir_module, database, opt_level)
-        )
-    executable = link(objects)
-    return CompilationResult(executable, database, phase1_results, objects)
+    scheduler = scheduler or default_scheduler()
+    return scheduler.compile_program(sources, opt_level, analyzer_options)
 
 
 def compile_and_run(
@@ -114,9 +130,10 @@ def compile_and_run(
     opt_level: int = 2,
     analyzer_options: Optional[AnalyzerOptions] = None,
     max_cycles: int = 200_000_000,
+    scheduler=None,
 ) -> ExecutionStats:
     """Compile and simulate in one call."""
-    result = compile_program(sources, opt_level, analyzer_options)
+    result = compile_program(sources, opt_level, analyzer_options, scheduler)
     return run_executable(result.executable, max_cycles)
 
 
@@ -124,10 +141,11 @@ def collect_profile(
     phase1_results: list,
     opt_level: int = 2,
     max_cycles: int = 200_000_000,
+    scheduler=None,
 ) -> ProfileData:
     """The gprof step: run the level-2 binary and harvest call counts."""
     executable = compile_with_database(
-        phase1_results, ProgramDatabase(), opt_level
+        phase1_results, ProgramDatabase(), opt_level, scheduler
     )
     stats = run_executable(executable, max_cycles)
     return ProfileData.from_stats(stats)

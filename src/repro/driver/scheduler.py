@@ -1,0 +1,348 @@
+"""Parallel, incremental compilation scheduler.
+
+The paper splits compilation at module boundaries on purpose: phase 1
+and phase 2 are per-module jobs that communicate only through summary
+files and the program database (sections 2 and 7.4), so nothing in the
+design forces either serial execution or whole-program recompilation.
+:class:`CompilationScheduler` exploits both freedoms:
+
+* **Parallelism** — phase-1 jobs are independent by construction and
+  run across a :class:`~concurrent.futures.ProcessPoolExecutor`; once
+  the analyzer has produced the database, phase-2 jobs are equally
+  independent and fan out the same way.  Workers are pure functions of
+  picklable inputs, so parallel results are bit-identical to serial
+  ones (asserted by ``tests/driver/test_determinism.py``).
+* **Incrementality** — a content-addressed on-disk cache
+  (:mod:`repro.driver.cache`) keyed on exactly the inputs each phase
+  depends on: source text + opt level for phase 1, (phase-1
+  fingerprint, per-module directive digest, opt level) for phase 2.
+  Editing one module re-runs phase 1 for that module alone; changing
+  :class:`~repro.analyzer.options.AnalyzerOptions` re-runs the
+  analyzer and then only the phase-2 jobs of modules whose directives
+  actually changed.
+
+Every stage is instrumented with wall-clock and cache counters; one
+compilation's share is surfaced on
+:attr:`repro.driver.pipeline.CompilationResult.metrics`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from copy import deepcopy
+from dataclasses import dataclass, field
+
+from repro.analyzer.database import ProgramDatabase
+from repro.analyzer.driver import analyze_program
+from repro.backend.phase2 import (
+    compile_module_phase2,
+    module_directive_names,
+)
+from repro.driver.cache import ArtifactCache, phase2_key
+from repro.frontend.phase1 import (
+    Phase1Result,
+    compile_module_phase1,
+    phase1_fingerprint,
+)
+from repro.linker.link import Executable, link
+
+STAGES = ("phase1", "analyze", "phase2", "link")
+
+
+def _phase1_task(item) -> Phase1Result:
+    """Process-pool entry point for one module's first phase."""
+    name, text, opt_level = item
+    return compile_module_phase1(text, name, opt_level)
+
+
+def _phase2_task(item):
+    """Process/inline entry point for one module's second phase.
+
+    Phase 2 rewrites the IR in place, and one phase-1 result feeds many
+    configurations, so the task always works on a private deep copy —
+    whether it runs in a worker (where the pickle round-trip already
+    isolated it) or inline in the parent.
+    """
+    ir_module, database, opt_level = item
+    return compile_module_phase2(deepcopy(ir_module), database, opt_level)
+
+
+@dataclass
+class MetricsSnapshot:
+    """Point-in-time (or differenced) scheduler instrumentation."""
+
+    jobs: int = 1
+    stage_seconds: dict = field(default_factory=dict)
+    stage_tasks: dict = field(default_factory=dict)
+    cache_hits: dict = field(default_factory=dict)
+    cache_misses: dict = field(default_factory=dict)
+    cache_bad_entries: dict = field(default_factory=dict)
+
+    def minus(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The activity between ``earlier`` and this snapshot."""
+
+        def diff(now: dict, then: dict) -> dict:
+            return {
+                key: value - then.get(key, 0)
+                for key, value in now.items()
+                if value - then.get(key, 0)
+            }
+
+        return MetricsSnapshot(
+            jobs=self.jobs,
+            stage_seconds=diff(self.stage_seconds, earlier.stage_seconds),
+            stage_tasks=diff(self.stage_tasks, earlier.stage_tasks),
+            cache_hits=diff(self.cache_hits, earlier.cache_hits),
+            cache_misses=diff(self.cache_misses, earlier.cache_misses),
+            cache_bad_entries=diff(
+                self.cache_bad_entries, earlier.cache_bad_entries
+            ),
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_tasks": dict(self.stage_tasks),
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+            "cache_bad_entries": dict(self.cache_bad_entries),
+        }
+
+
+def _normalize_sources(sources) -> list:
+    if isinstance(sources, dict):
+        return sorted(sources.items())
+    return list(sources)
+
+
+class CompilationScheduler:
+    """Runs the two compiler phases per-module, in parallel, with an
+    artifact cache.
+
+    Args:
+        jobs: Worker-process count.  ``1`` (the default) runs every job
+            inline — bit-identical behavior to the historical serial
+            driver; ``None`` means one worker per CPU.
+        cache_dir: Root of the artifact cache, or ``None`` to disable
+            caching entirely.
+
+    The worker pool is created lazily on the first parallel stage and
+    reused across compilations (benchmark sessions amortize startup
+    over the whole Table 3/4 matrix).  Use as a context manager or
+    call :meth:`close` to reclaim the pool.
+    """
+
+    def __init__(self, jobs: int | None = 1, cache_dir=None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = (
+            ArtifactCache(cache_dir) if cache_dir is not None else None
+        )
+        self._executor = None
+        self._stage_seconds: dict = {}
+        self._stage_tasks: dict = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "CompilationScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            mp_context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                # Fork workers inherit the parent's str-hash seed, so
+                # even hash-order-sensitive code would stay consistent
+                # with the parent process within one session.
+                mp_context = multiprocessing.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=mp_context
+            )
+        return self._executor
+
+    # -- instrumentation --------------------------------------------------
+
+    @contextmanager
+    def _timed(self, stage: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stage_seconds[stage] = (
+                self._stage_seconds.get(stage, 0.0) + elapsed
+            )
+
+    def _count_tasks(self, stage: str, count: int) -> None:
+        self._stage_tasks[stage] = self._stage_tasks.get(stage, 0) + count
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Cumulative instrumentation since construction (or reset)."""
+        cache_stats = (
+            self.cache.stats.snapshot()
+            if self.cache is not None
+            else {"hits": {}, "misses": {}, "bad_entries": {}}
+        )
+        return MetricsSnapshot(
+            jobs=self.jobs,
+            stage_seconds=dict(self._stage_seconds),
+            stage_tasks=dict(self._stage_tasks),
+            cache_hits=cache_stats["hits"],
+            cache_misses=cache_stats["misses"],
+            cache_bad_entries=cache_stats["bad_entries"],
+        )
+
+    def reset_metrics(self) -> None:
+        self._stage_seconds.clear()
+        self._stage_tasks.clear()
+        if self.cache is not None:
+            self.cache.stats.clear()
+
+    # -- execution core ---------------------------------------------------
+
+    def _run_tasks(self, task_fn, items: list) -> list:
+        """Run ``task_fn`` over ``items``, in order, possibly in
+        parallel.  A broken pool (resource limits, killed workers)
+        degrades to inline execution rather than failing the build."""
+        if self.jobs > 1 and len(items) > 1:
+            try:
+                return list(self._get_executor().map(task_fn, items))
+            except BrokenProcessPool:
+                self._executor = None
+        return [task_fn(item) for item in items]
+
+    # -- pipeline stages --------------------------------------------------
+
+    def run_phase1(self, sources, opt_level: int = 2) -> list:
+        """Compiler first phase over every module (cached, parallel)."""
+        modules = _normalize_sources(sources)
+        with self._timed("phase1"):
+            results: list = [None] * len(modules)
+            pending: list = []  # (index, task item, cache key)
+            for index, (name, text) in enumerate(modules):
+                key = phase1_fingerprint(text, name, opt_level)
+                if self.cache is not None:
+                    cached = self.cache.load("phase1", key)
+                    if isinstance(cached, Phase1Result):
+                        results[index] = cached
+                        continue
+                pending.append((index, (name, text, opt_level), key))
+            self._count_tasks("phase1", len(pending))
+            computed = self._run_tasks(
+                _phase1_task, [item for _, item, _ in pending]
+            )
+            for (index, _item, key), result in zip(pending, computed):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.store("phase1", key, result)
+        return results
+
+    def analyze(self, summaries: list, options) -> ProgramDatabase:
+        """The program analyzer (always re-run: it is whole-program by
+        nature and cheap relative to the per-module phases)."""
+        with self._timed("analyze"):
+            return analyze_program(summaries, options)
+
+    def compile_objects(
+        self,
+        phase1_results: list,
+        database: ProgramDatabase,
+        opt_level: int = 2,
+    ) -> list:
+        """Compiler second phase over every module (cached, parallel).
+
+        Cache keys pair each module's phase-1 fingerprint with a digest
+        of the directives its compilation can observe, so two databases
+        that agree on a module's slice of directives share its object
+        module no matter how much they differ elsewhere.
+        """
+        with self._timed("phase2"):
+            objects: list = [None] * len(phase1_results)
+            pending: list = []  # (index, cache key or None)
+            for index, result in enumerate(phase1_results):
+                key = None
+                if self.cache is not None and result.fingerprint:
+                    digest = database.directive_digest(
+                        module_directive_names(result.ir_module)
+                    )
+                    key = phase2_key(
+                        result.fingerprint, digest, opt_level
+                    )
+                    cached = self.cache.load("phase2", key)
+                    if cached is not None:
+                        objects[index] = cached
+                        continue
+                pending.append((index, key))
+            self._count_tasks("phase2", len(pending))
+            computed = self._run_tasks(
+                _phase2_task,
+                [
+                    (phase1_results[index].ir_module, database, opt_level)
+                    for index, _key in pending
+                ],
+            )
+            for (index, key), obj in zip(pending, computed):
+                objects[index] = obj
+                if self.cache is not None and key is not None:
+                    self.cache.store("phase2", key, obj)
+        return objects
+
+    # -- whole-program conveniences ---------------------------------------
+
+    def compile_with_database(
+        self,
+        phase1_results: list,
+        database: ProgramDatabase,
+        opt_level: int = 2,
+    ) -> Executable:
+        """Second phase + link, leaving phase-1 results intact."""
+        objects = self.compile_objects(phase1_results, database, opt_level)
+        with self._timed("link"):
+            return link(objects)
+
+    def compile_program(
+        self,
+        sources,
+        opt_level: int = 2,
+        analyzer_options=None,
+    ):
+        """Full pipeline; the returned result carries this
+        compilation's share of the scheduler metrics."""
+        from repro.driver.pipeline import CompilationResult
+
+        before = self.metrics_snapshot()
+        phase1_results = self.run_phase1(sources, opt_level)
+        if analyzer_options is not None:
+            database = self.analyze(
+                [result.summary for result in phase1_results],
+                analyzer_options,
+            )
+        else:
+            database = ProgramDatabase()
+        objects = self.compile_objects(phase1_results, database, opt_level)
+        with self._timed("link"):
+            executable = link(objects)
+        return CompilationResult(
+            executable,
+            database,
+            phase1_results,
+            objects,
+            metrics=self.metrics_snapshot().minus(before),
+        )

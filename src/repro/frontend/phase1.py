@@ -13,6 +13,7 @@ intermediate file, handed to the second phase unchanged.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.analysis.frequency import analyze_function_usage
@@ -29,12 +30,42 @@ from repro.lang.sema import analyze_source
 from repro.opt.pipeline import optimize_module
 
 
+#: Bump when phase-1 output changes for unchanged inputs (new optimizer
+#: passes, summary fields, ...): fingerprints — and therefore any cache
+#: entries keyed on them — must not survive such a change.
+PHASE1_SCHEMA = 1
+
+
+def phase1_fingerprint(
+    source: str, module_name: str, opt_level: int
+) -> str:
+    """Content address of one module's phase-1 computation.
+
+    Phase 1 is a pure function of exactly these inputs (the paper's
+    module-boundary separation), so the fingerprint doubles as the
+    cache key for :class:`Phase1Result` artifacts.
+    """
+    source_digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    token = "|".join(
+        ("phase1", str(PHASE1_SCHEMA), module_name, str(opt_level),
+         source_digest)
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class Phase1Result:
-    """The first phase's two outputs for one module."""
+    """The first phase's two outputs for one module.
+
+    ``fingerprint`` content-addresses the inputs that produced the
+    result (see :func:`phase1_fingerprint`); the scheduler keys phase-2
+    cache entries on it.  Hand-built results may leave it empty, which
+    simply opts them out of caching.
+    """
 
     ir_module: IRModule
     summary: ModuleSummary
+    fingerprint: str = ""
 
 
 def compile_module_phase1(
@@ -47,7 +78,10 @@ def compile_module_phase1(
     optimize_module(ir_module, opt_level)
     verify_module(ir_module)
     summary = summarize_module(ir_module)
-    return Phase1Result(ir_module, summary)
+    return Phase1Result(
+        ir_module, summary,
+        fingerprint=phase1_fingerprint(source, module_name, opt_level),
+    )
 
 
 def summarize_module(ir_module: IRModule) -> ModuleSummary:

@@ -17,6 +17,8 @@ together by the linker"):
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.backend.object import ObjectModule
@@ -70,6 +72,52 @@ class Executable:
     @property
     def code_size(self) -> int:
         return len(self.instructions)
+
+
+def _instruction_fields(instruction) -> dict:
+    """Every slot of an instruction, including linker-resolved ones."""
+    fields = {}
+    for klass in type(instruction).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(instruction, slot):
+                fields[slot] = getattr(instruction, slot)
+    return fields
+
+
+def serialize_executable(executable: Executable) -> bytes:
+    """Canonical byte image of a linked executable.
+
+    A flat, aliasing-free rendering of everything the simulator can
+    observe (instructions with their resolved operands, data image,
+    symbol tables).  Two executables are behaviorally identical iff
+    their images are byte-identical, which is what the determinism
+    suite asserts across serial/parallel and cold/warm-cache builds.
+    """
+    instructions = [
+        [type(instruction).__name__, sorted(
+            (name, value if not isinstance(value, list) else list(value))
+            for name, value in _instruction_fields(instruction).items()
+        )]
+        for instruction in executable.instructions
+    ]
+    payload = {
+        "entry_pc": executable.entry_pc,
+        "data_base": executable.data_base,
+        "instructions": instructions,
+        "data_words": list(executable.data_words),
+        "function_entries": dict(executable.function_entries),
+        "global_addresses": dict(executable.global_addresses),
+        "function_ranges": [
+            [rng.name, rng.start, rng.end, rng.source_module]
+            for rng in executable.function_ranges
+        ],
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def executable_fingerprint(executable: Executable) -> str:
+    """sha256 of :func:`serialize_executable` (the identity oracle)."""
+    return hashlib.sha256(serialize_executable(executable)).hexdigest()
 
 
 def link(modules: list, entry: str = "main") -> Executable:
