@@ -28,6 +28,7 @@ Two deliberate strengthenings over the paper's Figure 6 pseudocode:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -137,25 +138,34 @@ def _process_cluster(
 
     used: set = set()
     visited: set = {root}
-    # Topological sweep over the (acyclic) cluster subgraph.
+    # Kahn worklist over the (acyclic) cluster subgraph: a member is
+    # ready once every predecessor has been processed, and among ready
+    # members the smallest name goes first — the same order the old
+    # sort-and-rescan sweep produced, without re-scanning the whole
+    # pending set after every node.
     pending = set(members)
-    while pending:
-        progressed = False
-        for name in sorted(pending):
-            predecessors = set(graph.nodes[name].predecessors)
-            if not predecessors <= visited:
-                continue
-            _preallocate_node(
-                graph, name, roots, sets, avail, order, used
-            )
-            visited.add(name)
-            pending.discard(name)
-            progressed = True
-            break
-        if not progressed:  # pragma: no cover - clusters are acyclic
-            raise AssertionError(
-                f"cluster {root}: could not order members {pending}"
-            )
+    unresolved = {
+        name: len(set(graph.nodes[name].predecessors) - visited)
+        for name in pending
+    }
+    ready = [name for name in pending if unresolved[name] == 0]
+    heapq.heapify(ready)
+    while ready:
+        name = heapq.heappop(ready)
+        _preallocate_node(
+            graph, name, roots, sets, avail, order, used
+        )
+        visited.add(name)
+        pending.discard(name)
+        for successor in graph.nodes[name].successors:
+            if successor in pending:
+                unresolved[successor] -= 1
+                if unresolved[successor] == 0:
+                    heapq.heappush(ready, successor)
+    if pending:  # pragma: no cover - clusters are acyclic
+        raise AssertionError(
+            f"cluster {root}: could not order members {sorted(pending)}"
+        )
 
     root_sets.mspill |= used
     # Post-pass (Figure 7): callee-saves registers the root spills that
@@ -220,19 +230,60 @@ def _get_registers(count: int, available: set, order: list) -> set:
     return chosen
 
 
-def check_register_set_invariants(sets: dict, roots: set) -> None:
-    """Assert disjointness and placement rules.  Used by tests."""
+def check_register_set_invariants(
+    sets: dict, roots: set, web_reserved: Optional[dict] = None
+) -> None:
+    """Assert disjointness and placement rules.  Used by tests.
+
+    Registers in ``caller`` beyond the standard convention must come
+    from spill code motion, i.e. appear in some cluster root's MSPILL;
+    FREE/CALLEE/MSPILL draw from the callee-saves half of the register
+    file only; registers reserved for promoted webs (``web_reserved``:
+    name -> registers, when the caller tracks webs) may appear in none
+    of the four sets.
+    """
+    all_mspill: set = set()
+    for name in roots:
+        if name in sets:
+            all_mspill |= sets[name].mspill
     for name, rs in sets.items():
-        groups = [rs.free, rs.caller, rs.callee, rs.mspill]
-        for i, a in enumerate(groups):
-            for b in groups[i + 1:]:
-                if a & b:
+        labelled = {
+            "free": rs.free,
+            "caller": rs.caller,
+            "callee": rs.callee,
+            "mspill": rs.mspill,
+        }
+        labels = list(labelled)
+        for i, a in enumerate(labels):
+            for b in labels[i + 1:]:
+                overlap = labelled[a] & labelled[b]
+                if overlap:
                     raise AssertionError(
-                        f"{name}: register sets overlap: {a & b}"
+                        f"{name}: {a} and {b} overlap: {sorted(overlap)}"
+                    )
+        if web_reserved is not None:
+            reserved = set(web_reserved.get(name, ()))
+            for label, regs in labelled.items():
+                overlap = regs & reserved
+                if overlap:
+                    raise AssertionError(
+                        f"{name}: web-reserved registers "
+                        f"{sorted(overlap)} appear in {label}"
                     )
         if rs.mspill and name not in roots:
             raise AssertionError(
                 f"{name}: MSPILL non-empty at a non-root"
             )
-        if not rs.caller >= set():
-            raise AssertionError  # pragma: no cover
+        for label in ("free", "callee", "mspill"):
+            stray = labelled[label] - CALLEE_SAVES
+            if stray:
+                raise AssertionError(
+                    f"{name}: {label} contains non-callee-saves "
+                    f"registers {sorted(stray)}"
+                )
+        stray = rs.caller - CALLER_SAVES - all_mspill
+        if stray:
+            raise AssertionError(
+                f"{name}: caller extends the convention with registers "
+                f"{sorted(stray)} not in any cluster root's MSPILL"
+            )

@@ -58,23 +58,26 @@ def phase2_key(phase1_fingerprint: str, directive_digest: str,
 
 @dataclass
 class CacheStats:
-    """Per-stage hit/miss/corruption counters."""
+    """Per-stage hit/miss/corruption/eviction counters."""
 
     hits: Counter = field(default_factory=Counter)
     misses: Counter = field(default_factory=Counter)
     bad_entries: Counter = field(default_factory=Counter)
+    evictions: Counter = field(default_factory=Counter)
 
     def snapshot(self) -> dict:
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
             "bad_entries": dict(self.bad_entries),
+            "evictions": dict(self.evictions),
         }
 
     def clear(self) -> None:
         self.hits.clear()
         self.misses.clear()
         self.bad_entries.clear()
+        self.evictions.clear()
 
 
 class ArtifactCache:
@@ -82,11 +85,23 @@ class ArtifactCache:
 
     ``load``/``store`` take a *stage* label ("phase1" / "phase2") used
     only for the statistics counters; the key alone addresses the entry.
+
+    ``max_bytes`` caps the cache's on-disk size: every store evicts the
+    least-recently-*accessed* entries (hits refresh an entry's mtime)
+    until the total fits.  The entry just written is never the eviction
+    victim, so a single oversized artifact degrades to a one-entry
+    cache instead of thrashing.  ``None`` reads the cap from the
+    ``REPRO_CACHE_MAX_BYTES`` environment variable; zero or an absent
+    variable means unbounded (the historical behavior).
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, max_bytes: int | None = None):
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+            max_bytes = int(raw) if raw else 0
+        self.max_bytes = max_bytes if max_bytes > 0 else None
         self.stats = CacheStats()
 
     def _path(self, key: str) -> str:
@@ -123,6 +138,13 @@ class ArtifactCache:
                 pass
             return None
         self.stats.hits[stage] += 1
+        try:
+            # Refresh the access time so the LRU eviction in store()
+            # keeps hot entries (mtime doubles as last-access time:
+            # atime is unreliable under relatime mounts).
+            os.utime(path)
+        except OSError:
+            pass
         return artifact
 
     def store(self, stage: str, key: str, artifact) -> None:
@@ -147,6 +169,8 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._enforce_limit(stage, keep=path)
 
     @staticmethod
     def _verify(blob: bytes):
@@ -161,6 +185,44 @@ class ArtifactCache:
         if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
             return None
         return payload
+
+    def _entries(self) -> list:
+        """Every entry as ``(last_access, path, size)``."""
+        entries = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((status.st_mtime, path, status.st_size))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of all entries."""
+        return sum(size for _mtime, _path, size in self._entries())
+
+    def _enforce_limit(self, stage: str, keep: str) -> None:
+        """Evict least-recently-accessed entries until the cache fits,
+        sparing ``keep`` (the entry the triggering store just wrote)."""
+        entries = self._entries()
+        total = sum(size for _mtime, _path, size in entries)
+        if total <= self.max_bytes:
+            return
+        for _mtime, path, size in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions[stage] += 1
 
     def __len__(self) -> int:
         count = 0

@@ -45,7 +45,10 @@ def default_scheduler():
 
     Serial and uncached unless the ``REPRO_JOBS`` (worker count; ``0``
     means one per CPU) / ``REPRO_CACHE_DIR`` environment variables say
-    otherwise at first use.
+    otherwise at first use; ``REPRO_VERIFY=1`` additionally runs the
+    post-link allocation auditor (:mod:`repro.verify.auditor`) on every
+    linked executable, and ``REPRO_CACHE_MAX_BYTES`` caps the artifact
+    cache's on-disk size.
     """
     global _default_scheduler
     if _default_scheduler is None:
@@ -68,7 +71,9 @@ class CompilationResult:
 
     ``metrics`` (a :class:`~repro.driver.scheduler.MetricsSnapshot`)
     reports this compilation's per-stage wall-clock seconds, task
-    counts, and cache hit/miss/corruption counters.
+    counts, cache hit/miss/corruption/eviction counters, and — when the
+    scheduler's post-link auditor is enabled (``REPRO_VERIFY=1``) — the
+    allocation-audit summary (functions/calls checked, violations).
     """
 
     executable: Executable

@@ -50,8 +50,9 @@ from repro.frontend.phase1 import (
     phase1_fingerprint,
 )
 from repro.linker.link import Executable, link
+from repro.verify.auditor import AuditError, audit_executable
 
-STAGES = ("phase1", "analyze", "phase2", "link")
+STAGES = ("phase1", "analyze", "phase2", "link", "verify")
 
 
 def _phase1_task(item) -> Phase1Result:
@@ -82,6 +83,10 @@ class MetricsSnapshot:
     cache_hits: dict = field(default_factory=dict)
     cache_misses: dict = field(default_factory=dict)
     cache_bad_entries: dict = field(default_factory=dict)
+    cache_evictions: dict = field(default_factory=dict)
+    #: Most recent allocation-audit summary (REPRO_VERIFY runs only);
+    #: not a counter — ``minus`` carries the newer snapshot's value.
+    audit: dict = field(default_factory=dict)
 
     def minus(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """The activity between ``earlier`` and this snapshot."""
@@ -102,6 +107,10 @@ class MetricsSnapshot:
             cache_bad_entries=diff(
                 self.cache_bad_entries, earlier.cache_bad_entries
             ),
+            cache_evictions=diff(
+                self.cache_evictions, earlier.cache_evictions
+            ),
+            audit=dict(self.audit),
         )
 
     def to_json_dict(self) -> dict:
@@ -112,6 +121,8 @@ class MetricsSnapshot:
             "cache_hits": dict(self.cache_hits),
             "cache_misses": dict(self.cache_misses),
             "cache_bad_entries": dict(self.cache_bad_entries),
+            "cache_evictions": dict(self.cache_evictions),
+            "audit": dict(self.audit),
         }
 
 
@@ -131,6 +142,11 @@ class CompilationScheduler:
             driver; ``None`` means one worker per CPU.
         cache_dir: Root of the artifact cache, or ``None`` to disable
             caching entirely.
+        verify: Run the post-link allocation auditor
+            (:mod:`repro.verify.auditor`) on every linked executable and
+            raise :class:`~repro.verify.auditor.AuditError` on any
+            directive violation.  ``None`` (the default) reads the
+            ``REPRO_VERIFY`` environment variable ("1" enables).
 
     The worker pool is created lazily on the first parallel stage and
     reused across compilations (benchmark sessions amortize startup
@@ -138,7 +154,12 @@ class CompilationScheduler:
     call :meth:`close` to reclaim the pool.
     """
 
-    def __init__(self, jobs: int | None = 1, cache_dir=None):
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache_dir=None,
+        verify: bool | None = None,
+    ):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -147,6 +168,11 @@ class CompilationScheduler:
         self.cache = (
             ArtifactCache(cache_dir) if cache_dir is not None else None
         )
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
+        self.verify = verify
+        self.last_audit_report = None
+        self._last_audit_summary: dict = {}
         self._executor = None
         self._stage_seconds: dict = {}
         self._stage_tasks: dict = {}
@@ -198,7 +224,12 @@ class CompilationScheduler:
         cache_stats = (
             self.cache.stats.snapshot()
             if self.cache is not None
-            else {"hits": {}, "misses": {}, "bad_entries": {}}
+            else {
+                "hits": {},
+                "misses": {},
+                "bad_entries": {},
+                "evictions": {},
+            }
         )
         return MetricsSnapshot(
             jobs=self.jobs,
@@ -207,6 +238,8 @@ class CompilationScheduler:
             cache_hits=cache_stats["hits"],
             cache_misses=cache_stats["misses"],
             cache_bad_entries=cache_stats["bad_entries"],
+            cache_evictions=cache_stats["evictions"],
+            audit=dict(self._last_audit_summary),
         )
 
     def reset_metrics(self) -> None:
@@ -304,6 +337,23 @@ class CompilationScheduler:
                     self.cache.store("phase2", key, obj)
         return objects
 
+    def audit(
+        self, executable: Executable, database: ProgramDatabase
+    ):
+        """Run the post-link allocation auditor; raise on violations.
+
+        The report is kept on :attr:`last_audit_report` and its summary
+        rides along on the next metrics snapshot either way.
+        """
+        with self._timed("verify"):
+            report = audit_executable(executable, database)
+        self._count_tasks("verify", 1)
+        self.last_audit_report = report
+        self._last_audit_summary = report.summary()
+        if not report.ok:
+            raise AuditError(report)
+        return report
+
     # -- whole-program conveniences ---------------------------------------
 
     def compile_with_database(
@@ -315,7 +365,10 @@ class CompilationScheduler:
         """Second phase + link, leaving phase-1 results intact."""
         objects = self.compile_objects(phase1_results, database, opt_level)
         with self._timed("link"):
-            return link(objects)
+            executable = link(objects)
+        if self.verify:
+            self.audit(executable, database)
+        return executable
 
     def compile_program(
         self,
@@ -339,6 +392,8 @@ class CompilationScheduler:
         objects = self.compile_objects(phase1_results, database, opt_level)
         with self._timed("link"):
             executable = link(objects)
+        if self.verify:
+            self.audit(executable, database)
         return CompilationResult(
             executable,
             database,

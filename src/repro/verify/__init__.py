@@ -1,0 +1,23 @@
+"""Post-link verification: allocation auditor + differential fuzzing.
+
+``auditor`` statically checks linked executables against the program
+database (paper Figure 6/7 discipline); ``progen`` generates seeded
+random TinyC programs to drive the auditor and the differential oracle
+across analyzer configurations.  See ``docs/VERIFIER.md``.
+"""
+
+from repro.verify.auditor import (
+    AuditError,
+    AuditReport,
+    Violation,
+    audit_executable,
+)
+from repro.verify.progen import generate_fuzz_program
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "Violation",
+    "audit_executable",
+    "generate_fuzz_program",
+]

@@ -1,0 +1,680 @@
+"""Post-link allocation auditor (the static counterpart of the paper's
+Figure 6/7 rules).
+
+The program analyzer only *promises*; the compiler second phase and the
+frame finalizer are what actually place save/restore code, web entry
+loads, and exit stores.  Until now the sole oracle for that placement
+was end-to-end differential execution, which can silently compensate
+for wrong spill code (a save/restore pair that should not exist costs
+cycles but preserves values).  The auditor closes that gap: it walks
+every linked function's machine code against the program database and
+flags any departure from the directive discipline.
+
+Checks (see ``docs/VERIFIER.md`` for the paper-rule mapping):
+
+**Database level**
+
+* ``directive-sets`` — the four usage sets are pairwise disjoint,
+  FREE/CALLEE/MSPILL are callee-saves registers, CALLER extends the
+  convention only with callee-saves registers, and web-reserved
+  registers appear in none of the sets;
+* ``mspill-at-non-root`` — MSPILL is non-empty only at cluster roots;
+* ``free-not-covered`` — a member's FREE registers (and its
+  convention-exceeding CALLER registers) are covered by the MSPILL sets
+  along its chain of dominating cluster roots.
+
+**Code level, per linked function**
+
+* ``unbalanced-save-restore`` — prologue saves and epilogue restores
+  must agree exactly (same registers, same frame slots);
+* ``saved-outside-directives`` — only CALLEE, root MSPILL, and
+  entry-node web registers may be saved;
+* ``missing-mspill-save`` — a cluster root must save its whole MSPILL
+  set (it executes the spill code for the entire cluster);
+* ``unsaved-callee-write`` — a callee-saves register may be written
+  only if saved/restored here, in FREE, or granted as extra CALLER by a
+  dominating root's MSPILL;
+* ``web-save-suppression`` — a web register is saved/restored at web
+  entry nodes and *only* there;
+* ``web-register-write`` — inside the web, the reserved register is
+  written only by loads of the promoted global itself (entry loads and
+  split-web reloads) and by promoted-reference moves (register copies
+  and constant loads — the forms ``StoreGlobal`` of a promoted global
+  can compile to);
+* ``missing-web-entry-load`` — at a web entry node the register's value
+  must not depend on the caller: no path from the start of the body may
+  read it before writing it (the load the optimizer is allowed to
+  delete is exactly the one whose value is never read);
+* ``missing-web-exit-store`` — when the web modifies the global, entry
+  nodes must store it back to the global's memory address (the store's
+  source register may legally be a propagated copy, so the check keys
+  on the *address* stored to, not the register stored from);
+* ``clobbered-live-across-call`` — no register in a call's declared
+  clobber set (except RV, the result) may be live after the call;
+* ``reserved-register-write`` — SP is written only by the prologue and
+  epilogue adjustments, RP only by calls and the RP save/restore pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyzer.database import ProgramDatabase
+from repro.linker.link import Executable
+from repro.target import isa
+from repro.target.registers import (
+    CALLEE_SAVES,
+    CALLER_SAVES,
+    NUM_REGISTERS,
+    RP,
+    RV,
+    SP,
+    ZERO,
+    register_name,
+)
+
+
+class AuditError(Exception):
+    """Raised by the driver when an audited compilation has violations."""
+
+    def __init__(self, report: "AuditReport"):
+        self.report = report
+        super().__init__(report.format())
+
+
+@dataclass
+class Violation:
+    """One departure from the directive discipline."""
+
+    function: str
+    check: str
+    detail: str
+    pc: int | None = None
+
+    def format(self) -> str:
+        where = f" @pc={self.pc}" if self.pc is not None else ""
+        return f"[{self.check}] {self.function}{where}: {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit pass found."""
+
+    violations: list = field(default_factory=list)
+    functions_checked: int = 0
+    calls_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_check(self) -> dict:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.check] = counts.get(violation.check, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        """JSON-able digest for ``CompilationResult.metrics``."""
+        return {
+            "functions_checked": self.functions_checked,
+            "calls_checked": self.calls_checked,
+            "violation_count": len(self.violations),
+            "violations_by_check": self.by_check(),
+            "violations": [v.format() for v in self.violations[:50]],
+        }
+
+    def format(self) -> str:
+        if self.ok:
+            return (
+                f"audit clean: {self.functions_checked} functions, "
+                f"{self.calls_checked} calls"
+            )
+        lines = [
+            f"audit found {len(self.violations)} violation(s) across "
+            f"{self.functions_checked} functions:"
+        ]
+        lines += [f"  {v.format()}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def audit_executable(
+    executable: Executable, database: ProgramDatabase
+) -> AuditReport:
+    """Audit every linked function against the program database."""
+    report = AuditReport()
+    _check_database(database, report)
+    coverage = _mspill_coverage(database)
+    for rng in executable.function_ranges:
+        directives = database.get(rng.name)
+        _audit_function(executable, rng, directives, coverage, report)
+        report.functions_checked += 1
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Database-level checks
+# ---------------------------------------------------------------------------
+
+
+def _regs(registers) -> str:
+    return "{" + ", ".join(register_name(r) for r in sorted(registers)) + "}"
+
+
+def _mspill_coverage(database: ProgramDatabase) -> dict:
+    """procedure -> union of MSPILL over its chain of cluster roots.
+
+    Spill code migrates upward (section 4.2.4): a register freed in a
+    nested cluster may be spilled by *any* dominating root, so coverage
+    follows the root chain, not just the immediate cluster.
+    """
+    root_of: dict[str, str] = {}
+    for cluster in database.clusters:
+        for member in cluster.members:
+            root_of[member] = cluster.root
+    coverage: dict[str, set] = {}
+    for name in database.procedures:
+        covered: set = set()
+        current = name
+        seen: set = set()
+        while current in root_of and current not in seen:
+            seen.add(current)
+            current = root_of[current]
+            covered |= set(database.get(current).mspill)
+        coverage[name] = covered
+    return coverage
+
+
+def _check_database(database: ProgramDatabase, report: AuditReport) -> None:
+    coverage = _mspill_coverage(database)
+    for name, d in sorted(database.procedures.items()):
+        sets = {
+            "free": set(d.free),
+            "caller": set(d.caller),
+            "callee": set(d.callee),
+            "mspill": set(d.mspill),
+        }
+        names = list(sets)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                overlap = sets[a] & sets[b]
+                if overlap:
+                    report.violations.append(Violation(
+                        name, "directive-sets",
+                        f"{a} and {b} overlap on {_regs(overlap)}",
+                    ))
+        for label in ("free", "callee", "mspill"):
+            stray = sets[label] - CALLEE_SAVES
+            if stray:
+                report.violations.append(Violation(
+                    name, "directive-sets",
+                    f"{label} contains non-callee-saves "
+                    f"registers {_regs(stray)}",
+                ))
+        stray = sets["caller"] - CALLER_SAVES - CALLEE_SAVES
+        if stray:
+            report.violations.append(Violation(
+                name, "directive-sets",
+                f"caller contains unallocatable registers {_regs(stray)}",
+            ))
+        web_regs = set(d.reserved_web_registers)
+        for label, regs in sets.items():
+            overlap = regs & web_regs
+            if overlap:
+                report.violations.append(Violation(
+                    name, "directive-sets",
+                    f"web-reserved registers {_regs(overlap)} appear "
+                    f"in {label}",
+                ))
+        if sets["mspill"] and not d.is_cluster_root:
+            report.violations.append(Violation(
+                name, "mspill-at-non-root",
+                f"MSPILL {_regs(sets['mspill'])} at a non-root",
+            ))
+        covered = coverage.get(name, set())
+        uncovered = sets["free"] - covered
+        if uncovered:
+            report.violations.append(Violation(
+                name, "free-not-covered",
+                f"FREE registers {_regs(uncovered)} not in any "
+                f"dominating root's MSPILL",
+            ))
+        uncovered = (sets["caller"] - CALLER_SAVES) - covered
+        if uncovered:
+            report.violations.append(Violation(
+                name, "free-not-covered",
+                f"extra CALLER registers {_regs(uncovered)} not in any "
+                f"dominating root's MSPILL",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Code-level checks
+# ---------------------------------------------------------------------------
+
+
+def _audit_function(
+    executable: Executable,
+    rng,
+    directives,
+    coverage: dict,
+    report: AuditReport,
+) -> None:
+    code = executable.instructions
+    start, end = rng.start, rng.end
+    name = rng.name
+
+    frame = _parse_frame(code, start, end)
+    if frame is None:
+        report.violations.append(Violation(
+            name, "unbalanced-save-restore",
+            "function does not end in RET", pc=end - 1,
+        ))
+        return
+    saves, restores = frame.saves, frame.restores
+
+    if saves != restores:
+        missing = {
+            r: o for r, o in saves.items() if restores.get(r) != o
+        }
+        report.violations.append(Violation(
+            name, "unbalanced-save-restore",
+            f"saves without matching epilogue restore: "
+            f"{_fmt_slots(missing)}",
+            pc=start,
+        ))
+
+    web_regs = {p.register: p for p in directives.promoted}
+    allowed_saves = (
+        set(directives.callee)
+        | set(directives.mspill)
+        | {p.register for p in directives.promoted if p.is_entry}
+    )
+    for register in saves:
+        if register not in allowed_saves:
+            check = (
+                "web-save-suppression"
+                if register in web_regs
+                else "saved-outside-directives"
+            )
+            report.violations.append(Violation(
+                name, check,
+                f"{register_name(register)} saved but not in CALLEE, "
+                f"MSPILL, or entry-node web registers",
+                pc=start,
+            ))
+
+    if directives.is_cluster_root:
+        missing = set(directives.mspill) - set(saves)
+        if missing:
+            report.violations.append(Violation(
+                name, "missing-mspill-save",
+                f"cluster root does not save MSPILL "
+                f"registers {_regs(missing)}",
+                pc=start,
+            ))
+
+    for promoted in directives.promoted:
+        if promoted.is_entry and promoted.register not in saves:
+            report.violations.append(Violation(
+                name, "web-save-suppression",
+                f"entry node does not save web register "
+                f"{register_name(promoted.register)} for "
+                f"{promoted.name}",
+                pc=start,
+            ))
+
+    # Registers a write may legitimately target without a matching
+    # save/restore pair: FREE (a dominating root spilled them) and the
+    # extra CALLER registers granted out of a root's MSPILL.
+    covered = coverage.get(name, set())
+    no_save_needed = (
+        set(directives.free)
+        | (set(directives.caller) & CALLEE_SAVES)
+        | covered
+    )
+
+    stored_addresses: set = set()
+
+    for pc in range(frame.body_start, frame.body_end):
+        instruction = code[pc]
+        if (
+            isinstance(instruction, isa.STW)
+            and instruction.base != SP
+            and instruction.offset == 0
+        ):
+            address = _trace_base_address(
+                code, start, pc, instruction.base
+            )
+            if address is not None:
+                stored_addresses.add(address)
+        if instruction.is_call:
+            continue  # clobbers are the callee's writes, audited there
+        for register in instruction.defs():
+            if not isinstance(register, int):
+                continue  # pragma: no cover - post-link code is physical
+            if register == ZERO:
+                continue
+            if register == SP:
+                report.violations.append(Violation(
+                    name, "reserved-register-write",
+                    f"SP written outside the prologue/epilogue "
+                    f"adjustment by {instruction!r}",
+                    pc=pc,
+                ))
+            elif register == RP:
+                report.violations.append(Violation(
+                    name, "reserved-register-write",
+                    f"RP written outside calls and the RP "
+                    f"save/restore pair by {instruction!r}",
+                    pc=pc,
+                ))
+            elif register in web_regs:
+                promoted = web_regs[register]
+                if not _is_web_write_allowed(
+                    code, start, pc, instruction, promoted, executable
+                ):
+                    report.violations.append(Violation(
+                        name, "web-register-write",
+                        f"web register {register_name(register)} "
+                        f"(holding {promoted.name}) written "
+                        f"by {instruction!r}",
+                        pc=pc,
+                    ))
+            elif register in CALLEE_SAVES:
+                if register not in saves and register not in no_save_needed:
+                    report.violations.append(Violation(
+                        name, "unsaved-callee-write",
+                        f"callee-saves register "
+                        f"{register_name(register)} written by "
+                        f"{instruction!r} without save/restore, "
+                        f"FREE membership, or root MSPILL coverage",
+                        pc=pc,
+                    ))
+
+    live_in, succs = _compute_liveness(code, start, end)
+    body_live_in = live_in[frame.body_start - start]
+    for promoted in directives.promoted:
+        if not promoted.is_entry:
+            continue
+        if body_live_in & (1 << promoted.register):
+            report.violations.append(Violation(
+                name, "missing-web-entry-load",
+                f"web register {register_name(promoted.register)} "
+                f"({promoted.name}) is read before the entry node "
+                f"initializes it",
+                pc=frame.body_start,
+            ))
+        address = executable.global_addresses.get(promoted.name)
+        if (
+            promoted.needs_store
+            and address is not None
+            and address not in stored_addresses
+        ):
+            report.violations.append(Violation(
+                name, "missing-web-exit-store",
+                f"entry node never stores {promoted.name} back to "
+                f"its memory address",
+                pc=start,
+            ))
+
+    _check_calls(code, rng, live_in, succs, report)
+
+
+def _fmt_slots(slots: dict) -> str:
+    return (
+        "{"
+        + ", ".join(
+            f"{register_name(r)}@{offset}"
+            for r, offset in sorted(slots.items())
+        )
+        + "}"
+    )
+
+
+@dataclass
+class _Frame:
+    """Structural parse of one function's prologue and epilogue."""
+
+    saves: dict  # register -> frame offset (prologue STWs)
+    restores: dict  # register -> frame offset (epilogue LDWs)
+    body_start: int  # first pc after the prologue
+    body_end: int  # first pc of the epilogue
+    rp_offset: int | None  # RP save slot, when the function makes calls
+
+
+def _parse_frame(code: list, start: int, end: int):
+    """Parse the ``finalize_frame`` prologue/epilogue structure.
+
+    The finalizer emits ``[SP -= frame] [STW RP] STW reg*`` at entry and
+    the mirrored ``LDW reg* [LDW RP] [SP += frame]`` before the single
+    RET; saves are in ascending register order at ascending offsets
+    above the RP slot, which is what disambiguates them from body
+    stores (outgoing-argument and spill slots all live below it).
+    """
+    if not isinstance(code[end - 1], isa.RET):
+        return None
+
+    pc = start
+    rp_offset = None
+    if (
+        pc < end
+        and isinstance(code[pc], isa.ALUI)
+        and code[pc].op == "-"
+        and code[pc].rd == SP
+        and code[pc].ra == SP
+    ):
+        pc += 1
+    if (
+        pc < end
+        and isinstance(code[pc], isa.STW)
+        and code[pc].rs == RP
+        and code[pc].base == SP
+    ):
+        rp_offset = code[pc].offset
+        pc += 1
+    saves: dict = {}
+    floor = rp_offset if rp_offset is not None else -1
+    last_register = -1
+    while pc < end:
+        instruction = code[pc]
+        if not (
+            isinstance(instruction, isa.STW)
+            and instruction.base == SP
+            and isinstance(instruction.rs, int)
+            and instruction.rs in CALLEE_SAVES
+            and isinstance(instruction.offset, int)
+            and instruction.offset > floor
+            and instruction.rs > last_register
+        ):
+            break
+        saves[instruction.rs] = instruction.offset
+        floor = instruction.offset
+        last_register = instruction.rs
+        pc += 1
+    body_start = pc
+
+    pc = end - 2  # last instruction before RET
+    if (
+        pc >= body_start
+        and isinstance(code[pc], isa.ALUI)
+        and code[pc].op == "+"
+        and code[pc].rd == SP
+        and code[pc].ra == SP
+    ):
+        pc -= 1
+    if (
+        pc >= body_start
+        and isinstance(code[pc], isa.LDW)
+        and code[pc].rd == RP
+        and code[pc].base == SP
+    ):
+        pc -= 1
+    # A legal restore mirrors a prologue save exactly (same register,
+    # same slot) — that is what keeps a leaf function's trailing spill
+    # reload (an LDW from SP with no RP slot to bound its offset) out of
+    # the epilogue.  A tampered restore therefore fails the match, stops
+    # the scan, and leaves its save unmatched — exactly the unbalanced
+    # case the caller reports.
+    restores: dict = {}
+    last_register = NUM_REGISTERS
+    while pc >= body_start:
+        instruction = code[pc]
+        if not (
+            isinstance(instruction, isa.LDW)
+            and instruction.base == SP
+            and isinstance(instruction.rd, int)
+            and instruction.rd in CALLEE_SAVES
+            and saves.get(instruction.rd) == instruction.offset
+            and instruction.rd < last_register
+        ):
+            break
+        restores[instruction.rd] = instruction.offset
+        last_register = instruction.rd
+        pc -= 1
+    return _Frame(saves, restores, body_start, pc + 1, rp_offset)
+
+
+def _trace_base_address(code: list, start: int, pc: int, base):
+    """The address held by ``base`` at ``pc``, when it was produced by an
+    address-materializing instruction (``LDA``/``LDI``) in the linear
+    window since ``start``; ``None`` otherwise.
+
+    Instruction selection materializes a global's address into a fresh
+    register in the same block as the access (the per-block symbol
+    cache never outlives a block), so the linear backward scan to the
+    nearest definition is exact for compiler-produced code.
+    """
+    if not isinstance(base, int):
+        return None  # pragma: no cover - post-link code is physical
+    for back in range(pc - 1, start - 1, -1):
+        previous = code[back]
+        if base in previous.defs():
+            if isinstance(previous, isa.LDA) and not previous.is_function:
+                return previous.resolved
+            if isinstance(previous, isa.LDI):
+                return previous.imm
+            return None
+    return None
+
+
+def _is_web_write_allowed(
+    code: list,
+    start: int,
+    pc: int,
+    instruction,
+    promoted,
+    executable: Executable,
+) -> bool:
+    """A write to a web-reserved register must be a promoted-reference
+    move (``MOV`` from a register, ``LDI`` of a constant — the forms a
+    store to the promoted global selects into) or a load of the
+    promoted global itself (entry load or split-web reload: ``LDA &g``
+    into a base register, then ``LDW reg, 0(base)``)."""
+    if isinstance(instruction, (isa.MOV, isa.LDI)):
+        return True
+    if not isinstance(instruction, isa.LDW):
+        return False
+    if instruction.base == SP or instruction.offset != 0:
+        return False
+    address = executable.global_addresses.get(promoted.name)
+    traced = _trace_base_address(code, start, pc, instruction.base)
+    return traced is not None and traced == address
+
+
+# ---------------------------------------------------------------------------
+# Liveness: no declared-clobbered register survives its call
+# ---------------------------------------------------------------------------
+
+
+def _instruction_masks(instruction) -> tuple[int, int, list]:
+    """(uses, defs) bitmasks over physical registers + successors-kind."""
+    uses = 0
+    defs = 0
+    for register in instruction.uses():
+        if isinstance(register, int):
+            uses |= 1 << register
+    for register in instruction.defs():
+        if isinstance(register, int):
+            defs |= 1 << register
+    if instruction.is_call:
+        defs |= 1 << RP
+    if isinstance(instruction, isa.RET):
+        uses |= 1 << RP
+    return uses, defs
+
+
+def _compute_liveness(code: list, start: int, end: int) -> tuple:
+    """Backward bitmask liveness over one function's instructions.
+
+    Returns ``(live_in, succs)``, both indexed relative to ``start``.
+    """
+    size = end - start
+    uses = [0] * size
+    defs = [0] * size
+    succs: list = [()] * size
+    for index in range(size):
+        instruction = code[start + index]
+        uses[index], defs[index] = _instruction_masks(instruction)
+        if isinstance(instruction, isa.B):
+            succs[index] = (instruction.target - start,)
+        elif isinstance(instruction, isa.BC):
+            succs[index] = (instruction.target - start, index + 1)
+        elif isinstance(instruction, isa.RET):
+            succs[index] = ()
+        else:
+            succs[index] = (index + 1,) if index + 1 < size else ()
+
+    live_in = [0] * size
+    changed = True
+    while changed:
+        changed = False
+        for index in range(size - 1, -1, -1):
+            live_out = 0
+            for successor in succs[index]:
+                if 0 <= successor < size:
+                    live_out |= live_in[successor]
+            new_in = uses[index] | (live_out & ~defs[index])
+            if new_in != live_in[index]:
+                live_in[index] = new_in
+                changed = True
+    return live_in, succs
+
+
+def _check_calls(
+    code: list, rng, live_in: list, succs: list, report: AuditReport
+) -> None:
+    """Per-function liveness: at every call, nothing in the declared
+    clobber set except RV may be live afterwards — a live clobbered
+    register means downstream code consumes a value the callee was
+    licensed to destroy (paper section 4.2.3's CALLER semantics)."""
+    start, end = rng.start, rng.end
+    size = end - start
+    rv_bit = 1 << RV
+    for index in range(size):
+        instruction = code[start + index]
+        if not instruction.is_call:
+            continue
+        report.calls_checked += 1
+        live_after = 0
+        for successor in succs[index]:
+            if 0 <= successor < size:
+                live_after |= live_in[successor]
+        clobber_mask = 0
+        for register in instruction.clobbers:
+            clobber_mask |= 1 << register
+        clobber_mask |= 1 << RP
+        offending = live_after & clobber_mask & ~rv_bit
+        if offending:
+            registers = [
+                register_name(r)
+                for r in range(NUM_REGISTERS)
+                if offending & (1 << r)
+            ]
+            callee = getattr(instruction, "callee", "<indirect>")
+            report.violations.append(Violation(
+                rng.name, "clobbered-live-across-call",
+                f"registers {registers} live across call to {callee} "
+                f"but inside its declared clobber set",
+                pc=start + index,
+            ))

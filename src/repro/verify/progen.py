@@ -1,0 +1,116 @@
+"""Seeded fuzz-program generation aimed at the allocator's pressure
+points.
+
+The base :class:`~repro.testing.generator.ProgramGenerator` optimizes
+for breadth of language constructs; differential fuzzing of the
+*allocation* machinery wants something sharper — programs that actually
+make the analyzer's directives bite:
+
+* **register pressure** — functions holding many simultaneously-live
+  values across a call, forcing callee-saves demand, spill-code motion
+  into cluster roots, and non-trivial FREE/MSPILL sets;
+* **hot global traffic** — tight loops over a handful of globals, so
+  the web machinery (configs C-F) finds promotions worth making, with
+  both read-only and read-write webs;
+* **multi-argument calls** — exercising the caller-saves argument
+  registers around calls;
+* **varied shape** — module/function/global counts themselves derive
+  from the seed, so a seed sweep covers single-module programs through
+  wide multi-module call graphs.
+
+Each seed yields one deterministic, terminating program; the same seed
+always yields the same sources (the fuzz suite's cache keys and the
+differential oracle both rely on this).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.testing.generator import ProgramGenerator, _GenContext
+
+
+class FuzzProgramGenerator(ProgramGenerator):
+    """Allocator-hostile variant of the testing generator."""
+
+    def __init__(self, seed: int):
+        # Shape knobs draw from a stream decoupled from the body RNG so
+        # both stay reproducible per seed.
+        shape = random.Random(f"progen-shape-{seed}")
+        super().__init__(
+            seed,
+            num_modules=shape.randint(2, 4),
+            functions_per_module=shape.randint(2, 4),
+            num_globals=shape.randint(4, 10),
+        )
+
+    def _function(self, name: str, globals_visible: list, arrays: list,
+                  callees: list) -> list:
+        if self._chance(0.45):
+            return self._pressure_function(
+                name, globals_visible, arrays, callees
+            )
+        return super()._function(name, globals_visible, arrays, callees)
+
+    def _pressure_function(self, name: str, globals_visible: list,
+                           arrays: list, callees: list) -> list:
+        """Many values live across a call: the shape that forces
+        callee-saves usage, spilling, and (under clustering) MSPILL
+        motion to the enclosing root."""
+        width = self._randint(6, 12)
+        locals_ = [f"n{i}" for i in range(width)]
+        lines = [f"int {name}(int a) {{"]
+        for i, local in enumerate(locals_):
+            seedling = (
+                self._pick(globals_visible) if globals_visible
+                and self._chance(0.5) else str(self._randint(1, 9))
+            )
+            lines.append(f"  int {local} = a * {i + 1} + {seedling};")
+        # Global traffic inside a loop: web fodder for configs C-F.
+        if globals_visible:
+            hot = self._pick(globals_visible)
+            trip = self._randint(2, 6)
+            lines += [
+                "  { int p;",
+                f"  for (p = 0; p < {trip}; p++) {{",
+                f"    {hot} = {hot} + {locals_[0]} - p;",
+                "  } }",
+            ]
+        # A call in the middle keeps every local live across it.
+        ctx = _GenContext(scalars=list(locals_), arrays=list(arrays))
+        for callee in self._rng.sample(
+            callees, k=min(len(callees), self._randint(1, 2))
+        ):
+            lines.append(f"  a += {callee}({self._expr(ctx, 1)});")
+        total = " + ".join(locals_)
+        lines.append(f"  return a + {total};")
+        lines.append("}")
+        return lines
+
+    def _main_module(self, global_names: list, arrays: list,
+                     function_names: list) -> str:
+        base = super()._main_module(global_names, arrays, function_names)
+        if not self._chance(0.6):
+            return base
+        # A multi-argument helper stressing the argument registers, and
+        # a call to it from main (spliced in before main's epilogue).
+        helper = [
+            "int mix3(int x, int y, int z) {",
+            "  int s = x * 2 + y * 3 + z * 5;",
+            "  return s - (x & y & z);",
+            "}",
+            "",
+        ]
+        lines = base.split("\n")
+        anchor = lines.index("  int acc = 0;")
+        lines.insert(
+            anchor + 1,
+            f"  acc += mix3({self._randint(1, 9)}, acc + 2, "
+            f"{self._randint(1, 9)});",
+        )
+        return "\n".join(helper) + "\n" + "\n".join(lines)
+
+
+def generate_fuzz_program(seed: int) -> dict:
+    """Sources for one seeded fuzz program (``{module: text}``)."""
+    return FuzzProgramGenerator(seed).generate()

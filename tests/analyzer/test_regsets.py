@@ -2,10 +2,13 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analyzer import regsets
 from repro.analyzer.clusters import identify_clusters
 from repro.analyzer.regsets import (
+    RegisterSets,
     check_register_set_invariants,
     compute_register_sets,
 )
@@ -220,3 +223,203 @@ def test_register_set_invariants_on_random_graphs(seed):
                     assert not (sets[name].free & sets[callee].free), (
                         name, callee,
                     )
+
+
+# -- the invariant checker itself must have teeth -----------------------
+#
+# Each test below hands check_register_set_invariants a directive
+# assignment violating exactly one rule and asserts the checker refuses
+# it; a checker that silently accepts any of these would let the
+# analyzer ship contradictory directives to phase 2.
+
+
+def _sets(**kwargs):
+    base = dict(free=set(), caller=set(), callee=set(), mspill=set())
+    base.update(kwargs)
+    return {"p": RegisterSets(**base)}
+
+
+def test_invariant_rejects_overlapping_sets():
+    reg = min(CALLEE_SAVES)
+    with pytest.raises(AssertionError, match="overlap"):
+        check_register_set_invariants(
+            _sets(free={reg}, callee={reg}), roots=set()
+        )
+
+
+def test_invariant_rejects_mspill_at_non_root():
+    reg = min(CALLEE_SAVES)
+    with pytest.raises(AssertionError, match="non-root"):
+        check_register_set_invariants(_sets(mspill={reg}), roots=set())
+    # The same assignment at a root is legal.
+    check_register_set_invariants(_sets(mspill={reg}), roots={"p"})
+
+
+@pytest.mark.parametrize("label", ["free", "callee", "mspill"])
+def test_invariant_rejects_caller_saves_leakage(label):
+    reg = min(CALLER_SAVES)
+    assert reg not in CALLEE_SAVES
+    sets = _sets(**{label: {reg}})
+    with pytest.raises(AssertionError, match="non-callee-saves"):
+        check_register_set_invariants(sets, roots={"p"})
+
+
+def test_invariant_rejects_unearned_extra_caller():
+    extra = min(CALLEE_SAVES)
+    sets = {
+        "root": RegisterSets(
+            free=set(), caller=set(), callee=set(), mspill=set()
+        ),
+        "p": RegisterSets(
+            free=set(),
+            caller=set(CALLER_SAVES) | {extra},
+            callee=set(),
+            mspill=set(),
+        ),
+    }
+    with pytest.raises(AssertionError, match="MSPILL"):
+        check_register_set_invariants(sets, roots={"root"})
+    # Once a root actually spills the register, the grant is earned.
+    sets["root"].mspill = {extra}
+    check_register_set_invariants(sets, roots={"root"})
+
+
+def test_invariant_rejects_web_reserved_in_any_set():
+    reg = max(CALLEE_SAVES)
+    for label in ("free", "caller", "callee", "mspill"):
+        sets = _sets(**{label: {reg}})
+        roots = {"p"}  # legitimizes mspill placement
+        with pytest.raises(AssertionError, match="web-reserved"):
+            check_register_set_invariants(
+                sets, roots, web_reserved={"p": {reg}}
+            )
+    # Absent from every set: fine.
+    check_register_set_invariants(
+        _sets(), {"p"}, web_reserved={"p": {reg}}
+    )
+
+
+# -- worklist rewrite equivalence ---------------------------------------
+#
+# _process_cluster orders members with a Kahn worklist; the original
+# implementation re-sorted and re-scanned the whole pending set after
+# every node.  The reference below reproduces that historical sweep
+# verbatim so the suite can assert the rewrite is a pure strength
+# reduction: identical RegisterSets, node for node.
+
+
+def _reference_process_cluster(graph, cluster, roots, sets, avail,
+                               web_reserved):
+    root = cluster.root
+    members = cluster.members
+
+    child_mspill = set()
+    for name in members:
+        if name in roots:
+            child_mspill |= sets[name].mspill
+    order = regsets._cluster_register_order(child_mspill)
+
+    reserved_in_cluster = set()
+    for name in cluster.all_nodes:
+        reserved_in_cluster |= set(web_reserved.get(name, ()))
+
+    selectable = [r for r in order if r not in reserved_in_cluster]
+    need = graph.nodes[root].summary.callee_saves_needed
+    root_sets = sets[root]
+    root_callee = set(selectable[max(0, len(selectable) - need):])
+    root_sets.callee = root_callee
+    avail[root] = set(selectable) - root_callee
+
+    used = set()
+    visited = {root}
+    pending = set(members)
+    while pending:
+        progressed = False
+        for name in sorted(pending):
+            predecessors = set(graph.nodes[name].predecessors)
+            if not predecessors <= visited:
+                continue
+            regsets._preallocate_node(
+                graph, name, roots, sets, avail, order, used
+            )
+            visited.add(name)
+            pending.discard(name)
+            progressed = True
+            break
+        if not progressed:
+            raise AssertionError(
+                f"cluster {root}: could not order members {pending}"
+            )
+
+    root_sets.mspill |= used
+    for name in members:
+        if name in roots:
+            continue
+        sets[name].caller |= avail[name] & root_sets.mspill
+
+
+def _reference_compute_register_sets(graph, clusters, dominators=None,
+                                     web_reserved=None):
+    if dominators is None:
+        dominators = graph.dominator_tree()
+    web_reserved = web_reserved or {}
+    sets = {}
+    for name in graph.nodes:
+        reserved = set(web_reserved.get(name, ()))
+        sets[name] = RegisterSets(
+            free=set(),
+            caller=set(CALLER_SAVES),
+            callee=set(CALLEE_SAVES) - reserved,
+            mspill=set(),
+        )
+    roots = {cluster.root for cluster in clusters}
+    avail = {}
+    for cluster in regsets._bottom_up(clusters, dominators):
+        _reference_process_cluster(
+            graph, cluster, roots, sets, avail, web_reserved
+        )
+    return sets
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_worklist_matches_reference_sweep_on_random_graphs(seed):
+    rng = random.Random(seed ^ 0x5EED)
+    size = rng.randint(3, 14)
+    names = [f"p{i}" for i in range(size)]
+    procs = {}
+    for i, name in enumerate(names):
+        calls = {}
+        for _ in range(rng.randint(0, 3)):
+            if names[i + 1:]:
+                calls[rng.choice(names[i + 1:])] = rng.randint(1, 200)
+        procs[name] = {"calls": calls, "need": rng.randint(0, 6)}
+    web_reserved = {}
+    if rng.random() < 0.5:
+        web_reserved[rng.choice(names)] = {max(CALLEE_SAVES)}
+    graph, _ = build_graph(procs)
+    dominators = graph.dominator_tree()
+    clusters = identify_clusters(graph, dominators)
+    new = compute_register_sets(graph, clusters, dominators, web_reserved)
+    old = _reference_compute_register_sets(
+        graph, clusters, dominators, web_reserved
+    )
+    assert new == old
+
+
+@pytest.mark.parametrize("workload", ["dhrystone", "othello", "paopt"])
+def test_worklist_matches_reference_sweep_on_workloads(workload):
+    from repro import run_phase1
+    from repro.callgraph.graph import CallGraph
+    from repro.workloads import get_workload
+
+    phase1 = run_phase1(get_workload(workload).sources)
+    summaries = [result.summary for result in phase1]
+    graph = CallGraph.build(summaries, None)
+    graph.normalize_weights(None)
+    dominators = graph.dominator_tree()
+    clusters = identify_clusters(graph, dominators)
+    assert clusters, "benchmark workloads must form clusters"
+    new = compute_register_sets(graph, clusters, dominators)
+    old = _reference_compute_register_sets(graph, clusters, dominators)
+    assert new == old

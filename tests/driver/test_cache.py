@@ -229,3 +229,85 @@ def test_default_database_digest_equals_absent_digest(scheduler):
     explicit.put(default_directives("square"))
     names = ("square", "cube")
     assert empty.directive_digest(names) == explicit.directive_digest(names)
+
+
+# -- bounded disk footprint ---------------------------------------------
+#
+# max_bytes caps the cache directory; stores evict the least-recently-
+# accessed entries (loads refresh an entry's clock) until the total
+# fits.  Mtimes are set explicitly below, so the tests are immune to
+# filesystem timestamp granularity.
+
+
+from repro.driver.cache import text_digest
+
+
+def test_capped_cache_evicts_least_recently_accessed(tmp_path):
+    cache = ArtifactCache(tmp_path / "c", max_bytes=15_000)
+    blob = b"x" * 4000
+    keys = [text_digest(f"entry-{i}") for i in range(3)]
+    for key in keys:
+        cache.store("phase1", key, blob)
+    assert len(cache) == 3
+    assert cache.total_bytes() <= 15_000
+    # keys[1] is the coldest, keys[2] lukewarm, keys[0] untouched (hot:
+    # its mtime is the recent store time).
+    os.utime(cache._path(keys[1]), (1, 1))
+    os.utime(cache._path(keys[2]), (2, 2))
+    cache.store("phase1", text_digest("entry-3"), blob)
+    assert cache.total_bytes() <= 15_000
+    assert cache.load("phase1", keys[1]) is None, "coldest entry evicted"
+    assert cache.load("phase1", keys[0]) == blob, "hot entry survives"
+    assert cache.stats.evictions["phase1"] == 1
+
+
+def test_hot_entry_keeps_hitting_under_store_pressure(tmp_path):
+    cache = ArtifactCache(tmp_path / "c", max_bytes=15_000)
+    hot = text_digest("hot")
+    cache.store("phase1", hot, b"h" * 4000)
+    for i in range(6):
+        assert cache.load("phase1", hot) is not None
+        filler = text_digest(f"filler-{i}")
+        cache.store("phase1", filler, bytes([i]) * 4000)
+        # Age the filler far into the past so every future eviction
+        # round prefers it over the freshly-touched hot entry.
+        os.utime(cache._path(filler), (100 + i, 100 + i))
+        assert cache.total_bytes() <= cache.max_bytes
+    assert cache.load("phase1", hot) is not None
+    assert cache.stats.hits["phase1"] == 7
+    assert cache.stats.evictions["phase1"] >= 3
+
+
+def test_oversized_artifact_degrades_to_single_entry(tmp_path):
+    """An artifact bigger than the whole budget is still cached (the
+    just-written entry is never the victim); the next store displaces
+    it."""
+    cache = ArtifactCache(tmp_path / "c", max_bytes=1000)
+    big = text_digest("big")
+    cache.store("phase1", big, b"z" * 5000)
+    assert cache.load("phase1", big) is not None
+    assert len(cache) == 1
+    cache.store("phase1", text_digest("other"), b"w" * 5000)
+    assert cache.load("phase1", big) is None
+    assert len(cache) == 1
+
+
+def test_cache_limit_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+    assert ArtifactCache(tmp_path / "a").max_bytes == 12345
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+    assert ArtifactCache(tmp_path / "b").max_bytes is None
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+    assert ArtifactCache(tmp_path / "d").max_bytes is None
+    # An explicit constructor argument wins over the environment.
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "999999")
+    assert ArtifactCache(tmp_path / "e", max_bytes=42).max_bytes == 42
+
+
+def test_eviction_counters_reach_scheduler_metrics(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "2000")
+    with CompilationScheduler(jobs=1, cache_dir=tmp_path / "c") as sched:
+        sched.compile_program(SOURCES)
+        metrics = sched.metrics_snapshot()
+    assert sum(metrics.cache_evictions.values()) > 0
+    assert ArtifactCache(tmp_path / "c").total_bytes() <= 2000

@@ -45,7 +45,9 @@ def test_metrics_surface_on_compilation_result():
     assert set(payload) == {
         "jobs", "stage_seconds", "stage_tasks",
         "cache_hits", "cache_misses", "cache_bad_entries",
+        "cache_evictions", "audit",
     }
+    assert payload["audit"] == {}  # auditing was off for this compile
 
 
 def test_metrics_diff_isolates_one_compilation(tmp_path):

@@ -1,0 +1,307 @@
+"""Mutation testing of the allocation auditor.
+
+A verifier is only worth its keep if it actually catches broken
+allocation output, so each test here injects one class of defect into a
+known-clean compilation — by overwriting an instruction in place with a
+same-length no-op (``LDI r0, 0``: writes to ZERO are discarded, and
+in-place replacement keeps every branch target valid), by rewriting an
+instruction into an illegal one, or by vandalizing the database behind
+the code's back — and asserts the auditor reports exactly that defect
+class.
+
+The clean compilation is one fixed fuzz seed under configuration E
+(clustering + web promotion), chosen because its output exhibits every
+structure the mutations need: epilogue restores, a cluster root with a
+non-empty MSPILL, an entry-node web with an exit store, a body use of a
+web register, and calls with callee-saves registers live across them.
+The fixture asserts those preconditions so a generator change cannot
+silently turn any test into a no-op.
+"""
+
+import copy
+
+import pytest
+
+from repro import AnalyzerOptions, compile_with_database, run_phase1
+from repro.analyzer.database import ProcedureDirectives
+from repro.analyzer.driver import analyze_program
+from repro.target import isa
+from repro.target.registers import CALLEE_SAVES, ZERO
+from repro.verify import audit_executable
+from repro.verify.auditor import _compute_liveness, _parse_frame
+from repro.verify.progen import generate_fuzz_program
+
+SEED = 0
+CONFIG = "E"
+
+
+def _noop():
+    """Same-length filler whose write is architecturally discarded."""
+    return isa.LDI(ZERO, 0)
+
+
+@pytest.fixture(scope="module")
+def clean(tmp_path_factory):
+    phase1 = run_phase1(generate_fuzz_program(SEED))
+    summaries = [result.summary for result in phase1]
+    database = analyze_program(summaries, AnalyzerOptions.config(CONFIG))
+    executable = compile_with_database(phase1, database)
+    report = audit_executable(executable, database)
+    assert report.ok, report.format()
+    return executable, database
+
+
+def _mutant(clean):
+    executable, database = clean
+    return copy.deepcopy(executable), copy.deepcopy(database)
+
+
+def _frames(executable):
+    code = executable.instructions
+    for rng in executable.function_ranges:
+        frame = _parse_frame(code, rng.start, rng.end)
+        if frame is not None:
+            yield rng, frame
+
+
+def test_clean_build_reaudits_clean(clean):
+    executable, database = clean
+    report = audit_executable(executable, database)
+    assert report.ok
+    assert report.functions_checked == len(executable.function_ranges)
+    assert report.calls_checked > 0
+
+
+def test_dropped_restore_detected(clean):
+    """Defect class 1: an epilogue restore goes missing (the classic
+    clobbered-callee-saves bug)."""
+    executable, database = _mutant(clean)
+    code = executable.instructions
+    victim = None
+    for rng, frame in _frames(executable):
+        if not frame.restores:
+            continue
+        for pc in range(frame.body_end, rng.end):
+            instruction = code[pc]
+            if (
+                isinstance(instruction, isa.LDW)
+                and instruction.rd in frame.restores
+            ):
+                victim = (rng.name, pc)
+                break
+        if victim:
+            break
+    assert victim, "fixture must contain an epilogue restore"
+    name, pc = victim
+    code[pc] = _noop()
+    report = audit_executable(executable, database)
+    assert "unbalanced-save-restore" in report.by_check()
+    assert any(
+        v.function == name and v.check == "unbalanced-save-restore"
+        for v in report.violations
+    )
+
+
+def test_missing_mspill_save_detected(clean):
+    """Defect class 2: a cluster root skips the save of an MSPILL
+    register it is contractually obliged to spill for its members."""
+    executable, database = _mutant(clean)
+    code = executable.instructions
+    victim = None
+    for rng, frame in _frames(executable):
+        directives = database.get(rng.name)
+        if not (directives.is_cluster_root and directives.mspill):
+            continue
+        target = set(directives.mspill) & set(frame.saves)
+        if not target:
+            continue
+        register = min(target)
+        for pc in range(rng.start, frame.body_start):
+            instruction = code[pc]
+            if isinstance(instruction, isa.STW) and instruction.rs == register:
+                victim = (rng.name, pc)
+                break
+        if victim:
+            break
+    assert victim, "fixture must contain a root saving MSPILL registers"
+    name, pc = victim
+    code[pc] = _noop()
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == name and v.check == "missing-mspill-save"
+        for v in report.violations
+    ), report.format()
+
+
+def test_stolen_web_register_detected(clean):
+    """Defect class 3: an ordinary computation lands in a register
+    reserved for a promoted-global web."""
+    executable, database = _mutant(clean)
+    code = executable.instructions
+    victim = None
+    for rng, frame in _frames(executable):
+        promoted = database.get(rng.name).promoted
+        if promoted and frame.body_start < frame.body_end:
+            victim = (rng.name, frame.body_start, promoted[0].register)
+            break
+    assert victim, "fixture must contain a web-holding function"
+    name, pc, register = victim
+    code[pc] = isa.ALU("+", register, ZERO, ZERO)
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == name and v.check == "web-register-write"
+        for v in report.violations
+    ), report.format()
+
+
+def test_missing_web_entry_load_detected(clean):
+    """Defect class 4: an entry node skips the load that initializes
+    the web register, leaving downstream reads dependent on garbage."""
+    executable, database = _mutant(clean)
+    code = executable.instructions
+    victim = None
+    for rng, frame in _frames(executable):
+        for promoted in database.get(rng.name).promoted:
+            if not promoted.is_entry:
+                continue
+            uses = any(
+                promoted.register in code[pc].uses()
+                for pc in range(frame.body_start, frame.body_end)
+                if not code[pc].is_call
+            )
+            if uses:
+                victim = (rng, frame, promoted.register)
+                break
+        if victim:
+            break
+    assert victim, "fixture must read a web register in an entry node"
+    rng, frame, register = victim
+    # Suppress every initialization of the register: the surviving uses
+    # now read a value the caller never promised to provide.
+    for pc in range(frame.body_start, frame.body_end):
+        if not code[pc].is_call and register in code[pc].defs():
+            code[pc] = _noop()
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == rng.name and v.check == "missing-web-entry-load"
+        for v in report.violations
+    ), report.format()
+
+
+def test_missing_web_exit_store_detected(clean):
+    """Defect class 5: a modified web value never goes back to the
+    global's memory — other webs and the exit path see a stale value."""
+    executable, database = _mutant(clean)
+    code = executable.instructions
+    victim = None
+    for rng, frame in _frames(executable):
+        for promoted in database.get(rng.name).promoted:
+            if promoted.is_entry and promoted.needs_store:
+                victim = (rng, frame, promoted)
+                break
+        if victim:
+            break
+    assert victim, "fixture must contain an entry web with an exit store"
+    rng, frame, promoted = victim
+    address = executable.global_addresses[promoted.name]
+    # Suppress every store to the promoted global's address.
+    from repro.verify.auditor import _trace_base_address
+
+    for pc in range(frame.body_start, frame.body_end):
+        instruction = code[pc]
+        if (
+            isinstance(instruction, isa.STW)
+            and instruction.offset == 0
+            and _trace_base_address(
+                code, rng.start, pc, instruction.base
+            ) == address
+        ):
+            code[pc] = _noop()
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == rng.name and v.check == "missing-web-exit-store"
+        for v in report.violations
+    ), report.format()
+
+
+def test_clobber_live_across_call_detected(clean):
+    """Defect class 6: a call's declared clobber set grows to cover a
+    register the caller keeps live across it — the analyzer and the
+    allocator disagree about who preserves the value."""
+    executable, database = _mutant(clean)
+    code = executable.instructions
+    victim = None
+    for rng in executable.function_ranges:
+        live_in, succs = _compute_liveness(code, rng.start, rng.end)
+        size = rng.end - rng.start
+        for index in range(size):
+            instruction = code[rng.start + index]
+            if not isinstance(instruction, isa.BL):
+                continue
+            live_after = 0
+            for successor in succs[index]:
+                if 0 <= successor < size:
+                    live_after |= live_in[successor]
+            for register in sorted(CALLEE_SAVES):
+                if (
+                    live_after & (1 << register)
+                    and register not in instruction.clobbers
+                ):
+                    victim = (rng.name, instruction, register)
+                    break
+            if victim:
+                break
+        if victim:
+            break
+    assert victim, "fixture must keep a callee-saves register live across a call"
+    name, instruction, register = victim
+    instruction.clobbers.append(register)
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == name and v.check == "clobbered-live-across-call"
+        for v in report.violations
+    ), report.format()
+
+
+def test_mspill_at_non_root_detected(clean):
+    """Defect class 7: directives claim spill duty at a procedure that
+    is not a cluster root (bypassing the database's own validation,
+    the way a buggy analyzer writer would)."""
+    executable, database = _mutant(clean)
+    victim = None
+    for name, directives in sorted(database.procedures.items()):
+        if directives.is_cluster_root or directives.mspill:
+            continue
+        candidates = sorted(
+            set(directives.callee) - set(directives.reserved_web_registers)
+        )
+        if candidates:
+            victim = (name, directives, candidates[0])
+            break
+    assert victim, "fixture must contain a non-root procedure"
+    name, directives, register = victim
+    # Direct assignment skips ProcedureDirectives.validate() — exactly
+    # the hole a static auditor exists to cover.
+    directives.callee = frozenset(directives.callee) - {register}
+    directives.mspill = frozenset({register})
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == name and v.check == "mspill-at-non-root"
+        for v in report.violations
+    ), report.format()
+
+
+def test_directive_set_overlap_detected(clean):
+    """Bonus database defect: the four usage sets lose disjointness."""
+    executable, database = _mutant(clean)
+    name = min(
+        n for n, d in database.procedures.items() if d.callee
+    )
+    directives = database.procedures[name]
+    stolen = min(directives.callee)
+    directives.caller = frozenset(directives.caller) | {stolen}
+    report = audit_executable(executable, database)
+    assert any(
+        v.function == name and v.check == "directive-sets"
+        for v in report.violations
+    ), report.format()
