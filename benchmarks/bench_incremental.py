@@ -1,0 +1,173 @@
+"""Incremental analyzer: what a 10-edit editing session costs.
+
+Replays a deterministic 10-edit session on othello and dhrystone,
+analyzing each step both from scratch and through
+:class:`~repro.incremental.IncrementalAnalyzer`, and compiling each
+step through an incremental scheduler to count how many phase-2 object
+modules actually recompile.  Prints the per-session totals and records
+them into ``benchmarks/BENCH_results.json`` under
+``"incremental_session"``.
+
+The session draws the fuzz generator's *body-level* mutations (loop
+traffic on a visible global, a new reference to an untouched global) —
+the shape of a real editing session, where the call graph rarely moves.
+Call-graph churn (address-taking, call-edge add/remove), which rightly
+dirties whole reachable regions, is exercised by
+``tests/incremental/test_edit_sequences.py`` and
+``tests/fuzz/test_incremental_fuzz.py``.
+
+The suite-wide cross-check (``REPRO_INCREMENTAL_CHECK``) is left to
+the tests; here it is disabled so the timing numbers measure the
+incremental path itself, not its shadow.
+"""
+
+import os
+import tempfile
+import time
+
+from repro import AnalyzerOptions, run_phase1
+from repro.analyzer.driver import analyze_program
+from repro.driver.scheduler import CompilationScheduler
+from repro.incremental import IncrementalAnalyzer
+from repro.verify.progen import FuzzProgramGenerator
+from repro.workloads import get_workload
+
+from conftest import _INCREMENTAL_SESSION, print_table, record_note
+
+EDITS = 10
+WORKLOADS = ("othello", "dhrystone")
+CONFIG = "C"
+
+
+def _session_sources(name):
+    """The unedited program plus EDITS seeded body-level edit steps."""
+    import random
+
+    mutator = FuzzProgramGenerator(seed=0)
+    sources = dict(get_workload(name).sources)
+    steps = [sources]
+    for step in range(1, EDITS + 1):
+        rng = random.Random(f"bench-incr-{name}-{step}")
+        edited = None
+        for operation in (
+            mutator._mutate_body, mutator._mutate_toggle_global
+        ):
+            edited = operation(dict(sources), rng, step)
+            if edited is not None:
+                break
+        sources = edited if edited is not None else sources
+        steps.append(sources)
+    return steps
+
+
+def _run_session(name):
+    options = AnalyzerOptions.config(CONFIG)
+    engine = IncrementalAnalyzer(cross_check=False)
+    totals = {
+        "edits": EDITS,
+        "config": CONFIG,
+        "full_seconds": 0.0,
+        "incremental_seconds": 0.0,
+        "incremental_steps": 0,
+        "full_fallbacks": 0,
+        "webs_reused": 0,
+        "webs_recomputed": 0,
+        "clusters_reused": 0,
+        "clusters_recomputed": 0,
+        "phase2_recompiled": 0,
+        "phase2_cached": 0,
+        "modules": len(get_workload(name).sources),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-incr-") as cache:
+        with CompilationScheduler(
+            cache_dir=cache, incremental=True
+        ) as scheduler:
+            for step, sources in enumerate(_session_sources(name)):
+                summaries = [r.summary for r in run_phase1(sources)]
+
+                start = time.perf_counter()
+                analyze_program(summaries, options)
+                totals["full_seconds"] += time.perf_counter() - start
+
+                start = time.perf_counter()
+                _db, report = engine.update(summaries, options)
+                totals["incremental_seconds"] += (
+                    time.perf_counter() - start
+                )
+
+                if step:  # the cold step is a full run by definition
+                    if report.mode == "incremental":
+                        totals["incremental_steps"] += 1
+                    else:
+                        totals["full_fallbacks"] += 1
+                    totals["webs_reused"] += report.webs_reused
+                    totals["webs_recomputed"] += report.webs_recomputed
+                    totals["clusters_reused"] += report.clusters_reused
+                    totals["clusters_recomputed"] += (
+                        report.clusters_recomputed
+                    )
+
+                result = scheduler.compile_program(
+                    sources, analyzer_options=options
+                )
+                if step:
+                    totals["phase2_recompiled"] += (
+                        result.metrics.cache_misses.get("phase2", 0)
+                    )
+                    totals["phase2_cached"] += (
+                        result.metrics.cache_hits.get("phase2", 0)
+                    )
+    return totals
+
+
+def test_incremental_editing_session():
+    rows = []
+    for name in WORKLOADS:
+        totals = _run_session(name)
+        _INCREMENTAL_SESSION[name] = totals
+        speedup = totals["full_seconds"] / max(
+            totals["incremental_seconds"], 1e-9
+        )
+        rows.append(
+            (
+                name,
+                f"{totals['incremental_steps']}/{EDITS}",
+                f"{totals['full_seconds']:.3f}s",
+                f"{totals['incremental_seconds']:.3f}s",
+                f"{speedup:.1f}x",
+                totals["webs_reused"],
+                totals["webs_recomputed"],
+                f"{totals['phase2_recompiled']}/"
+                f"{totals['phase2_recompiled'] + totals['phase2_cached']}",
+            )
+        )
+
+        # A session dominated by full fallbacks measures nothing.
+        assert totals["incremental_steps"] > EDITS // 2, name
+        # Reuse must be real: across the session most webs replay.
+        replayed = totals["webs_reused"]
+        rebuilt = totals["webs_recomputed"]
+        assert replayed > rebuilt, name
+        # Patching in place keeps directive digests stable, so phase 2
+        # recompiles only a fraction of module slots across the session.
+        slots = EDITS * totals["modules"]
+        assert totals["phase2_recompiled"] < slots, name
+
+    print_table(
+        f"Incremental analyzer: {EDITS}-edit session (config {CONFIG})",
+        ["Benchmark", "Incr steps", "Full analyze", "Incr analyze",
+         "Speedup", "Webs reused", "Webs rebuilt", "Phase2 rebuilt"],
+        rows,
+    )
+    record_note(
+        "incremental = summary-diff invalidation + in-place database "
+        "patching (docs/INCREMENTAL.md); phase2 rebuilt counts object "
+        "modules whose directive digest or source moved"
+    )
+    record_note(
+        "note: on these 11-13 procedure workloads the diff/bookkeeping "
+        "overhead exceeds the few ms of web construction it avoids, so "
+        "wall-clock favors the full run; the webs-reused column is the "
+        "work avoided, and it scales with program size while the "
+        "bookkeeping scales with the edit"
+    )

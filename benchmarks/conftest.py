@@ -124,6 +124,11 @@ _BENCH_WORKLOADS: dict = {}
 _SCHEDULER_METRICS: dict = {}
 
 
+# Incremental-analyzer editing-session totals (bench_incremental.py),
+# written alongside the tables at session end.
+_INCREMENTAL_SESSION: dict = {}
+
+
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
@@ -216,7 +221,7 @@ def record_note(text):
 
 def pytest_sessionfinish(session, exitstatus):
     written = []
-    if _BENCH_WORKLOADS or _SCHEDULER_METRICS:
+    if _BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION:
         json_path = os.path.join(
             os.path.dirname(__file__), "BENCH_results.json"
         )
@@ -226,6 +231,7 @@ def pytest_sessionfinish(session, exitstatus):
                     "legend": CONFIG_LEGEND,
                     "workloads": _BENCH_WORKLOADS,
                     "scheduler": _SCHEDULER_METRICS,
+                    "incremental_session": _INCREMENTAL_SESSION,
                 },
                 handle,
                 indent=2,

@@ -39,6 +39,11 @@ from repro.driver.pipeline import (
     run_phase1,
 )
 from repro.driver.scheduler import CompilationScheduler, MetricsSnapshot
+from repro.incremental import (
+    IncrementalAnalyzer,
+    InvalidationReport,
+    SummaryDB,
+)
 from repro.machine.profiler import ProfileData
 from repro.machine.simulator import (
     ConventionViolation,
@@ -60,10 +65,13 @@ __all__ = [
     "CostModel",
     "MetricsSnapshot",
     "ExecutionStats",
+    "IncrementalAnalyzer",
+    "InvalidationReport",
     "MachineError",
     "PAPER_CONFIGS",
     "ProfileData",
     "ProgramDatabase",
+    "SummaryDB",
     "analyze_program",
     "collect_profile",
     "compile_and_run",

@@ -23,6 +23,7 @@ callee-saves registers first).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -45,15 +46,24 @@ def web_register_pool(count: int) -> list:
 
 
 def compute_web_priority(web: Web, graph: CallGraph) -> float:
-    """Estimated dynamic benefit of promoting ``web`` (section 4.1.3)."""
-    benefit = 0.0
-    for name in web.nodes:
-        node = graph.nodes[name]
-        local_refs = node.summary.global_refs.get(web.variable, 0)
-        benefit += REFERENCE_GAIN * local_refs * max(node.weight, 1.0)
-    entry_cost = 0.0
-    for name in web.entry_nodes(graph):
-        entry_cost += ENTRY_CALL_COST * max(graph.nodes[name].weight, 1.0)
+    """Estimated dynamic benefit of promoting ``web`` (section 4.1.3).
+
+    Both accumulations use :func:`math.fsum`, whose result is independent
+    of summation order: ``web.nodes`` is a set, and the incremental
+    analyzer replays webs whose sets were rebuilt in a different
+    insertion order than a from-scratch construction — the priority (and
+    everything downstream of its ordering) must not depend on that.
+    """
+    benefit = math.fsum(
+        REFERENCE_GAIN
+        * graph.nodes[name].summary.global_refs.get(web.variable, 0)
+        * max(graph.nodes[name].weight, 1.0)
+        for name in web.nodes
+    )
+    entry_cost = math.fsum(
+        ENTRY_CALL_COST * max(graph.nodes[name].weight, 1.0)
+        for name in web.entry_nodes(graph)
+    )
     return benefit - entry_cost
 
 

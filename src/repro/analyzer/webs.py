@@ -108,29 +108,54 @@ def identify_webs(
     next_id = [1]
 
     for variable in sorted(eligible):
-        variable_webs: list[Web] = []
-        for name in sorted(graph.nodes):
-            if variable not in sets.l_ref[name]:
-                continue
-            if variable in sets.p_ref[name]:
-                continue
-            if any(name in web.nodes for web in variable_webs):
-                continue
-            web = _grow_web(graph, sets, variable, {name}, next_id)
-            variable_webs = _merge_overlapping(
-                graph, sets, variable, variable_webs, web, next_id
+        webs.extend(
+            identify_variable_webs(
+                graph, sets, variable, options, static_modules, next_id
             )
-        _add_recursive_cycle_webs(
-            graph, sets, variable, variable_webs, next_id
         )
-        if options.split_sparse_webs:
-            variable_webs = _split_sparse_webs(
-                graph, sets, variable, variable_webs, options, next_id
-            )
-        webs.extend(variable_webs)
-
-    _screen_webs(graph, sets, webs, options, static_modules or {})
     return webs
+
+
+def identify_variable_webs(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    options: Optional[WebOptions] = None,
+    static_modules: Optional[dict] = None,
+    next_id: Optional[list] = None,
+) -> list[Web]:
+    """Compute the (screened) webs of one variable.
+
+    Construction for different variables is independent except for the
+    shared ``next_id`` counter, so callers that memoize per-variable
+    results (the incremental analyzer) get output identical to
+    :func:`identify_webs` as long as they replay the same number of
+    consumed ids per variable.
+    """
+    options = options or WebOptions()
+    if next_id is None:
+        next_id = [1]
+    variable_webs: list[Web] = []
+    for name in sorted(graph.nodes):
+        if variable not in sets.l_ref[name]:
+            continue
+        if variable in sets.p_ref[name]:
+            continue
+        if any(name in web.nodes for web in variable_webs):
+            continue
+        web = _grow_web(graph, sets, variable, {name}, next_id)
+        variable_webs = _merge_overlapping(
+            graph, sets, variable, variable_webs, web, next_id
+        )
+    _add_recursive_cycle_webs(
+        graph, sets, variable, variable_webs, next_id
+    )
+    if options.split_sparse_webs:
+        variable_webs = _split_sparse_webs(
+            graph, sets, variable, variable_webs, options, next_id
+        )
+    _screen_webs(graph, sets, variable_webs, options, static_modules or {})
+    return variable_webs
 
 
 def _grow_web(

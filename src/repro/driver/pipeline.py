@@ -47,8 +47,9 @@ def default_scheduler():
     means one per CPU) / ``REPRO_CACHE_DIR`` environment variables say
     otherwise at first use; ``REPRO_VERIFY=1`` additionally runs the
     post-link allocation auditor (:mod:`repro.verify.auditor`) on every
-    linked executable, and ``REPRO_CACHE_MAX_BYTES`` caps the artifact
-    cache's on-disk size.
+    linked executable, ``REPRO_INCREMENTAL=1`` routes the analyze stage
+    through the incremental engine (:mod:`repro.incremental`), and
+    ``REPRO_CACHE_MAX_BYTES`` caps the artifact cache's on-disk size.
     """
     global _default_scheduler
     if _default_scheduler is None:

@@ -84,6 +84,10 @@ class MetricsSnapshot:
     cache_misses: dict = field(default_factory=dict)
     cache_bad_entries: dict = field(default_factory=dict)
     cache_evictions: dict = field(default_factory=dict)
+    #: Analyze-stage incremental counters (REPRO_INCREMENTAL runs):
+    #: runs, incremental, full_fallbacks, webs/clusters reused and
+    #: recomputed, procedures patched and retained.
+    analyze: dict = field(default_factory=dict)
     #: Most recent allocation-audit summary (REPRO_VERIFY runs only);
     #: not a counter — ``minus`` carries the newer snapshot's value.
     audit: dict = field(default_factory=dict)
@@ -110,6 +114,7 @@ class MetricsSnapshot:
             cache_evictions=diff(
                 self.cache_evictions, earlier.cache_evictions
             ),
+            analyze=diff(self.analyze, earlier.analyze),
             audit=dict(self.audit),
         )
 
@@ -122,6 +127,7 @@ class MetricsSnapshot:
             "cache_misses": dict(self.cache_misses),
             "cache_bad_entries": dict(self.cache_bad_entries),
             "cache_evictions": dict(self.cache_evictions),
+            "analyze": dict(self.analyze),
             "audit": dict(self.audit),
         }
 
@@ -147,6 +153,12 @@ class CompilationScheduler:
             raise :class:`~repro.verify.auditor.AuditError` on any
             directive violation.  ``None`` (the default) reads the
             ``REPRO_VERIFY`` environment variable ("1" enables).
+        incremental: Route the analyze stage through an
+            :class:`~repro.incremental.engine.IncrementalAnalyzer`, so
+            repeated compilations of an edited program re-analyze only
+            the dirty region and patch the retained database in place.
+            ``None`` (the default) reads the ``REPRO_INCREMENTAL``
+            environment variable ("1" enables).
 
     The worker pool is created lazily on the first parallel stage and
     reused across compilations (benchmark sessions amortize startup
@@ -159,6 +171,7 @@ class CompilationScheduler:
         jobs: int | None = 1,
         cache_dir=None,
         verify: bool | None = None,
+        incremental: bool | None = None,
     ):
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -171,11 +184,22 @@ class CompilationScheduler:
         if verify is None:
             verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
         self.verify = verify
+        if incremental is None:
+            incremental = os.environ.get(
+                "REPRO_INCREMENTAL", ""
+            ) not in ("", "0")
+        self.incremental_analyzer = None
+        if incremental:
+            from repro.incremental import IncrementalAnalyzer
+
+            self.incremental_analyzer = IncrementalAnalyzer()
+        self.last_invalidation_report = None
         self.last_audit_report = None
         self._last_audit_summary: dict = {}
         self._executor = None
         self._stage_seconds: dict = {}
         self._stage_tasks: dict = {}
+        self._analyze_counters: dict = {}
 
     # -- lifecycle --------------------------------------------------------
 
@@ -239,12 +263,14 @@ class CompilationScheduler:
             cache_misses=cache_stats["misses"],
             cache_bad_entries=cache_stats["bad_entries"],
             cache_evictions=cache_stats["evictions"],
+            analyze=dict(self._analyze_counters),
             audit=dict(self._last_audit_summary),
         )
 
     def reset_metrics(self) -> None:
         self._stage_seconds.clear()
         self._stage_tasks.clear()
+        self._analyze_counters.clear()
         if self.cache is not None:
             self.cache.stats.clear()
 
@@ -288,10 +314,42 @@ class CompilationScheduler:
         return results
 
     def analyze(self, summaries: list, options) -> ProgramDatabase:
-        """The program analyzer (always re-run: it is whole-program by
-        nature and cheap relative to the per-module phases)."""
+        """The program analyzer.
+
+        Without ``incremental`` the stage re-runs from scratch (it is
+        whole-program by nature).  With it, the engine diffs the
+        summaries against the previous epoch, re-analyzes only the
+        dirty region, and patches the retained database in place; the
+        resulting :class:`~repro.incremental.engine.InvalidationReport`
+        lands on :attr:`last_invalidation_report` and its counters ride
+        the next metrics snapshot.
+        """
         with self._timed("analyze"):
-            return analyze_program(summaries, options)
+            self._count_tasks("analyze", 1)
+            if self.incremental_analyzer is None:
+                return analyze_program(summaries, options)
+            database, report = self.incremental_analyzer.update(
+                summaries, options
+            )
+            self.last_invalidation_report = report
+            counters = self._analyze_counters
+
+            def bump(name: str, amount: int = 1) -> None:
+                counters[name] = counters.get(name, 0) + amount
+
+            bump("runs")
+            bump(
+                "incremental"
+                if report.mode == "incremental"
+                else "full_fallbacks"
+            )
+            bump("webs_reused", report.webs_reused)
+            bump("webs_recomputed", report.webs_recomputed)
+            bump("clusters_reused", report.clusters_reused)
+            bump("clusters_recomputed", report.clusters_recomputed)
+            bump("procedures_patched", report.procedures_patched)
+            bump("procedures_retained", report.procedures_retained)
+            return database
 
     def compile_objects(
         self,

@@ -1,0 +1,50 @@
+"""Incremental program analysis: summary-diff invalidation and
+database patching.
+
+The paper's two-pass design already makes *module compilation*
+incremental — phase 1 and phase 2 are per-module jobs keyed on content
+fingerprints.  This package closes the remaining gap: the program
+analyzer itself.  Instead of re-running web identification and cluster
+formation for the whole program on every edit, the
+:class:`~repro.incremental.engine.IncrementalAnalyzer` diffs the new
+summary files against the previous epoch, computes the dirty region
+(:mod:`repro.incremental.invalidate`), replays memoized results for
+everything provably clean (:mod:`repro.incremental.depgraph` records
+what depends on what), and patches the retained
+:class:`~repro.analyzer.database.ProgramDatabase` in place.
+
+Correctness contract: the patched database is payload-identical
+(``to_json``) to a from-scratch :func:`~repro.analyzer.driver.analyze_program`
+on the same summaries.  The test suite enforces this with the always-on
+cross-check mode (``REPRO_INCREMENTAL_CHECK=1``).
+"""
+
+from repro.incremental.depgraph import DependencyGraph
+from repro.incremental.engine import (
+    IncrementalAnalyzer,
+    IncrementalMismatchError,
+    InvalidationReport,
+    options_digest,
+    profile_digest,
+)
+from repro.incremental.invalidate import (
+    DirtyRegion,
+    SummaryDelta,
+    compute_dirty_region,
+    diff_summaries,
+)
+from repro.incremental.summarydb import SummaryDB
+
+__all__ = [
+    "DependencyGraph",
+    "DirtyRegion",
+    "IncrementalAnalyzer",
+    "IncrementalMismatchError",
+    "InvalidationReport",
+    "SummaryDB",
+    "SummaryDelta",
+    "compute_dirty_region",
+    "diff_summaries",
+    "options_digest",
+    "profile_digest",
+]

@@ -1,0 +1,188 @@
+"""Output-to-input dependency recording for one analyzer run.
+
+While (or rather, right after) the full analyzer runs, the engine
+hands this module the run's :class:`~repro.analyzer.driver.AnalysisTrace`
+and the dependency graph records, for every output the analyzer
+produced, the region of inputs it was computed from:
+
+* each **web** depends on the summaries of its member/subgraph
+  procedures and their immediate neighbors (predecessors pull entry
+  nodes into webs, successors carry reference closures through them)
+  and on its global's whole referencing set;
+* each **cluster** depends on its member procedures and their
+  predecessors (incoming edge weights select roots);
+* each procedure's **FREE/CALLER/CALLEE/MSPILL** sets depend on its
+  cluster and on the chain of cluster roots dominating it (MSPILL
+  migrates toward dominating roots, FREE flows back down);
+* each **interference edge** depends on the overlap of the two web
+  regions that induce it.
+
+The engine uses the web regions and referencing sets to answer "which
+variables' webs may be invalid given these dirty nodes?"; the cluster
+and regset records exist for the same question at cluster granularity
+and power the invalidation report and documentation examples (register
+sets themselves are always recomputed — they are cheap and globally
+coupled through the bottom-up MSPILL migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import CallGraph
+
+
+def _neighborhood(graph: CallGraph, nodes) -> set:
+    """``nodes`` plus every immediate predecessor and successor."""
+    region = set(nodes)
+    for name in nodes:
+        node = graph.nodes.get(name)
+        if node is None:
+            continue
+        region |= set(node.predecessors)
+        region |= set(node.successors)
+    return region
+
+
+@dataclass
+class WebDependency:
+    """One web's recorded input region."""
+
+    variable: str
+    web_id: int
+    nodes: frozenset
+    #: member nodes plus immediate predecessors and successors
+    region: frozenset
+
+
+@dataclass
+class ClusterDependency:
+    """One cluster's recorded input region."""
+
+    root: str
+    members: frozenset
+    #: root + members plus their immediate predecessors
+    region: frozenset
+
+
+@dataclass
+class RegsetDependency:
+    """What one procedure's usage sets were computed from."""
+
+    name: str
+    cluster_root: object  # Optional[str]
+    #: cluster roots dominating this procedure, nearest first
+    dominating_roots: tuple = ()
+
+
+@dataclass
+class DependencyGraph:
+    """Everything one analyzer run's outputs depended on."""
+
+    webs: list = field(default_factory=list)  # [WebDependency]
+    clusters: list = field(default_factory=list)  # [ClusterDependency]
+    regsets: dict = field(default_factory=dict)  # name -> RegsetDependency
+    #: variable -> frozenset of procedures referencing it (l_ref)
+    referencing: dict = field(default_factory=dict)
+    #: (web_id, web_id) pairs whose regions overlap -> frozenset overlap
+    interference: dict = field(default_factory=dict)
+    #: variable -> union of its webs' regions
+    _variable_regions: dict = field(default_factory=dict)
+
+    @classmethod
+    def record(cls, trace, graph: CallGraph) -> "DependencyGraph":
+        """Build the dependency record from a completed run's trace."""
+        depgraph = cls()
+
+        if trace.reference_sets is not None:
+            referencing: dict = {}
+            for name, variables in trace.reference_sets.l_ref.items():
+                for variable in variables:
+                    referencing.setdefault(variable, set()).add(name)
+            depgraph.referencing = {
+                variable: frozenset(names)
+                for variable, names in referencing.items()
+            }
+
+        for variable, web_id, nodes, _from_split, _reason in (
+            trace.web_snapshots
+        ):
+            region = frozenset(_neighborhood(graph, nodes))
+            depgraph.webs.append(
+                WebDependency(variable, web_id, frozenset(nodes), region)
+            )
+            merged = depgraph._variable_regions.setdefault(variable, set())
+            merged |= region
+
+        by_id = {dep.web_id: dep for dep in depgraph.webs}
+        ordered = sorted(by_id)
+        for index, first in enumerate(ordered):
+            for second in ordered[index + 1:]:
+                overlap = by_id[first].nodes & by_id[second].nodes
+                if overlap:
+                    depgraph.interference[(first, second)] = overlap
+
+        root_of: dict = {}
+        for cluster in trace.clusters:
+            all_nodes = set(cluster.all_nodes)
+            region = set(all_nodes)
+            for name in all_nodes:
+                node = graph.nodes.get(name)
+                if node is not None:
+                    region |= set(node.predecessors)
+            depgraph.clusters.append(
+                ClusterDependency(
+                    cluster.root,
+                    frozenset(cluster.members),
+                    frozenset(region),
+                )
+            )
+            for name in all_nodes:
+                root_of[name] = cluster.root
+
+        roots = {dep.root for dep in depgraph.clusters}
+        for name in graph.nodes:
+            chain: tuple = ()
+            if trace.dominators is not None:
+                chain = tuple(
+                    dominator
+                    for dominator in trace.dominators.dominators_of(name)
+                    if dominator in roots and dominator != name
+                )
+            depgraph.regsets[name] = RegsetDependency(
+                name, root_of.get(name), chain
+            )
+        return depgraph
+
+    # -- queries ----------------------------------------------------------
+
+    def dirty_variables_for(self, dirty_nodes: set) -> set:
+        """Variables whose webs may be invalid given ``dirty_nodes``:
+        any whose recorded web region or referencing set intersects."""
+        dirty = set()
+        for variable, region in self._variable_regions.items():
+            if region & dirty_nodes:
+                dirty.add(variable)
+        for variable, names in self.referencing.items():
+            if names & dirty_nodes:
+                dirty.add(variable)
+        return dirty
+
+    def dirty_clusters_for(self, dirty_nodes: set) -> set:
+        """Roots of clusters whose recorded region intersects."""
+        return {
+            dep.root
+            for dep in self.clusters
+            if dep.region & dirty_nodes
+        }
+
+    def regset_closure(self, dirty_roots: set) -> set:
+        """Procedures whose usage sets transitively depend on any of
+        ``dirty_roots`` (their own cluster or a dominating root)."""
+        closure = set()
+        for name, dep in self.regsets.items():
+            if dep.cluster_root in dirty_roots or any(
+                root in dirty_roots for root in dep.dominating_roots
+            ):
+                closure.add(name)
+        return closure

@@ -1,0 +1,555 @@
+"""The incremental analyzer engine.
+
+:class:`IncrementalAnalyzer` makes
+:func:`~repro.analyzer.driver.analyze_program` re-entrant across
+edits.  The strategy follows from the analyzer's own structure: the
+pipeline is deterministic, and its two structurally expensive steps —
+per-variable web construction and cluster identification — have
+precisely characterizable input regions.  So the engine
+
+1. diffs the new summaries against the previous epoch
+   (:func:`~repro.incremental.invalidate.diff_summaries`),
+2. computes the conservative dirty region
+   (:func:`~repro.incremental.invalidate.compute_dirty_region`) using
+   the dependency records of the previous run
+   (:class:`~repro.incremental.depgraph.DependencyGraph`),
+3. re-runs ``analyze_program`` with *memoizing suppliers*: clean
+   variables replay their cached webs (id-exact, via per-variable id
+   spans), a clean graph replays the cached cluster list, and only the
+   dirty region is recomputed.  The cheap globally-coupled phases
+   (reference sets, weight normalization, interference, coloring,
+   register sets, caller-saves usage) always recompute — they are a
+   small fraction of the run and their global coupling makes partial
+   recomputation unsound;
+4. patches the retained :class:`~repro.analyzer.database.ProgramDatabase`
+   in place: procedures whose ``directive_payload`` did not move keep
+   their directive objects, the rest are swapped.
+
+Whenever invalidation cannot prove safety — first sight of an options
+configuration, a profile swap, blanket promotion (whole-program by
+definition), or a change to the eligible-variable set — the engine
+falls back to a full analysis and says so in the
+:class:`InvalidationReport`.
+
+Correctness is enforced, not assumed: with ``cross_check`` enabled
+(``REPRO_INCREMENTAL_CHECK=1``, on throughout the test suite) every
+update is shadowed by a from-scratch analysis and any divergence in
+the database payload, web census, cluster census, or statistics raises
+:class:`IncrementalMismatchError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from copy import deepcopy
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analyzer.clusters import Cluster
+from repro.analyzer.database import ProgramDatabase, directive_payload
+from repro.analyzer.driver import AnalysisTrace, analyze_program
+from repro.analyzer.options import AnalyzerOptions
+from repro.analyzer.webs import Web, identify_variable_webs
+from repro.callgraph.dataflow import eligible_globals
+from repro.callgraph.graph import CallGraph
+from repro.incremental.depgraph import DependencyGraph
+from repro.incremental.invalidate import compute_dirty_region, diff_summaries
+from repro.incremental.summarydb import SummaryDB
+
+
+class IncrementalMismatchError(Exception):
+    """The patched database diverged from a from-scratch analysis."""
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def profile_digest(profile) -> str:
+    """Content address of a :class:`~repro.machine.profiler.ProfileData`
+    (``"none"`` for heuristic runs)."""
+    if profile is None:
+        return "none"
+    return _digest(
+        {
+            "call_counts": {
+                name: profile.call_counts[name]
+                for name in sorted(profile.call_counts)
+            },
+            "call_edges": {
+                f"{caller}\x00{callee}": count
+                for (caller, callee), count in sorted(
+                    profile.call_edges.items()
+                )
+            },
+        }
+    )
+
+
+def options_digest(options: AnalyzerOptions) -> str:
+    """Content address of everything in ``options`` except the profile
+    *content* (tracked separately so a profile swap reads as a fallback
+    condition, not as a brand-new configuration)."""
+    from dataclasses import asdict
+
+    return _digest(
+        {
+            "global_promotion": options.global_promotion,
+            "coloring": options.coloring,
+            "num_web_registers": options.num_web_registers,
+            "blanket_count": options.blanket_count,
+            "spill_code_motion": options.spill_code_motion,
+            "has_profile": options.profile is not None,
+            "web_options": asdict(options.web_options),
+            "cluster_options": asdict(options.cluster_options),
+            "exported_procedures": (
+                sorted(options.exported_procedures)
+                if options.exported_procedures is not None
+                else None
+            ),
+            "externally_visible_globals": sorted(
+                options.externally_visible_globals
+            ),
+            "caller_saves_preallocation": (
+                options.caller_saves_preallocation
+            ),
+        }
+    )
+
+
+@dataclass
+class InvalidationReport:
+    """What one :meth:`IncrementalAnalyzer.update` did and why."""
+
+    mode: str = "full"  # "full" | "incremental"
+    reason: Optional[str] = None  # fallback reason for full runs
+    epoch: int = 0
+    changed_modules: tuple = ()
+    changed_procedures: tuple = ()
+    #: procedure -> sorted tuple of change-kind labels
+    change_kinds: dict = field(default_factory=dict)
+    dirty_variables: tuple = ()
+    webs_total: int = 0
+    webs_reused: int = 0
+    webs_recomputed: int = 0
+    clusters_total: int = 0
+    clusters_reused: int = 0
+    clusters_recomputed: int = 0
+    procedures_patched: int = 0
+    procedures_retained: int = 0
+    cross_checked: bool = False
+
+    @property
+    def fraction_reanalyzed(self) -> float:
+        """Share of webs+clusters recomputed this update (1.0 when
+        there was nothing to reuse)."""
+        total = self.webs_total + self.clusters_total
+        if total == 0:
+            return 1.0 if self.mode == "full" else 0.0
+        return (self.webs_recomputed + self.clusters_recomputed) / total
+
+    def to_json_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "reason": self.reason,
+            "epoch": self.epoch,
+            "changed_modules": list(self.changed_modules),
+            "changed_procedures": list(self.changed_procedures),
+            "change_kinds": {
+                name: list(kinds)
+                for name, kinds in self.change_kinds.items()
+            },
+            "dirty_variables": list(self.dirty_variables),
+            "webs_total": self.webs_total,
+            "webs_reused": self.webs_reused,
+            "webs_recomputed": self.webs_recomputed,
+            "clusters_total": self.clusters_total,
+            "clusters_reused": self.clusters_reused,
+            "clusters_recomputed": self.clusters_recomputed,
+            "procedures_patched": self.procedures_patched,
+            "procedures_retained": self.procedures_retained,
+            "fraction_reanalyzed": self.fraction_reanalyzed,
+            "cross_checked": self.cross_checked,
+        }
+
+
+@dataclass
+class _AnalysisState:
+    """Everything retained per options configuration between updates."""
+
+    summaries: dict  # module name -> deep-copied ModuleSummary
+    ordered_modules: list  # module names in caller order
+    graph: CallGraph
+    weights: dict  # name -> normalized weight
+    eligible: frozenset
+    profile_digest: str
+    depgraph: DependencyGraph
+    #: variable -> {"ids_consumed": int,
+    #:              "webs": [(id offset, nodes, from_split, reason)]}
+    web_cache: dict
+    clusters_cache: list  # [(root, frozenset(members))]
+    database: ProgramDatabase
+    epoch: int = 0
+
+
+class IncrementalAnalyzer:
+    """Re-entrant wrapper around ``analyze_program``.
+
+    Args:
+        summary_db: fingerprint store (in-memory when omitted).
+        cross_check: shadow every update with a from-scratch analysis
+            and raise :class:`IncrementalMismatchError` on divergence.
+            ``None`` reads ``REPRO_INCREMENTAL_CHECK`` ("1" enables).
+
+    One engine holds one state per options digest, so a Table 4
+    configuration sweep stays incremental for every configuration.
+    """
+
+    def __init__(
+        self,
+        summary_db: Optional[SummaryDB] = None,
+        cross_check: Optional[bool] = None,
+    ):
+        self.summary_db = summary_db if summary_db is not None else SummaryDB()
+        if cross_check is None:
+            cross_check = os.environ.get(
+                "REPRO_INCREMENTAL_CHECK", ""
+            ) not in ("", "0")
+        self.cross_check = cross_check
+        self.last_report: Optional[InvalidationReport] = None
+        self._states: dict = {}
+
+    # -- public API -------------------------------------------------------
+
+    def analyze(self, summaries, options=None) -> ProgramDatabase:
+        """Scheduler-shaped entry point; the report lands on
+        :attr:`last_report`."""
+        database, _report = self.update(summaries, options)
+        return database
+
+    def update(self, summaries, options=None):
+        """Re-analyze after an edit.
+
+        Returns ``(database, report)``.  The database is the *retained*
+        object patched in place whenever this configuration has been
+        analyzed before (so callers may hold on to it across edits).
+        """
+        summaries = list(summaries)
+        options = options or AnalyzerOptions()
+        key = options_digest(options)
+        pdigest = profile_digest(options.profile)
+        self.summary_db.record(summaries)
+
+        state = self._states.get(key)
+        eligible = frozenset(
+            eligible_globals(summaries)
+            - set(options.externally_visible_globals)
+        )
+
+        reason = None
+        if state is None:
+            reason = "cold"
+        elif options.global_promotion == "blanket":
+            reason = "blanket-promotion"
+        elif state.profile_digest != pdigest:
+            reason = "profile-swap"
+        elif state.eligible != eligible:
+            reason = "eligibility-changed"
+
+        if reason is not None:
+            report = self._full_update(
+                key, summaries, options, pdigest, eligible, reason
+            )
+        else:
+            report = self._incremental_update(
+                key, summaries, options, pdigest, eligible
+            )
+        report.epoch = self.summary_db.epoch
+        if self.cross_check:
+            self._run_cross_check(key, summaries, options)
+            report.cross_checked = True
+        self.last_report = report
+        return self._states[key].database, report
+
+    # -- full path --------------------------------------------------------
+
+    def _full_update(
+        self, key, summaries, options, pdigest, eligible, reason
+    ) -> InvalidationReport:
+        old_state = self._states.get(key)
+        delta_report = self._describe_delta(old_state, summaries)
+        trace = AnalysisTrace()
+        database = analyze_program(summaries, options, trace=trace)
+        report = InvalidationReport(
+            mode="full",
+            reason=reason,
+            webs_total=len(trace.webs),
+            webs_recomputed=len(trace.webs),
+            clusters_total=len(trace.clusters),
+            clusters_recomputed=len(trace.clusters),
+            **delta_report,
+        )
+        self._install_state(
+            key, summaries, options, pdigest, eligible, trace,
+            database, old_state, report,
+        )
+        return report
+
+    # -- incremental path -------------------------------------------------
+
+    def _incremental_update(
+        self, key, summaries, options, pdigest, eligible
+    ) -> InvalidationReport:
+        state = self._states[key]
+        new_summaries = {s.module_name: s for s in summaries}
+        new_graph = self._build_graph(summaries, options)
+        delta = diff_summaries(state.summaries, new_summaries)
+        dirty = compute_dirty_region(
+            delta, state.graph, new_graph, state.weights, state.depgraph
+        )
+
+        counters = {"reused": 0, "recomputed": 0}
+        dirty_variables = dirty.dirty_variables
+        web_cache = state.web_cache
+
+        def web_supplier(variable, graph, sets, static_modules, next_id):
+            cached = web_cache.get(variable)
+            if cached is not None and variable not in dirty_variables:
+                start = next_id[0]
+                replayed = [
+                    Web(
+                        web_id=start + offset,
+                        variable=variable,
+                        nodes=set(nodes),
+                        from_split=from_split,
+                        discarded_reason=reason,
+                    )
+                    for offset, nodes, from_split, reason in cached["webs"]
+                ]
+                next_id[0] = start + cached["ids_consumed"]
+                counters["reused"] += len(replayed)
+                return replayed
+            fresh = identify_variable_webs(
+                graph, sets, variable, options.web_options,
+                static_modules, next_id,
+            )
+            counters["recomputed"] += len(fresh)
+            return fresh
+
+        cluster_supplier = None
+        if not dirty.clusters_dirty:
+            cached_clusters = state.clusters_cache
+
+            def cluster_supplier(graph, dominators):
+                return [
+                    Cluster(root=root, members=set(members))
+                    for root, members in cached_clusters
+                ]
+
+        trace = AnalysisTrace()
+        database = analyze_program(
+            summaries,
+            options,
+            web_supplier=web_supplier,
+            cluster_supplier=cluster_supplier,
+            trace=trace,
+        )
+        clusters_total = len(trace.clusters)
+        report = InvalidationReport(
+            mode="incremental",
+            changed_modules=tuple(sorted(delta.modules_changed)),
+            changed_procedures=tuple(sorted(delta.changed_procedures)),
+            change_kinds={
+                name: tuple(sorted(kinds))
+                for name, kinds in sorted(delta.procedure_changes.items())
+            },
+            dirty_variables=tuple(sorted(dirty_variables)),
+            webs_total=len(trace.webs),
+            webs_reused=counters["reused"],
+            webs_recomputed=counters["recomputed"],
+            clusters_total=clusters_total,
+            clusters_reused=(
+                clusters_total if not dirty.clusters_dirty else 0
+            ),
+            clusters_recomputed=(
+                clusters_total if dirty.clusters_dirty else 0
+            ),
+        )
+        self._install_state(
+            key, summaries, options, pdigest, eligible, trace,
+            database, state, report,
+        )
+        return report
+
+    # -- shared plumbing --------------------------------------------------
+
+    @staticmethod
+    def _build_graph(summaries, options) -> CallGraph:
+        exported = options.exported_procedures
+        graph = CallGraph.build(
+            summaries, set(exported) if exported is not None else None
+        )
+        graph.normalize_weights(options.profile)
+        return graph
+
+    def _describe_delta(self, old_state, summaries) -> dict:
+        """Change ledger for full-run reports (empty on cold starts)."""
+        if old_state is None:
+            return {}
+        delta = diff_summaries(
+            old_state.summaries, {s.module_name: s for s in summaries}
+        )
+        return {
+            "changed_modules": tuple(sorted(delta.modules_changed)),
+            "changed_procedures": tuple(sorted(delta.changed_procedures)),
+            "change_kinds": {
+                name: tuple(sorted(kinds))
+                for name, kinds in sorted(delta.procedure_changes.items())
+            },
+        }
+
+    def _install_state(
+        self, key, summaries, options, pdigest, eligible, trace,
+        database, old_state, report,
+    ) -> None:
+        """Rebuild the retained state from this run's trace and patch
+        the retained database in place (when one exists)."""
+        copies = [deepcopy(summary) for summary in summaries]
+        graph = self._build_graph(copies, options)
+        web_cache: dict = {}
+        for variable, (_start, consumed) in trace.web_id_spans.items():
+            web_cache[variable] = {"ids_consumed": consumed, "webs": []}
+        for variable, web_id, nodes, from_split, reason in (
+            trace.web_snapshots
+        ):
+            start, _consumed = trace.web_id_spans[variable]
+            web_cache[variable]["webs"].append(
+                (web_id - start, nodes, from_split, reason)
+            )
+
+        if old_state is not None:
+            retained = old_state.database
+            patched, kept = _patch_database(retained, database)
+            report.procedures_patched = patched
+            report.procedures_retained = kept
+            database = retained
+        else:
+            report.procedures_patched = len(database.procedures)
+
+        self._states[key] = _AnalysisState(
+            summaries={s.module_name: s for s in copies},
+            ordered_modules=[s.module_name for s in copies],
+            graph=graph,
+            weights={
+                name: node.weight for name, node in graph.nodes.items()
+            },
+            eligible=eligible,
+            profile_digest=pdigest,
+            depgraph=DependencyGraph.record(trace, trace.graph or graph),
+            web_cache=web_cache,
+            clusters_cache=[
+                (cluster.root, frozenset(cluster.members))
+                for cluster in trace.clusters
+            ],
+            database=database,
+            epoch=self.summary_db.epoch,
+        )
+
+    def _run_cross_check(self, key, summaries, options) -> None:
+        """Shadow the update with a from-scratch analysis and compare."""
+        state = self._states[key]
+        reference = analyze_program(summaries, options)
+        patched = state.database
+        if patched.to_json() != reference.to_json():
+            raise IncrementalMismatchError(
+                "incremental database payload diverged from a "
+                "from-scratch analysis:\n"
+                + _first_payload_difference(patched, reference)
+            )
+        if _web_census(patched) != _web_census(reference):
+            raise IncrementalMismatchError(
+                "incremental web census diverged from a from-scratch "
+                "analysis"
+            )
+        if _cluster_census(patched) != _cluster_census(reference):
+            raise IncrementalMismatchError(
+                "incremental cluster census diverged from a "
+                "from-scratch analysis"
+            )
+        if patched.statistics != reference.statistics:
+            raise IncrementalMismatchError(
+                "incremental statistics diverged: "
+                f"{patched.statistics} != {reference.statistics}"
+            )
+
+
+def _patch_database(
+    retained: ProgramDatabase, fresh: ProgramDatabase
+):
+    """Patch ``retained`` in place to match ``fresh``; returns the
+    ``(patched, kept)`` procedure counts.  Directive objects whose
+    payload did not move are kept (callers holding references — and
+    phase-2 caches keyed on directive digests — see stable objects)."""
+    patched = 0
+    kept = 0
+    for name in list(retained.procedures):
+        if name not in fresh.procedures:
+            del retained.procedures[name]
+            patched += 1
+    for name, directives in fresh.procedures.items():
+        current = retained.procedures.get(name)
+        if current is not None and (
+            directive_payload(current) == directive_payload(directives)
+        ):
+            kept += 1
+            continue
+        retained.procedures[name] = directives
+        patched += 1
+    retained.webs = fresh.webs
+    retained.clusters = fresh.clusters
+    retained.statistics = fresh.statistics
+    return patched, kept
+
+
+def _web_census(database: ProgramDatabase) -> list:
+    return [
+        (
+            web.web_id,
+            web.variable,
+            tuple(sorted(web.nodes)),
+            tuple(sorted(web.entry_nodes)),
+            web.register,
+            tuple(sorted(web.interferes_with)),
+            web.priority,
+            web.discarded_reason,
+        )
+        for web in database.webs
+    ]
+
+
+def _cluster_census(database: ProgramDatabase) -> list:
+    return [
+        (cluster.root, tuple(sorted(cluster.members)))
+        for cluster in database.clusters
+    ]
+
+
+def _first_payload_difference(
+    patched: ProgramDatabase, fresh: ProgramDatabase
+) -> str:
+    names = sorted(
+        set(patched.procedures) | set(fresh.procedures)
+    )
+    for name in names:
+        left = directive_payload(patched.get(name))
+        right = directive_payload(fresh.get(name))
+        if left != right:
+            return (
+                f"first divergent procedure: {name}\n"
+                f"  incremental: {json.dumps(left, sort_keys=True)}\n"
+                f"  from-scratch: {json.dumps(right, sort_keys=True)}"
+            )
+    return "payloads differ only in procedure membership"

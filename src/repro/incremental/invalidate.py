@@ -1,0 +1,291 @@
+"""Summary diffing and dirty-region computation.
+
+Two layers:
+
+* :func:`diff_summaries` compares two whole-program summary sets
+  field-by-field and classifies every procedure's change into *kinds*
+  (``call-edges``, ``call-freqs``, ``address-taken``, ``indirect``,
+  ``global-set``, ``global-freqs``, ``estimates``, ``added``,
+  ``removed``) — the human-readable ledger the
+  :class:`~repro.incremental.engine.InvalidationReport` surfaces.
+
+* :func:`compute_dirty_region` turns the delta — plus the *built* call
+  graphs of both epochs, whose edge sets already include the
+  conservative indirect-call expansion — into the set of call-graph
+  nodes and promotion variables whose analysis results may no longer
+  be valid.
+
+The region is deliberately conservative on call-graph **shape**
+changes: the anchors (procedures added or removed, endpoints of any
+edge that appeared or vanished — which covers address-taken changes,
+because those materialize as edges from every indirect caller) dirty
+everything reachable from them in either epoch's graph *and* every
+node inside their dominator subtrees in either epoch's dominator tree.
+Node-weight changes are handled exactly rather than structurally: the
+engine compares the normalized weight of every node between epochs, so
+a frequency edit whose effects propagate program-wide dirties exactly
+the nodes whose weights actually moved.
+
+Why these rules are sufficient for web reuse (the expensive memoized
+step): the construction of variable *v*'s webs depends only on (a) the
+set of procedures referencing v and the reference-set closures, (b)
+the graph shape on and around those procedures, (c) node weights
+(screening thresholds), and (d) the static-module binding of v.  Rule
+(a) is covered by ``variables_touched`` (any procedure whose refs or
+stores of v changed dirties v program-wide), (b) by intersecting v's
+recorded web regions and referencing set with the shape-dirty region
+D, (c) by intersecting with the weight-changed nodes, and (d) by
+``global_changes``.  Clusters additionally consume raw edge
+frequencies (root selection weighs edges), so the cluster list is
+reused only when the graph is identical edge-for-edge and
+weight-for-weight — ``clusters_dirty`` says whether it is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import CallGraph
+
+#: Per-procedure change-kind labels, in reporting order.
+CHANGE_KINDS = (
+    "added",
+    "removed",
+    "call-edges",
+    "call-freqs",
+    "address-taken",
+    "indirect",
+    "global-set",
+    "global-freqs",
+    "estimates",
+)
+
+
+@dataclass
+class SummaryDelta:
+    """Field-level difference between two whole-program summary sets."""
+
+    modules_changed: set = field(default_factory=set)
+    #: procedure -> set of kind strings (see :data:`CHANGE_KINDS`)
+    procedure_changes: dict = field(default_factory=dict)
+    #: globals whose declaration record changed, appeared, or vanished
+    global_changes: set = field(default_factory=set)
+    #: globals whose reference/store pattern changed in some procedure
+    variables_touched: set = field(default_factory=set)
+    aliased_changed: bool = False
+
+    @property
+    def changed_procedures(self) -> set:
+        return set(self.procedure_changes)
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.procedure_changes
+            and not self.global_changes
+            and not self.aliased_changed
+        )
+
+
+def _procedure_change_kinds(old, new) -> set:
+    """Classify what moved between two same-name procedure summaries."""
+    kinds = set()
+    if set(old.calls) != set(new.calls):
+        kinds.add("call-edges")
+    elif old.calls != new.calls:
+        kinds.add("call-freqs")
+    if sorted(old.address_taken_procs) != sorted(new.address_taken_procs):
+        kinds.add("address-taken")
+    if (
+        old.makes_indirect_calls != new.makes_indirect_calls
+        or old.indirect_call_freq != new.indirect_call_freq
+    ):
+        kinds.add("indirect")
+    old_vars = set(old.global_refs) | set(old.global_stores)
+    new_vars = set(new.global_refs) | set(new.global_stores)
+    if old_vars != new_vars:
+        kinds.add("global-set")
+    elif (
+        old.global_refs != new.global_refs
+        or old.global_stores != new.global_stores
+    ):
+        kinds.add("global-freqs")
+    if (
+        old.callee_saves_needed != new.callee_saves_needed
+        or old.caller_saves_needed != new.caller_saves_needed
+        or old.max_call_args != new.max_call_args
+        or old.num_params != new.num_params
+    ):
+        kinds.add("estimates")
+    return kinds
+
+
+def _touched_variables(old, new) -> set:
+    """Globals whose reference or store pattern differs between two
+    procedure records (either record may be None: added/removed)."""
+    touched = set()
+    for attribute in ("global_refs", "global_stores"):
+        old_map = getattr(old, attribute, None) or {}
+        new_map = getattr(new, attribute, None) or {}
+        for name in set(old_map) | set(new_map):
+            if old_map.get(name) != new_map.get(name):
+                touched.add(name)
+    return touched
+
+
+def diff_summaries(old_summaries: dict, new_summaries: dict) -> SummaryDelta:
+    """Diff two module-name-keyed summary sets field by field."""
+    delta = SummaryDelta()
+
+    old_procs = {
+        p.name: p for s in old_summaries.values() for p in s.procedures
+    }
+    new_procs = {
+        p.name: p for s in new_summaries.values() for p in s.procedures
+    }
+    for name in old_procs.keys() - new_procs.keys():
+        delta.procedure_changes[name] = {"removed"}
+        delta.variables_touched |= _touched_variables(old_procs[name], None)
+    for name in new_procs.keys() - old_procs.keys():
+        delta.procedure_changes[name] = {"added"}
+        delta.variables_touched |= _touched_variables(None, new_procs[name])
+    for name in old_procs.keys() & new_procs.keys():
+        kinds = _procedure_change_kinds(old_procs[name], new_procs[name])
+        if kinds:
+            delta.procedure_changes[name] = kinds
+            delta.variables_touched |= _touched_variables(
+                old_procs[name], new_procs[name]
+            )
+
+    old_globals = {
+        g.name: g for s in old_summaries.values() for g in s.globals
+    }
+    new_globals = {
+        g.name: g for s in new_summaries.values() for g in s.globals
+    }
+    for name in old_globals.keys() | new_globals.keys():
+        old_g = old_globals.get(name)
+        new_g = new_globals.get(name)
+        if (old_g is None) != (new_g is None) or (
+            old_g is not None
+            and old_g.canonical_payload() != new_g.canonical_payload()
+        ):
+            delta.global_changes.add(name)
+
+    def aliased(summaries: dict) -> dict:
+        return {
+            name: sorted(s.aliased_globals)
+            for name, s in summaries.items()
+        }
+
+    delta.aliased_changed = aliased(old_summaries) != aliased(new_summaries)
+
+    for name in set(old_summaries) | set(new_summaries):
+        old_s = old_summaries.get(name)
+        new_s = new_summaries.get(name)
+        if (
+            old_s is None
+            or new_s is None
+            or old_s.fingerprint() != new_s.fingerprint()
+        ):
+            delta.modules_changed.add(name)
+    return delta
+
+
+@dataclass
+class DirtyRegion:
+    """What an edit may have invalidated."""
+
+    #: shape-change anchors: added/removed procedures and the endpoints
+    #: of edges that appeared or vanished
+    anchors: set = field(default_factory=set)
+    #: nodes whose analysis context may have changed (anchors, their
+    #: reachable sets and dominator subtrees in both epochs, plus every
+    #: node whose normalized weight moved)
+    dirty_nodes: set = field(default_factory=set)
+    #: nodes whose normalized weight moved (subset of ``dirty_nodes``)
+    weight_changed: set = field(default_factory=set)
+    #: promotion variables whose webs must be rebuilt
+    dirty_variables: set = field(default_factory=set)
+    #: False iff the graph is identical edge-for-edge (frequencies
+    #: included) and weight-for-weight, so the cluster list is reusable
+    clusters_dirty: bool = False
+
+
+def _reachable_from(graph: CallGraph, sources: set) -> set:
+    reached = set()
+    worklist = [name for name in sources if name in graph.nodes]
+    while worklist:
+        name = worklist.pop()
+        if name in reached:
+            continue
+        reached.add(name)
+        worklist.extend(
+            s for s in graph.nodes[name].successors if s not in reached
+        )
+    return reached
+
+
+def _dominator_subtrees(graph: CallGraph, anchors: set) -> set:
+    """All nodes some anchor dominates (anchors included)."""
+    present = {name for name in anchors if name in graph.nodes}
+    if not present:
+        return set()
+    dominators = graph.dominator_tree()
+    subtree = set()
+    for name in dominators.reachable_nodes:
+        if present.intersection(dominators.dominators_of(name)):
+            subtree.add(name)
+    return subtree
+
+
+def compute_dirty_region(
+    delta: SummaryDelta,
+    old_graph: CallGraph,
+    new_graph: CallGraph,
+    old_weights: dict,
+    depgraph,
+) -> DirtyRegion:
+    """Conservative dirty region of one edit.
+
+    ``old_weights`` maps node name to the previous epoch's normalized
+    weight; ``depgraph`` is the previous epoch's recorded
+    :class:`~repro.incremental.depgraph.DependencyGraph`.
+    """
+    region = DirtyRegion()
+    old_nodes = set(old_graph.nodes)
+    new_nodes = set(new_graph.nodes)
+
+    region.anchors |= old_nodes ^ new_nodes
+    edge_freqs_changed = False
+    for name in old_nodes & new_nodes:
+        old_succ = old_graph.nodes[name].successors
+        new_succ = new_graph.nodes[name].successors
+        if set(old_succ) != set(new_succ):
+            region.anchors.add(name)
+            region.anchors |= set(old_succ).symmetric_difference(new_succ)
+        elif old_succ != new_succ:
+            edge_freqs_changed = True
+
+    for name in old_nodes & new_nodes:
+        if old_weights.get(name) != new_graph.nodes[name].weight:
+            region.weight_changed.add(name)
+    region.weight_changed |= old_nodes ^ new_nodes
+
+    dirty = set(region.anchors)
+    dirty |= _reachable_from(old_graph, region.anchors)
+    dirty |= _reachable_from(new_graph, region.anchors)
+    dirty |= _dominator_subtrees(old_graph, region.anchors)
+    dirty |= _dominator_subtrees(new_graph, region.anchors)
+    dirty |= region.weight_changed
+    region.dirty_nodes = dirty
+
+    region.dirty_variables |= delta.variables_touched
+    region.dirty_variables |= delta.global_changes
+    if depgraph is not None:
+        region.dirty_variables |= depgraph.dirty_variables_for(dirty)
+
+    region.clusters_dirty = bool(
+        region.anchors or region.weight_changed or edge_freqs_changed
+    )
+    return region

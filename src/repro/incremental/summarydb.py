@@ -1,0 +1,142 @@
+"""Versioned summary store for the incremental analyzer.
+
+Tracks, per module, the canonical :meth:`ModuleSummary.fingerprint`
+plus every procedure's :meth:`ProcedureSummary.fingerprint`, under a
+whole-program *epoch* that advances whenever any recorded content
+moves.  The store answers the only question invalidation needs from
+persistence — "which modules' analyzer-visible content changed since
+the epoch I last analyzed?" — without keeping the summaries themselves
+(the engine holds those in memory; this store is what survives a
+process restart).
+
+The on-disk form is a single JSON file written atomically (tmp file +
+``os.replace``), versioned by :data:`SUMMARYDB_SCHEMA` and by the
+summary layout's own :data:`~repro.frontend.summary.SUMMARY_SCHEMA`:
+a layout bump invalidates the whole store rather than trusting stale
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional
+
+from repro.frontend.summary import SUMMARY_SCHEMA, ModuleSummary
+
+#: Bump when the store layout (not the summary layout) changes.
+SUMMARYDB_SCHEMA = 1
+
+
+class SummaryDB:
+    """Fingerprint store with a whole-program epoch.
+
+    Args:
+        path: JSON file backing the store, or ``None`` for a purely
+            in-memory store (the default used by tests and one-shot
+            builds).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = os.fspath(path) if path is not None else None
+        self.epoch = 0
+        #: module name -> {"fingerprint": str, "procedures": {name: fp}}
+        self.modules: dict = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    # -- persistence ------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if (
+            raw.get("schema") != SUMMARYDB_SCHEMA
+            or raw.get("summary_schema") != SUMMARY_SCHEMA
+        ):
+            # Layout moved under the store: every recorded fingerprint
+            # is meaningless, so start a fresh history.
+            self.epoch = 0
+            self.modules = {}
+            return
+        self.epoch = int(raw.get("epoch", 0))
+        self.modules = dict(raw.get("modules", {}))
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        payload = {
+            "schema": SUMMARYDB_SCHEMA,
+            "summary_schema": SUMMARY_SCHEMA,
+            "epoch": self.epoch,
+            "modules": self.modules,
+        }
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp_path, self.path)
+
+    # -- recording --------------------------------------------------------
+
+    @staticmethod
+    def _entry(summary: ModuleSummary) -> dict:
+        return {
+            "fingerprint": summary.fingerprint(),
+            "procedures": {
+                p.name: p.fingerprint() for p in summary.procedures
+            },
+        }
+
+    def changed_modules(self, summaries: Iterable[ModuleSummary]) -> set:
+        """Modules whose recorded fingerprint differs (or is absent)."""
+        changed = set()
+        for summary in summaries:
+            recorded = self.modules.get(summary.module_name)
+            if (
+                recorded is None
+                or recorded["fingerprint"] != summary.fingerprint()
+            ):
+                changed.add(summary.module_name)
+        return changed
+
+    def changed_procedures(self, summary: ModuleSummary) -> set:
+        """Procedures of ``summary`` whose recorded fingerprint moved."""
+        recorded = self.modules.get(summary.module_name)
+        if recorded is None:
+            return {p.name for p in summary.procedures}
+        old = recorded["procedures"]
+        changed = {
+            p.name
+            for p in summary.procedures
+            if old.get(p.name) != p.fingerprint()
+        }
+        changed |= old.keys() - {p.name for p in summary.procedures}
+        return changed
+
+    def record(
+        self,
+        summaries: Iterable[ModuleSummary],
+        prune_missing: bool = True,
+    ) -> bool:
+        """Record the program's current summaries; advance the epoch and
+        persist iff anything moved.  Returns True when it did."""
+        summaries = list(summaries)
+        new_entries = {s.module_name: self._entry(s) for s in summaries}
+        if prune_missing:
+            changed = new_entries != self.modules
+            if changed:
+                self.modules = new_entries
+        else:
+            changed = any(
+                self.modules.get(name) != entry
+                for name, entry in new_entries.items()
+            )
+            if changed:
+                self.modules.update(new_entries)
+        if changed:
+            self.epoch += 1
+            self.save()
+        return changed

@@ -26,14 +26,25 @@ differential oracle both rely on this).
 from __future__ import annotations
 
 import random
+import re
 
 from repro.testing.generator import ProgramGenerator, _GenContext
+
+#: Top-level function definition header (generated code always puts the
+#: opening brace on the header line at column zero).
+_FUNC_DEF_RE = re.compile(r"^int (\w+)\(([^)]*)\) \{$", re.MULTILINE)
+#: Top-level scalar global definitions and extern declarations.
+_GLOBAL_DEF_RE = re.compile(
+    r"^(?:static )?int (\w+)(?: = -?\d+)?;$", re.MULTILINE
+)
+_GLOBAL_EXTERN_RE = re.compile(r"^extern int (\w+);$", re.MULTILINE)
 
 
 class FuzzProgramGenerator(ProgramGenerator):
     """Allocator-hostile variant of the testing generator."""
 
     def __init__(self, seed: int):
+        self.seed = seed
         # Shape knobs draw from a stream decoupled from the body RNG so
         # both stay reproducible per seed.
         shape = random.Random(f"progen-shape-{seed}")
@@ -109,6 +120,195 @@ class FuzzProgramGenerator(ProgramGenerator):
             f"{self._randint(1, 9)});",
         )
         return "\n".join(helper) + "\n" + "\n".join(lines)
+
+    # -- seeded mutation ---------------------------------------------------
+
+    def mutate(self, sources: dict, step: int) -> dict:
+        """One seeded edit of ``sources``: same (seed, step, sources)
+        always yields the same mutated program.
+
+        Draws one of the edit kinds the incremental analyzer must
+        survive — edit a function body, add or remove a call edge, take
+        a procedure's address (which also adds an indirect call site),
+        or reference a previously-untouched global.  Mutants are valid,
+        analyzable, linkable programs, but call-edge additions may
+        create runtime recursion: mutants are meant to be *analyzed and
+        built*, not executed.
+        """
+        rng = random.Random(f"progen-mutate-{self.seed}-{step}")
+        operations = [
+            self._mutate_body,
+            self._mutate_add_call,
+            self._mutate_remove_call,
+            self._mutate_take_address,
+            self._mutate_toggle_global,
+        ]
+        rng.shuffle(operations)
+        for operation in operations:
+            mutated = operation(dict(sources), rng, step)
+            if mutated is not None:
+                return mutated
+        return dict(sources)
+
+    # The helpers below return None when the edit kind has no candidate
+    # site in this program, letting ``mutate`` fall through to another.
+
+    @staticmethod
+    def _definitions(sources: dict) -> list:
+        """(module, name, params) for every function definition."""
+        return [
+            (module, match.group(1), match.group(2))
+            for module, text in sorted(sources.items())
+            for match in _FUNC_DEF_RE.finditer(text)
+        ]
+
+    @staticmethod
+    def _visible_scalars(text: str) -> list:
+        """Scalar globals a module's functions can reference."""
+        return sorted(
+            set(_GLOBAL_DEF_RE.findall(text))
+            | set(_GLOBAL_EXTERN_RE.findall(text))
+        )
+
+    @staticmethod
+    def _insert_into_body(text: str, function: str, statement: str) -> str:
+        """Insert ``statement`` as the first line of ``function``."""
+        pattern = re.compile(
+            rf"^(int {re.escape(function)}\([^)]*\) \{{)$", re.MULTILINE
+        )
+        return pattern.sub(rf"\1\n{statement}", text, count=1)
+
+    @staticmethod
+    def _ensure_extern_function(text: str, name: str) -> str:
+        if re.search(rf"^(?:extern )?int {re.escape(name)}\(", text,
+                     re.MULTILINE):
+            return text
+        return f"extern int {name}(int);\n" + text
+
+    def _mutate_body(self, sources, rng, step):
+        """Edit a body: new loop traffic on an already-visible global
+        (moves reference frequencies without touching the call graph)."""
+        candidates = [
+            (module, name)
+            for module, name, _params in self._definitions(sources)
+            if self._visible_scalars(sources[module])
+        ]
+        if not candidates:
+            return None
+        module, function = rng.choice(candidates)
+        variable = rng.choice(self._visible_scalars(sources[module]))
+        trip = rng.randint(2, 7)
+        counter = f"mb{step}"
+        statement = (
+            f"  {{ int {counter}; for ({counter} = 0; {counter} < {trip}; "
+            f"{counter}++) {{ {variable} = {variable} + {counter}; }} }}"
+        )
+        sources[module] = self._insert_into_body(
+            sources[module], function, statement
+        )
+        return sources
+
+    def _mutate_add_call(self, sources, rng, step):
+        """Add a call edge from one single-int-arg function to another
+        (guarded so existing runtime behavior is preserved)."""
+        definitions = self._definitions(sources)
+        callers = [
+            (module, name, params.split()[1])
+            for module, name, params in definitions
+            if re.fullmatch(r"int \w+", params) and name != "main"
+        ]
+        callees = [
+            name
+            for _module, name, params in definitions
+            if re.fullmatch(r"int \w+", params) and name != "main"
+        ]
+        if not callers or not callees:
+            return None
+        module, caller, param = rng.choice(callers)
+        callee = rng.choice([c for c in callees if c != caller] or callees)
+        statement = (
+            f"  if ({param} > 999983) {{ {param} += {callee}({param}); }}"
+        )
+        text = self._ensure_extern_function(sources[module], callee)
+        sources[module] = self._insert_into_body(text, caller, statement)
+        return sources
+
+    def _mutate_remove_call(self, sources, rng, step):
+        """Remove one direct call site, keeping its argument expression
+        (``x += f(e);`` becomes ``x += 0 + (e);``)."""
+        defined = {name for _m, name, _p in self._definitions(sources)}
+        sites = []
+        for module, text in sorted(sources.items()):
+            for match in re.finditer(r"\+= (\w+)\(", text):
+                line_end = text.find("\n", match.start())
+                line = text[match.start():line_end]
+                if match.group(1) in defined and "," not in line:
+                    sites.append((module, match.start(), match.group(1)))
+        if not sites:
+            return None
+        module, position, callee = rng.choice(sites)
+        text = sources[module]
+        sources[module] = (
+            text[:position]
+            + text[position:].replace(f"+= {callee}(", "+= 0 + (", 1)
+        )
+        return sources
+
+    def _mutate_take_address(self, sources, rng, step):
+        """Take a procedure's address and call through the pointer —
+        the shape change with the widest blast radius (every
+        address-taken procedure becomes a conservative indirect-call
+        target)."""
+        definitions = self._definitions(sources)
+        callers = [
+            (module, name, params.split()[1])
+            for module, name, params in definitions
+            if re.fullmatch(r"int \w+", params) and name != "main"
+        ]
+        targets = [
+            name
+            for _module, name, params in definitions
+            if re.fullmatch(r"int \w+", params) and name != "main"
+        ]
+        if not callers or not targets:
+            return None
+        module, caller, param = rng.choice(callers)
+        target = rng.choice([t for t in targets if t != caller] or targets)
+        pointer = f"pa{step}"
+        statement = (
+            f"  {{ int *{pointer} = &{target}; "
+            f"{param} += {pointer}({param} & 7); }}"
+        )
+        text = self._ensure_extern_function(sources[module], target)
+        sources[module] = self._insert_into_body(text, caller, statement)
+        return sources
+
+    def _mutate_toggle_global(self, sources, rng, step):
+        """Reference a global the chosen function did not touch."""
+        candidates = []
+        for module, name, _params in self._definitions(sources):
+            body = self._function_body(sources[module], name)
+            for variable in self._visible_scalars(sources[module]):
+                if not re.search(rf"\b{re.escape(variable)}\b", body):
+                    candidates.append((module, name, variable))
+        if not candidates:
+            return None
+        module, function, variable = rng.choice(candidates)
+        sources[module] = self._insert_into_body(
+            sources[module], function, f"  {variable} = {variable} + 1;"
+        )
+        return sources
+
+    @staticmethod
+    def _function_body(text: str, function: str) -> str:
+        match = re.search(
+            rf"^int {re.escape(function)}\([^)]*\) \{{$", text,
+            re.MULTILINE,
+        )
+        if match is None:
+            return ""
+        end = text.find("\n}", match.end())
+        return text[match.end(): end if end != -1 else len(text)]
 
 
 def generate_fuzz_program(seed: int) -> dict:

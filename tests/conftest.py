@@ -1,0 +1,14 @@
+"""Suite-wide defaults.
+
+The incremental analyzer's debug cross-check — every
+:meth:`~repro.incremental.engine.IncrementalAnalyzer.update` shadowed
+by a from-scratch analysis, any divergence raised as
+:class:`~repro.incremental.engine.IncrementalMismatchError` — is
+always on under the test suite: correctness of the patched database is
+non-negotiable, so every test that touches the incremental path pays
+for the proof.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_INCREMENTAL_CHECK", "1")

@@ -40,14 +40,32 @@ def test_metrics_surface_on_compilation_result():
     assert isinstance(metrics, MetricsSnapshot)
     for stage in ("phase1", "analyze", "phase2", "link"):
         assert metrics.stage_seconds.get(stage, 0) > 0, stage
-    assert metrics.stage_tasks == {"phase1": 1, "phase2": 1}
+    assert metrics.stage_tasks == {"phase1": 1, "analyze": 1, "phase2": 1}
     payload = metrics.to_json_dict()
     assert set(payload) == {
         "jobs", "stage_seconds", "stage_tasks",
         "cache_hits", "cache_misses", "cache_bad_entries",
-        "cache_evictions", "audit",
+        "cache_evictions", "audit", "analyze",
     }
     assert payload["audit"] == {}  # auditing was off for this compile
+    assert payload["analyze"] == {}  # and so was incremental analysis
+
+
+def test_metrics_track_analyze_counters():
+    """MetricsSnapshot.minus diffs the analyze counters the same way it
+    diffs cache counters, and to_json_dict carries them."""
+    before = MetricsSnapshot(
+        jobs=1, analyze={"runs": 3, "webs_reused": 40}
+    )
+    after = MetricsSnapshot(
+        jobs=1,
+        analyze={"runs": 5, "webs_reused": 55, "incremental": 2},
+    )
+    delta = after.minus(before)
+    assert delta.analyze == {
+        "runs": 2, "webs_reused": 15, "incremental": 2
+    }
+    assert delta.to_json_dict()["analyze"] == delta.analyze
 
 
 def test_metrics_diff_isolates_one_compilation(tmp_path):

@@ -1,0 +1,274 @@
+"""Unit tests for the incremental analyzer engine.
+
+``tests/conftest.py`` turns on ``REPRO_INCREMENTAL_CHECK``, so every
+update below is already shadowed by a from-scratch analysis; the
+explicit byte-identity assertions restate the contract where the test
+name promises it.
+"""
+
+import pytest
+
+from repro.analyzer.driver import analyze_program
+from repro.analyzer.options import AnalyzerOptions
+from repro.driver.pipeline import run_phase1
+from repro.driver.scheduler import CompilationScheduler
+from repro.incremental import (
+    IncrementalAnalyzer,
+    IncrementalMismatchError,
+    diff_summaries,
+)
+from repro.machine.profiler import ProfileData
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def othello_sources() -> dict:
+    return dict(get_workload("othello").sources)
+
+
+@pytest.fixture(scope="module")
+def othello_summaries(othello_sources) -> list:
+    return [r.summary for r in run_phase1(othello_sources)]
+
+
+def summaries_for(sources: dict) -> list:
+    return [r.summary for r in run_phase1(sources)]
+
+
+def edit_body(sources: dict) -> dict:
+    """A single-module body edit: ``take_turn`` (oth_ai) gains a
+    reference to ``evals_done``, a global it never touched."""
+    edited = dict(sources)
+    edited["oth_ai"] = edited["oth_ai"].replace(
+        "int player = to_move;",
+        "int player = to_move;\n  evals_done++;",
+    )
+    assert edited["oth_ai"] != sources["oth_ai"]
+    return edited
+
+
+# -- modes and fallbacks --------------------------------------------------
+
+
+def test_first_sight_is_a_full_run(othello_summaries):
+    engine = IncrementalAnalyzer()
+    database, report = engine.update(
+        othello_summaries, AnalyzerOptions.config("C")
+    )
+    assert report.mode == "full"
+    assert report.reason == "cold"
+    assert report.webs_recomputed == report.webs_total > 0
+    assert report.clusters_recomputed == report.clusters_total > 0
+    assert database.to_json() == analyze_program(
+        othello_summaries, AnalyzerOptions.config("C")
+    ).to_json()
+
+
+def test_unchanged_rerun_reuses_everything(othello_summaries):
+    engine = IncrementalAnalyzer()
+    first, _ = engine.update(othello_summaries, AnalyzerOptions.config("C"))
+    second, report = engine.update(
+        othello_summaries, AnalyzerOptions.config("C")
+    )
+    assert second is first  # the retained database, patched in place
+    assert report.mode == "incremental"
+    assert report.webs_reused == report.webs_total > 0
+    assert report.clusters_reused == report.clusters_total > 0
+    assert report.webs_recomputed == report.clusters_recomputed == 0
+    assert report.procedures_patched == 0
+    assert report.procedures_retained == len(first.procedures)
+    assert report.fraction_reanalyzed == 0.0
+
+
+def test_each_options_configuration_keeps_its_own_state(othello_summaries):
+    engine = IncrementalAnalyzer()
+    for config in ("A", "C", "D"):
+        engine.update(othello_summaries, AnalyzerOptions.config(config))
+    for config in ("A", "C", "D"):
+        _db, report = engine.update(
+            othello_summaries, AnalyzerOptions.config(config)
+        )
+        assert report.mode == "incremental", config
+
+
+def test_blanket_promotion_always_falls_back(othello_summaries):
+    engine = IncrementalAnalyzer()
+    engine.update(othello_summaries, AnalyzerOptions.config("E"))
+    _db, report = engine.update(
+        othello_summaries, AnalyzerOptions.config("E")
+    )
+    assert report.mode == "full"
+    assert report.reason == "blanket-promotion"
+
+
+def test_profile_swap_falls_back(othello_summaries):
+    profile_a = ProfileData(
+        call_counts={"main": 1, "take_turn": 60},
+        call_edges={("main", "take_turn"): 60},
+    )
+    profile_b = ProfileData(
+        call_counts={"main": 1, "take_turn": 90},
+        call_edges={("main", "take_turn"): 90},
+    )
+    engine = IncrementalAnalyzer()
+    engine.update(othello_summaries, AnalyzerOptions.config("F", profile_a))
+    _db, report = engine.update(
+        othello_summaries, AnalyzerOptions.config("F", profile_a)
+    )
+    assert report.mode == "incremental"
+    _db, report = engine.update(
+        othello_summaries, AnalyzerOptions.config("F", profile_b)
+    )
+    assert report.mode == "full"
+    assert report.reason == "profile-swap"
+
+
+def test_eligibility_change_falls_back(othello_sources, othello_summaries):
+    engine = IncrementalAnalyzer()
+    engine.update(othello_summaries, AnalyzerOptions.config("C"))
+    edited = dict(othello_sources)
+    # Taking a global's address makes it aliased and thus ineligible.
+    edited["oth_ai"] = edited["oth_ai"].replace(
+        "int player = to_move;",
+        "int player = to_move;\n  { int *ap = &evals_done; *ap += 1; }",
+    )
+    assert edited["oth_ai"] != othello_sources["oth_ai"]
+    _db, report = engine.update(
+        summaries_for(edited), AnalyzerOptions.config("C")
+    )
+    assert report.mode == "full"
+    assert report.reason == "eligibility-changed"
+
+
+# -- the acceptance property ----------------------------------------------
+
+
+def test_body_edit_reanalyzes_less_than_half(
+    othello_sources, othello_summaries
+):
+    """A single-module body edit on othello re-analyzes fewer than half
+    of the program's webs+clusters, and the patched database is
+    byte-identical to a from-scratch analysis."""
+    options = AnalyzerOptions.config("C")
+    engine = IncrementalAnalyzer()
+    database, _ = engine.update(othello_summaries, options)
+
+    edited_summaries = summaries_for(edit_body(othello_sources))
+    patched, report = engine.update(edited_summaries, options)
+
+    assert report.mode == "incremental"
+    assert report.changed_modules == ("oth_ai",)
+    assert report.change_kinds == {"take_turn": ("global-set",)}
+    assert "evals_done" in report.dirty_variables
+    assert patched is database
+
+    total = report.webs_total + report.clusters_total
+    reanalyzed = report.webs_recomputed + report.clusters_recomputed
+    assert total > 0
+    assert reanalyzed < total / 2
+    assert report.fraction_reanalyzed < 0.5
+    assert report.webs_reused + report.webs_recomputed == report.webs_total
+
+    reference = analyze_program(edited_summaries, options)
+    assert patched.to_json() == reference.to_json()
+
+
+def test_patching_keeps_untouched_directive_objects(
+    othello_sources, othello_summaries
+):
+    options = AnalyzerOptions.config("C")
+    engine = IncrementalAnalyzer()
+    database, _ = engine.update(othello_summaries, options)
+    before = dict(database.procedures)
+    _db, report = engine.update(
+        summaries_for(edit_body(othello_sources)), options
+    )
+    retained = sum(
+        1
+        for name, directives in database.procedures.items()
+        if before.get(name) is directives
+    )
+    assert retained == report.procedures_retained
+    assert report.procedures_retained + report.procedures_patched >= len(
+        database.procedures
+    )
+
+
+def test_cross_check_catches_a_corrupted_patch(othello_summaries):
+    engine = IncrementalAnalyzer(cross_check=True)
+    database, _ = engine.update(othello_summaries, AnalyzerOptions.config("C"))
+    # Corrupt the retained state behind the engine's back: the replayed
+    # webs will no longer match what a fresh construction produces.
+    state = next(iter(engine._states.values()))
+    for entry in state.web_cache.values():
+        entry["webs"] = [
+            (offset, nodes, from_split, "sparse")
+            for offset, nodes, from_split, _reason in entry["webs"]
+        ]
+    if any(entry["webs"] for entry in state.web_cache.values()):
+        with pytest.raises(IncrementalMismatchError):
+            engine.update(othello_summaries, AnalyzerOptions.config("C"))
+
+
+# -- summary diffing ------------------------------------------------------
+
+
+def test_diff_classifies_change_kinds(othello_summaries):
+    import copy
+
+    old = {s.module_name: s for s in othello_summaries}
+    new = {
+        s.module_name: copy.deepcopy(s) for s in othello_summaries
+    }
+    ai = new["oth_ai"]
+    take_turn = next(p for p in ai.procedures if p.name == "take_turn")
+    take_turn.calls["legal_gain"] = take_turn.calls.get("legal_gain", 0) + 1
+    take_turn.global_refs["to_move"] += 1
+    take_turn.callee_saves_needed += 1
+    delta = diff_summaries(old, new)
+    kinds = delta.procedure_changes["take_turn"]
+    assert {"global-freqs", "estimates"} <= kinds
+    assert "call-edges" in kinds or "call-freqs" in kinds
+    assert "to_move" in delta.variables_touched
+    assert delta.modules_changed == {"oth_ai"}
+
+
+# -- scheduler wiring -----------------------------------------------------
+
+
+def test_scheduler_incremental_analyze(othello_sources):
+    with CompilationScheduler(incremental=True) as scheduler:
+        options = AnalyzerOptions.config("C")
+        first = scheduler.compile_program(
+            othello_sources, analyzer_options=options
+        )
+        assert scheduler.last_invalidation_report.mode == "full"
+        assert first.metrics.stage_tasks.get("analyze") == 1
+        assert first.metrics.analyze.get("full_fallbacks") == 1
+
+        second = scheduler.compile_program(
+            edit_body(othello_sources), analyzer_options=options
+        )
+        report = scheduler.last_invalidation_report
+        assert report.mode == "incremental"
+        assert second.metrics.analyze.get("incremental") == 1
+        assert second.metrics.analyze.get("webs_reused", 0) > 0
+        assert second.metrics.stage_tasks.get("analyze") == 1
+        assert second.executable is not None
+
+
+def test_scheduler_env_toggle(othello_sources, monkeypatch):
+    monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+    scheduler = CompilationScheduler()
+    assert scheduler.incremental_analyzer is not None
+    monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+    assert CompilationScheduler().incremental_analyzer is None
+
+
+def test_non_incremental_analyze_counts_tasks(othello_sources):
+    with CompilationScheduler() as scheduler:
+        result = scheduler.compile_program(
+            othello_sources, analyzer_options=AnalyzerOptions.config("A")
+        )
+        assert result.metrics.stage_tasks.get("analyze") == 1
+        assert result.metrics.analyze == {}

@@ -1,0 +1,162 @@
+"""Canonical summary fingerprints and the versioned summary store."""
+
+import json
+
+from repro.frontend.phase1 import compile_module_phase1
+from repro.frontend.summary import (
+    GlobalSummary,
+    ModuleSummary,
+    ProcedureSummary,
+)
+from repro.incremental.summarydb import SummaryDB
+
+
+def sample_summary(module: str = "m") -> ModuleSummary:
+    return ModuleSummary(
+        module_name=module,
+        globals=[
+            GlobalSummary("g_b", module),
+            GlobalSummary("g_a", module, is_static=True),
+        ],
+        procedures=[
+            ProcedureSummary(
+                name="beta",
+                module=module,
+                global_refs={"g_b": 4, "g_a": 2},
+                global_stores={"g_b": 1},
+                calls={"alpha": 3, "gamma": 1},
+                address_taken_procs=["gamma"],
+                callee_saves_needed=2,
+            ),
+            ProcedureSummary(name="alpha", module=module),
+        ],
+        aliased_globals=["g_b"],
+    )
+
+
+# -- fingerprint canonicality ---------------------------------------------
+
+
+def test_fingerprint_is_stable():
+    assert sample_summary().fingerprint() == sample_summary().fingerprint()
+
+
+def test_fingerprint_is_order_insensitive():
+    base = sample_summary()
+    shuffled = sample_summary()
+    shuffled.globals.reverse()
+    shuffled.procedures.reverse()
+    shuffled.procedures[1].global_refs = {"g_a": 2, "g_b": 4}
+    shuffled.procedures[1].calls = {"gamma": 1, "alpha": 3}
+    assert base.fingerprint() == shuffled.fingerprint()
+    assert (
+        base.procedures[0].fingerprint()
+        == shuffled.procedures[1].fingerprint()
+    )
+
+
+def test_fingerprint_sees_every_analyzer_visible_field():
+    def fingerprints_differ(mutate):
+        edited = sample_summary()
+        mutate(edited)
+        return edited.fingerprint() != sample_summary().fingerprint()
+
+    assert fingerprints_differ(
+        lambda s: s.procedures[0].global_refs.update(g_b=5)
+    )
+    assert fingerprints_differ(
+        lambda s: s.procedures[0].calls.update(alpha=4)
+    )
+    assert fingerprints_differ(
+        lambda s: s.procedures[0].address_taken_procs.append("alpha")
+    )
+    assert fingerprints_differ(
+        lambda s: setattr(s.procedures[0], "makes_indirect_calls", True)
+    )
+    assert fingerprints_differ(
+        lambda s: setattr(s.procedures[0], "callee_saves_needed", 3)
+    )
+    assert fingerprints_differ(
+        lambda s: setattr(s.globals[0], "address_taken", True)
+    )
+    assert fingerprints_differ(lambda s: s.aliased_globals.append("g_a"))
+
+
+def test_fingerprint_survives_json_round_trip():
+    base = sample_summary()
+    restored = ModuleSummary.from_json(base.to_json())
+    assert restored.fingerprint() == base.fingerprint()
+    assert [p.fingerprint() for p in restored.procedures] == [
+        p.fingerprint() for p in base.procedures
+    ]
+
+
+def test_fingerprint_distinct_from_phase1_fingerprint():
+    """Summary fingerprints key on analyzer-visible *content*: two
+    source texts with different bodies but identical summaries must
+    fingerprint identically (the property ``phase1_fingerprint``,
+    which keys on source text, deliberately does not have)."""
+    first = compile_module_phase1(
+        "int g;\nint f() { g = g + 1; return g; }\n", "m"
+    )
+    second = compile_module_phase1(
+        "int g;\nint f() { g = g + 1; return g;  }\n", "m"
+    )
+    assert first.fingerprint != second.fingerprint
+    assert first.summary.fingerprint() == second.summary.fingerprint()
+
+
+# -- the store ------------------------------------------------------------
+
+
+def test_record_advances_epoch_only_on_change():
+    db = SummaryDB()
+    assert db.record([sample_summary()]) is True
+    assert db.epoch == 1
+    assert db.record([sample_summary()]) is False
+    assert db.epoch == 1
+    edited = sample_summary()
+    edited.procedures[0].global_refs["g_b"] = 9
+    assert db.record([edited]) is True
+    assert db.epoch == 2
+
+
+def test_changed_modules_and_procedures():
+    db = SummaryDB()
+    db.record([sample_summary()])
+    edited = sample_summary()
+    edited.procedures[0].calls["alpha"] = 7
+    assert db.changed_modules([sample_summary()]) == set()
+    assert db.changed_modules([edited]) == {"m"}
+    assert db.changed_procedures(edited) == {"beta"}
+
+
+def test_record_prune_missing():
+    db = SummaryDB()
+    db.record([sample_summary("m1"), sample_summary("m2")])
+    db.record([sample_summary("m1")])
+    assert set(db.modules) == {"m1"}
+    db.record([sample_summary("m2")], prune_missing=False)
+    assert set(db.modules) == {"m1", "m2"}
+
+
+def test_store_round_trips_on_disk(tmp_path):
+    path = tmp_path / "summaries.json"
+    db = SummaryDB(path)
+    db.record([sample_summary()])
+    reloaded = SummaryDB(path)
+    assert reloaded.epoch == db.epoch
+    assert reloaded.modules == db.modules
+    assert reloaded.changed_modules([sample_summary()]) == set()
+
+
+def test_store_discards_foreign_schema(tmp_path):
+    path = tmp_path / "summaries.json"
+    db = SummaryDB(path)
+    db.record([sample_summary()])
+    raw = json.loads(path.read_text())
+    raw["summary_schema"] = -1
+    path.write_text(json.dumps(raw))
+    reloaded = SummaryDB(path)
+    assert reloaded.epoch == 0
+    assert reloaded.modules == {}
