@@ -1,0 +1,163 @@
+"""Disabled-tracing overhead smoke.
+
+The observability instrumentation stays compiled into the pipeline even
+when no tracer is installed; the contract is that the disabled hooks —
+ambient-tracer lookups, ``enabled`` checks, and no-op span entries —
+cost under 5% of compile wall-clock.  There is no un-instrumented build
+to diff against, so the measurement is constructive:
+
+1. time an untraced othello compile (phase 1, config-C analysis,
+   phase 2, link);
+2. count every hook invocation the same compile performs, by swapping
+   a counting (still-disabled) tracer into each instrumented module;
+3. price the hooks with measured per-call no-op costs and assert that
+   ``hook_seconds / compile_seconds < 0.05``.
+
+The result is recorded in ``benchmarks/BENCH_results.json`` under
+``"observability_overhead"``.
+"""
+
+import timeit
+
+from repro.analyzer.options import AnalyzerOptions
+from repro.driver.scheduler import CompilationScheduler
+from repro.obs.tracer import NULL_TRACER, NullTracer, current_tracer
+from repro.workloads import get_workload
+
+from conftest import _OBSERVABILITY, record_note
+
+WORKLOAD = "othello"
+CONFIG = "C"
+BUDGET_FRACTION = 0.05
+
+
+class _CountingNullTracer(NullTracer):
+    """Disabled tracer that tallies hook invocations.
+
+    ``enabled`` stays ``False``, so guarded sites behave exactly as in
+    the untraced compile: payload construction is skipped and only the
+    guard itself runs.
+    """
+
+    def __init__(self):
+        self.span_calls = 0
+        self.event_calls = 0
+        self.lookups = 0
+
+    def span(self, name, **attrs):
+        self.span_calls += 1
+        return super().span(name, **attrs)
+
+    def event(self, type_, **payload):
+        self.event_calls += 1
+
+
+#: Modules that bound ``current_tracer`` at import time; the counting
+#: pass swaps each binding so lookups are tallied too.
+_INSTRUMENTED_MODULES = (
+    "repro.analyzer.driver",
+    "repro.analyzer.coloring",
+    "repro.analyzer.clusters",
+    "repro.analyzer.regsets",
+    "repro.machine.simulator",
+)
+
+
+def _compile_once(tracer=None):
+    workload = get_workload(WORKLOAD)
+    with CompilationScheduler(
+        jobs=1, trace=tracer if tracer is not None else NULL_TRACER,
+        verify=False,
+    ) as scheduler:
+        phase1 = scheduler.run_phase1(workload.sources)
+        database = scheduler.analyze(
+            [result.summary for result in phase1],
+            AnalyzerOptions.config(CONFIG),
+        )
+        scheduler.compile_with_database(phase1, database)
+
+
+def _count_hooks() -> _CountingNullTracer:
+    """One compile with every hook routed through a counting tracer."""
+    import importlib
+
+    counter = _CountingNullTracer()
+
+    def counting_lookup():
+        counter.lookups += 1
+        return counter
+
+    modules = [importlib.import_module(name)
+               for name in _INSTRUMENTED_MODULES]
+    saved = [module.current_tracer for module in modules]
+    for module in modules:
+        module.current_tracer = counting_lookup
+    try:
+        _compile_once(tracer=counter)
+    finally:
+        for module, original in zip(modules, saved):
+            module.current_tracer = original
+    return counter
+
+
+def test_disabled_tracing_overhead_under_budget():
+    # Warm caches/imports, then take the best of three untraced
+    # compiles as the wall-clock denominator.
+    _compile_once()
+    compile_seconds = min(
+        timeit.timeit(_compile_once, number=1) for _ in range(3)
+    )
+
+    counter = _count_hooks()
+
+    # Per-call prices of the disabled primitives, measured hot.
+    calls = 10_000
+    lookup_seconds = timeit.timeit(current_tracer, number=calls) / calls
+    null_span = NULL_TRACER.span
+    span_seconds = timeit.timeit(
+        lambda: null_span("x"), number=calls
+    ) / calls
+    null_event = NULL_TRACER.event
+    event_seconds = timeit.timeit(
+        lambda: null_event("x"), number=calls
+    ) / calls
+
+    hook_seconds = (
+        counter.lookups * lookup_seconds
+        + counter.span_calls * span_seconds
+        + counter.event_calls * event_seconds
+    )
+    fraction = hook_seconds / compile_seconds
+
+    payload = {
+        "workload": WORKLOAD,
+        "config": CONFIG,
+        "compile_seconds": compile_seconds,
+        "hook_invocations": {
+            "current_tracer_lookups": counter.lookups,
+            "span_calls": counter.span_calls,
+            "event_calls": counter.event_calls,
+        },
+        "per_call_seconds": {
+            "lookup": lookup_seconds,
+            "span": span_seconds,
+            "event": event_seconds,
+        },
+        "estimated_hook_seconds": hook_seconds,
+        "overhead_fraction": fraction,
+        "budget_fraction": BUDGET_FRACTION,
+    }
+    _OBSERVABILITY.update(payload)
+    record_note(
+        f"observability: disabled-tracing overhead "
+        f"{100.0 * fraction:.3f}% of {compile_seconds:.3f}s compile "
+        f"({counter.lookups} lookups, {counter.span_calls} spans, "
+        f"{counter.event_calls} events) — budget "
+        f"{100.0 * BUDGET_FRACTION:.0f}%"
+    )
+    assert fraction < BUDGET_FRACTION, (
+        f"disabled tracing hooks cost {100.0 * fraction:.2f}% of "
+        f"compile wall-clock (budget {100.0 * BUDGET_FRACTION:.0f}%)"
+    )
+    assert counter.span_calls > 0
+    assert counter.lookups > 0

@@ -129,6 +129,11 @@ _SCHEDULER_METRICS: dict = {}
 _INCREMENTAL_SESSION: dict = {}
 
 
+# Disabled-tracing overhead measurements (bench_observability.py),
+# written alongside the tables at session end.
+_OBSERVABILITY: dict = {}
+
+
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
@@ -221,22 +226,32 @@ def record_note(text):
 
 def pytest_sessionfinish(session, exitstatus):
     written = []
-    if _BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION:
+    if (_BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION
+            or _OBSERVABILITY):
         json_path = os.path.join(
             os.path.dirname(__file__), "BENCH_results.json"
         )
+        # Merge over the previous report: a partial session (one bench
+        # module selected) refreshes only the sections it measured
+        # instead of clobbering the full matrix.
+        payload = {"legend": CONFIG_LEGEND}
+        try:
+            with open(json_path) as handle:
+                payload.update(json.load(handle))
+        except (OSError, ValueError):
+            pass
+        for key, section in (
+            ("workloads", _BENCH_WORKLOADS),
+            ("scheduler", _SCHEDULER_METRICS),
+            ("incremental_session", _INCREMENTAL_SESSION),
+            ("observability_overhead", _OBSERVABILITY),
+        ):
+            if section:
+                payload[key] = section
+            else:
+                payload.setdefault(key, {})
         with open(json_path, "w") as handle:
-            json.dump(
-                {
-                    "legend": CONFIG_LEGEND,
-                    "workloads": _BENCH_WORKLOADS,
-                    "scheduler": _SCHEDULER_METRICS,
-                    "incremental_session": _INCREMENTAL_SESSION,
-                },
-                handle,
-                indent=2,
-                sort_keys=True,
-            )
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         written.append(json_path)
     if not _RESULT_LINES:

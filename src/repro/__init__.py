@@ -53,6 +53,13 @@ from repro.machine.simulator import (
     Simulator,
     run_executable,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    explain_global,
+    explain_procedure,
+    unified_registry,
+)
 
 __version__ = "1.0.0"
 
@@ -68,16 +75,21 @@ __all__ = [
     "IncrementalAnalyzer",
     "InvalidationReport",
     "MachineError",
+    "MetricsRegistry",
     "PAPER_CONFIGS",
     "ProfileData",
     "ProgramDatabase",
     "SummaryDB",
+    "Tracer",
     "analyze_program",
     "collect_profile",
     "compile_and_run",
     "compile_program",
     "compile_with_database",
+    "explain_global",
+    "explain_procedure",
     "run_executable",
     "run_phase1",
+    "unified_registry",
     "__version__",
 ]

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.analysis.dominators import DominatorTree
 from repro.callgraph.graph import CallGraph
+from repro.obs.tracer import current_tracer
 
 
 @dataclass
@@ -110,6 +111,7 @@ def _select_roots(
     }
     from repro.callgraph.graph import EXTERNAL_CALLER
 
+    tracer = current_tracer()
     for name in sorted(graph.nodes):
         if name not in reachable:
             continue
@@ -120,6 +122,11 @@ def _select_roots(
         if name in self_recursive:
             # A self-recursive root would place a recursive cycle inside
             # its own cluster (section 4.2.2's correctness rule).
+            if tracer.enabled:
+                tracer.event(
+                    "cluster-root-candidate", name=name,
+                    accepted=False, reason="self-recursive",
+                )
             continue
         dominated_successors = [
             s
@@ -133,8 +140,23 @@ def _select_roots(
             graph.edge_weight(name, s, profile)
             for s in dominated_successors
         )
-        if outgoing > incoming * options.root_benefit_ratio:
+        accepted = outgoing > incoming * options.root_benefit_ratio
+        if accepted:
             roots.add(name)
+        if tracer.enabled:
+            tracer.event(
+                "cluster-root-candidate",
+                name=name,
+                accepted=accepted,
+                incoming=incoming,
+                outgoing=outgoing,
+                ratio=options.root_benefit_ratio,
+                dominated_successors=sorted(dominated_successors),
+                reason=(
+                    None if accepted
+                    else "outgoing-below-incoming-threshold"
+                ),
+            )
     return roots
 
 

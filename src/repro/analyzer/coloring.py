@@ -30,6 +30,7 @@ from typing import Optional
 from repro.analyzer.interference import WebInterferenceGraph
 from repro.analyzer.webs import Web
 from repro.callgraph.graph import CallGraph
+from repro.obs.tracer import current_tracer
 from repro.target.registers import CALLEE_SAVES
 
 # Cost/benefit weights for the priority heuristic: a promoted reference
@@ -45,8 +46,8 @@ def web_register_pool(count: int) -> list:
     return sorted(CALLEE_SAVES, reverse=True)[:count]
 
 
-def compute_web_priority(web: Web, graph: CallGraph) -> float:
-    """Estimated dynamic benefit of promoting ``web`` (section 4.1.3).
+def web_priority_parts(web: Web, graph: CallGraph) -> tuple:
+    """The ``(benefit, entry_cost)`` pair behind a web's priority.
 
     Both accumulations use :func:`math.fsum`, whose result is independent
     of summation order: ``web.nodes`` is a set, and the incremental
@@ -64,7 +65,47 @@ def compute_web_priority(web: Web, graph: CallGraph) -> float:
         ENTRY_CALL_COST * max(graph.nodes[name].weight, 1.0)
         for name in web.entry_nodes(graph)
     )
+    return benefit, entry_cost
+
+
+def compute_web_priority(web: Web, graph: CallGraph) -> float:
+    """Estimated dynamic benefit of promoting ``web`` (section 4.1.3)."""
+    benefit, entry_cost = web_priority_parts(web, graph)
     return benefit - entry_cost
+
+
+def _coloring_event(tracer, web, graph, colored, interference,
+                    candidates) -> None:
+    """Narrate one web's coloring outcome into the trace."""
+    benefit, entry_cost = web_priority_parts(web, graph)
+    base = {
+        "web_id": web.web_id,
+        "variable": web.variable,
+        "priority": web.priority,
+        "benefit": benefit,
+        "entry_cost": entry_cost,
+    }
+    if web.discarded_reason == "non-positive-priority":
+        tracer.event("web-rejected", reason=web.discarded_reason, **base)
+    elif web.register is not None:
+        tracer.event("web-colored", register=web.register, **base)
+    else:
+        winners = [
+            {
+                "web_id": colored[n].web_id,
+                "variable": colored[n].variable,
+                "register": colored[n].register,
+            }
+            for n in sorted(interference.neighbors(web))
+            if n in colored and colored[n].register in candidates
+        ]
+        tracer.event(
+            "web-uncolored",
+            reason="lost-coloring",
+            winners=winners,
+            candidates=sorted(candidates),
+            **base,
+        )
 
 
 def color_webs_priority(
@@ -79,6 +120,7 @@ def color_webs_priority(
     ``web.priority``.
     """
     pool = web_register_pool(num_registers)
+    tracer = current_tracer()
     live = [web for web in webs if web.is_live]
     for web in live:
         web.priority = compute_web_priority(web, graph)
@@ -86,16 +128,20 @@ def color_webs_priority(
     for web in sorted(live, key=lambda w: (-w.priority, w.web_id)):
         if web.priority <= 0:
             web.discarded_reason = "non-positive-priority"
-            continue
-        taken = {
-            colored[n].register
-            for n in interference.neighbors(web)
-            if n in colored
-        }
-        register = next((r for r in pool if r not in taken), None)
-        if register is not None:
-            web.register = register
-            colored[web.web_id] = web
+        else:
+            taken = {
+                colored[n].register
+                for n in interference.neighbors(web)
+                if n in colored
+            }
+            register = next((r for r in pool if r not in taken), None)
+            if register is not None:
+                web.register = register
+                colored[web.web_id] = web
+        if tracer.enabled:
+            _coloring_event(
+                tracer, web, graph, colored, interference, set(pool)
+            )
 
 
 def color_webs_greedy(
@@ -114,29 +160,35 @@ def color_webs_greedy(
     for config D.
     """
     callee_sorted = sorted(CALLEE_SAVES, reverse=True)
+    tracer = current_tracer()
     live = [web for web in webs if web.is_live]
     for web in live:
         web.priority = compute_web_priority(web, graph)
     colored: dict[int, Web] = {}
     for web in sorted(live, key=lambda w: (-w.priority, w.web_id)):
+        allowed: list = []
         if web.priority <= 0:
             web.discarded_reason = "non-positive-priority"
-            continue
-        max_need = max(
-            (graph.nodes[name].summary.callee_saves_needed
-             for name in web.nodes),
-            default=0,
-        )
-        allowed = callee_sorted[: max(0, len(callee_sorted) - max_need)]
-        taken = {
-            colored[n].register
-            for n in interference.neighbors(web)
-            if n in colored
-        }
-        register = next((r for r in allowed if r not in taken), None)
-        if register is not None:
-            web.register = register
-            colored[web.web_id] = web
+        else:
+            max_need = max(
+                (graph.nodes[name].summary.callee_saves_needed
+                 for name in web.nodes),
+                default=0,
+            )
+            allowed = callee_sorted[: max(0, len(callee_sorted) - max_need)]
+            taken = {
+                colored[n].register
+                for n in interference.neighbors(web)
+                if n in colored
+            }
+            register = next((r for r in allowed if r not in taken), None)
+            if register is not None:
+                web.register = register
+                colored[web.web_id] = web
+        if tracer.enabled:
+            _coloring_event(
+                tracer, web, graph, colored, interference, set(allowed)
+            )
 
 
 @dataclass

@@ -34,9 +34,14 @@ from repro.analyzer.interference import WebInterferenceGraph
 from repro.analyzer.options import AnalyzerOptions
 from repro.analyzer.regsets import compute_register_sets
 from repro.analyzer.webs import identify_webs
-from repro.callgraph.dataflow import compute_reference_sets, eligible_globals
+from repro.callgraph.dataflow import (
+    classify_globals,
+    compute_reference_sets,
+    eligible_globals,
+)
 from repro.callgraph.graph import CallGraph
 from repro.frontend.summary import ModuleSummary
+from repro.obs.tracer import current_tracer
 
 
 @dataclass
@@ -106,6 +111,18 @@ def analyze_program(
     database.statistics.eligible_globals = len(eligible)
     database.statistics.ineligible_globals = total_globals - len(eligible)
 
+    tracer = current_tracer()
+    if tracer.enabled:
+        classified = classify_globals(summaries)
+        for name in sorted(classified):
+            reasons = list(classified[name])
+            if name in options.externally_visible_globals:
+                reasons.append("externally-visible")
+            if reasons:
+                tracer.event(
+                    "global-ineligible", name=name, reasons=sorted(reasons)
+                )
+
     promoted_per_proc: dict[str, list] = defaultdict(list)
     web_reserved: dict[str, set] = defaultdict(set)
 
@@ -126,7 +143,19 @@ def analyze_program(
             graph, summaries, eligible, options, database,
             promoted_per_proc, web_reserved,
         )
-    elif options.global_promotion != "none":
+    elif options.global_promotion == "none":
+        if tracer.enabled:
+            for variable in sorted(eligible):
+                tracer.event(
+                    "global-decision",
+                    name=variable,
+                    decision="rejected",
+                    mode="none",
+                    reasons=["promotion-disabled"],
+                    registers=[],
+                    webs=[],
+                )
+    else:
         raise ValueError(
             f"unknown promotion mode {options.global_promotion!r}"
         )
@@ -135,17 +164,29 @@ def analyze_program(
     clusters: list = []
     dominators = None
     if options.spill_code_motion:
-        dominators = graph.dominator_tree()
-        if cluster_supplier is not None:
-            clusters = cluster_supplier(graph, dominators)
-        else:
-            clusters = identify_clusters(
-                graph, dominators, options.profile, options.cluster_options
-            )
+        with tracer.span("clusters"):
+            dominators = graph.dominator_tree()
+            if cluster_supplier is not None:
+                clusters = cluster_supplier(graph, dominators)
+            else:
+                clusters = identify_clusters(
+                    graph, dominators, options.profile,
+                    options.cluster_options,
+                )
+            if tracer.enabled:
+                # Emitted here (not inside identify_clusters) so a
+                # supplier-replayed cluster list narrates identically.
+                for cluster in clusters:
+                    tracer.event(
+                        "cluster-formed",
+                        root=cluster.root,
+                        members=sorted(cluster.members),
+                    )
         roots = {cluster.root for cluster in clusters}
-        register_sets = compute_register_sets(
-            graph, clusters, dominators, web_reserved
-        )
+        with tracer.span("register-sets"):
+            register_sets = compute_register_sets(
+                graph, clusters, dominators, web_reserved
+            )
         database.clusters = [
             ClusterRecord(cluster.root, frozenset(cluster.members))
             for cluster in clusters
@@ -155,7 +196,10 @@ def analyze_program(
             len(cluster.members) for cluster in clusters
         )
     else:
-        register_sets = compute_register_sets(graph, [], None, web_reserved)
+        with tracer.span("register-sets"):
+            register_sets = compute_register_sets(
+                graph, [], None, web_reserved
+            )
 
     from repro.callgraph.graph import EXTERNAL_CALLER
 
@@ -174,24 +218,30 @@ def analyze_program(
         if name == EXTERNAL_CALLER:
             continue
         sets = register_sets[name]
-        database.put(
-            ProcedureDirectives(
-                name=name,
-                free=frozenset(sets.free),
-                caller=frozenset(sets.caller),
-                callee=frozenset(sets.callee),
-                mspill=frozenset(sets.mspill),
-                promoted=tuple(
-                    sorted(promoted_per_proc.get(name, []),
-                           key=lambda p: p.name)
-                ),
-                is_cluster_root=name in roots,
-                caller_prefix=caller_prefixes.get(name),
-                subtree_caller_used=subtree_caller.get(
-                    name, frozenset(CALLER_SAVES)
-                ),
-            )
+        directives = ProcedureDirectives(
+            name=name,
+            free=frozenset(sets.free),
+            caller=frozenset(sets.caller),
+            callee=frozenset(sets.callee),
+            mspill=frozenset(sets.mspill),
+            promoted=tuple(
+                sorted(promoted_per_proc.get(name, []),
+                       key=lambda p: p.name)
+            ),
+            is_cluster_root=name in roots,
+            caller_prefix=caller_prefixes.get(name),
+            subtree_caller_used=subtree_caller.get(
+                name, frozenset(CALLER_SAVES)
+            ),
         )
+        database.put(directives)
+        if tracer.enabled:
+            from repro.analyzer.database import directive_payload
+
+            tracer.event(
+                "directive", procedure=name,
+                **directive_payload(directives),
+            )
     if trace is not None:
         trace.graph = graph
         trace.eligible = frozenset(eligible)
@@ -227,24 +277,47 @@ def _run_web_promotion(
 ) -> None:
     from repro.analyzer.webs import identify_variable_webs
 
+    tracer = current_tracer()
     sets = compute_reference_sets(graph, eligible)
     static_modules = _static_modules(summaries)
     next_id = [1]
     webs: list = []
     web_id_spans: dict = {}
-    for variable in sorted(eligible):
-        start = next_id[0]
-        if web_supplier is not None:
-            variable_webs = web_supplier(
-                variable, graph, sets, static_modules, next_id
-            )
-        else:
-            variable_webs = identify_variable_webs(
-                graph, sets, variable, options.web_options,
-                static_modules, next_id,
-            )
-        web_id_spans[variable] = (start, next_id[0] - start)
-        webs.extend(variable_webs)
+    with tracer.span("web-formation"):
+        for variable in sorted(eligible):
+            start = next_id[0]
+            if web_supplier is not None:
+                variable_webs = web_supplier(
+                    variable, graph, sets, static_modules, next_id
+                )
+            else:
+                variable_webs = identify_variable_webs(
+                    graph, sets, variable, options.web_options,
+                    static_modules, next_id,
+                )
+            web_id_spans[variable] = (start, next_id[0] - start)
+            webs.extend(variable_webs)
+        if tracer.enabled:
+            # Emitted after construction (not inside the web builder) so
+            # a supplier-replayed run narrates identically to a fresh one.
+            for web in webs:
+                if web.discarded_reason is None:
+                    tracer.event(
+                        "web-formed",
+                        web_id=web.web_id,
+                        variable=web.variable,
+                        nodes=web.nodes,
+                        entry_nodes=web.entry_nodes(graph),
+                        from_split=web.from_split,
+                    )
+                else:
+                    tracer.event(
+                        "web-screened",
+                        web_id=web.web_id,
+                        variable=web.variable,
+                        nodes=web.nodes,
+                        reason=web.discarded_reason,
+                    )
     if trace is not None:
         trace.reference_sets = sets
         trace.webs = webs
@@ -269,18 +342,49 @@ def _run_web_promotion(
     )
     database.statistics.webs_considered = sum(1 for w in webs if w.is_live)
 
-    interference = WebInterferenceGraph(webs)
-    if options.coloring == "greedy":
-        color_webs_greedy(webs, interference, graph)
-    elif options.coloring == "priority":
-        color_webs_priority(
-            webs, interference, graph, options.num_web_registers
-        )
-    else:
-        raise ValueError(f"unknown coloring mode {options.coloring!r}")
+    with tracer.span("coloring", mode=options.coloring):
+        interference = WebInterferenceGraph(webs)
+        if options.coloring == "greedy":
+            color_webs_greedy(webs, interference, graph)
+        elif options.coloring == "priority":
+            color_webs_priority(
+                webs, interference, graph, options.num_web_registers
+            )
+        else:
+            raise ValueError(f"unknown coloring mode {options.coloring!r}")
     database.statistics.webs_colored = sum(
         1 for w in webs if w.register is not None
     )
+
+    if tracer.enabled:
+        webs_by_variable: dict = defaultdict(list)
+        for web in webs:
+            webs_by_variable[web.variable].append(web)
+        for variable in sorted(eligible):
+            variable_webs = webs_by_variable.get(variable, [])
+            registers = sorted(
+                {w.register for w in variable_webs
+                 if w.register is not None}
+            )
+            if registers:
+                decision, reasons = "promoted", []
+            elif not variable_webs:
+                decision, reasons = "rejected", ["unreferenced"]
+            else:
+                decision = "rejected"
+                reasons = sorted(
+                    {w.discarded_reason or "lost-coloring"
+                     for w in variable_webs}
+                )
+            tracer.event(
+                "global-decision",
+                name=variable,
+                decision=decision,
+                mode="webs",
+                reasons=reasons,
+                registers=registers,
+                webs=sorted(w.web_id for w in variable_webs),
+            )
 
     for web in webs:
         database.webs.append(
@@ -336,6 +440,25 @@ def _run_blanket_promotion(
     for web in webs:
         web.priority = compute_web_priority(web, graph)
     selections = select_blanket_globals(webs, graph, options.blanket_count)
+    tracer = current_tracer()
+    if tracer.enabled:
+        selected = {s.variable: s.register for s in selections}
+        for variable in sorted(eligible):
+            register = selected.get(variable)
+            tracer.event(
+                "global-decision",
+                name=variable,
+                decision="promoted" if register is not None else "rejected",
+                mode="blanket",
+                reasons=(
+                    [] if register is not None
+                    else ["blanket-not-selected"]
+                ),
+                registers=[register] if register is not None else [],
+                webs=sorted(
+                    w.web_id for w in webs if w.variable == variable
+                ),
+            )
     start_nodes = set(graph.start_nodes())
     all_nodes = set(graph.nodes)
     for selection in selections:

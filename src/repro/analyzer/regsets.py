@@ -35,6 +35,7 @@ from typing import Optional
 from repro.analysis.dominators import DominatorTree
 from repro.analyzer.clusters import Cluster
 from repro.callgraph.graph import CallGraph
+from repro.obs.tracer import current_tracer
 from repro.target.registers import CALLEE_SAVES, CALLER_SAVES
 
 
@@ -153,7 +154,7 @@ def _process_cluster(
     while ready:
         name = heapq.heappop(ready)
         _preallocate_node(
-            graph, name, roots, sets, avail, order, used
+            graph, name, roots, sets, avail, order, used, root
         )
         visited.add(name)
         pending.discard(name)
@@ -185,6 +186,7 @@ def _preallocate_node(
     avail: dict,
     order: list,
     used: set,
+    cluster_root: Optional[str] = None,
 ) -> None:
     node_avail: Optional[set] = None
     for predecessor in graph.nodes[name].predecessors:
@@ -199,6 +201,24 @@ def _preallocate_node(
         # A nested cluster root: move its spill code upward.
         moved = node_sets.mspill & node_avail
         used |= moved
+        tracer = current_tracer()
+        if tracer.enabled:
+            kept = node_sets.mspill - node_avail
+            if moved:
+                tracer.event(
+                    "mspill-migrated",
+                    node=name,
+                    cluster_root=cluster_root,
+                    registers=moved,
+                )
+            if kept:
+                tracer.event(
+                    "mspill-kept",
+                    node=name,
+                    cluster_root=cluster_root,
+                    registers=kept,
+                    reason="not-available-on-all-paths",
+                )
         node_sets.mspill -= node_avail
         freed = node_sets.callee & node_avail
         used |= freed

@@ -51,23 +51,25 @@ def finalize_frame(machine: MachineFunction) -> FrameLayout:
         prologue.append(isa.ALUI("-", SP, SP, layout.frame_size))
     if machine.makes_calls:
         prologue.append(
-            isa.STW(RP, SP, FrameLoc("saved_rp"), singleton=True)
+            isa.STW(RP, SP, FrameLoc("saved_rp"), singleton=True,
+                    save_restore=True)
         )
     for register in sorted(saved):
         prologue.append(
             isa.STW(register, SP, FrameLoc("saved_reg", register),
-                    singleton=True)
+                    singleton=True, save_restore=True)
         )
 
     epilogue: list[isa.MInstr] = []
     for register in sorted(saved):
         epilogue.append(
             isa.LDW(register, SP, FrameLoc("saved_reg", register),
-                    singleton=True)
+                    singleton=True, save_restore=True)
         )
     if machine.makes_calls:
         epilogue.append(
-            isa.LDW(RP, SP, FrameLoc("saved_rp"), singleton=True)
+            isa.LDW(RP, SP, FrameLoc("saved_rp"), singleton=True,
+                    save_restore=True)
         )
     if layout.frame_size > 0:
         epilogue.append(isa.ALUI("+", SP, SP, layout.frame_size))

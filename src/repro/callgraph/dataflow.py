@@ -131,3 +131,29 @@ def eligible_globals(summaries) -> set:
             else:
                 aliased.add(var.name)
     return eligible - aliased
+
+
+def classify_globals(summaries) -> dict:
+    """Map every declared global to its ineligibility reasons.
+
+    Returns ``name -> tuple of reason codes``; an empty tuple means the
+    global is eligible.  The reasons mirror :func:`eligible_globals`
+    exactly: ``"not-scalar-word"``, ``"address-taken"`` (some module
+    computed its address), ``"aliased"`` (listed in a module's
+    ``aliased_globals``).
+    """
+    reasons: dict[str, set] = {}
+    aliased: set[str] = set()
+    for module_summary in summaries:
+        aliased.update(module_summary.aliased_globals)
+        for var in module_summary.globals:
+            entry = reasons.setdefault(var.name, set())
+            if not var.is_scalar_word:
+                entry.add("not-scalar-word")
+            if var.address_taken:
+                entry.add("address-taken")
+    for name in aliased:
+        reasons.setdefault(name, set()).add("aliased")
+    return {
+        name: tuple(sorted(entry)) for name, entry in reasons.items()
+    }

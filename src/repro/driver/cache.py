@@ -36,7 +36,8 @@ from dataclasses import dataclass, field
 
 #: Bump whenever the artifact format or the meaning of a key changes;
 #: old entries then read as misses instead of poisoning new runs.
-SCHEMA_VERSION = 1
+#: v2: LDW/STW grew the ``save_restore`` slot (pickled artifacts).
+SCHEMA_VERSION = 2
 
 _MAGIC = b"repro-cache-v%d\n" % SCHEMA_VERSION
 

@@ -50,6 +50,7 @@ from repro.frontend.phase1 import (
     phase1_fingerprint,
 )
 from repro.linker.link import Executable, link
+from repro.obs.tracer import NULL_TRACER, Tracer, activate
 from repro.verify.auditor import AuditError, audit_executable
 
 STAGES = ("phase1", "analyze", "phase2", "link", "verify")
@@ -93,7 +94,19 @@ class MetricsSnapshot:
     audit: dict = field(default_factory=dict)
 
     def minus(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
-        """The activity between ``earlier`` and this snapshot."""
+        """The activity between ``earlier`` and this snapshot.
+
+        Two explicit rules:
+
+        * **counter fields** (``stage_seconds``, ``stage_tasks``, the
+          ``cache_*`` families, and ``analyze``) hold flat numeric
+          values and are differenced key-by-key, dropping zero deltas;
+        * **``audit``** is a point-in-time snapshot with nested
+          non-numeric values (``violations_by_check`` dicts, violation
+          strings) — differencing it is meaningless, so the newer
+          snapshot's value is *carried*, deep-copied so the result
+          never shares mutable structure with either operand.
+        """
 
         def diff(now: dict, then: dict) -> dict:
             return {
@@ -115,7 +128,7 @@ class MetricsSnapshot:
                 self.cache_evictions, earlier.cache_evictions
             ),
             analyze=diff(self.analyze, earlier.analyze),
-            audit=dict(self.audit),
+            audit=deepcopy(self.audit),
         )
 
     def to_json_dict(self) -> dict:
@@ -128,8 +141,23 @@ class MetricsSnapshot:
             "cache_bad_entries": dict(self.cache_bad_entries),
             "cache_evictions": dict(self.cache_evictions),
             "analyze": dict(self.analyze),
-            "audit": dict(self.audit),
+            "audit": deepcopy(self.audit),
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "MetricsSnapshot":
+        """Inverse of :meth:`to_json_dict` (field-exact round-trip)."""
+        return cls(
+            jobs=payload.get("jobs", 1),
+            stage_seconds=dict(payload.get("stage_seconds", {})),
+            stage_tasks=dict(payload.get("stage_tasks", {})),
+            cache_hits=dict(payload.get("cache_hits", {})),
+            cache_misses=dict(payload.get("cache_misses", {})),
+            cache_bad_entries=dict(payload.get("cache_bad_entries", {})),
+            cache_evictions=dict(payload.get("cache_evictions", {})),
+            analyze=dict(payload.get("analyze", {})),
+            audit=deepcopy(payload.get("audit", {})),
+        )
 
 
 def _normalize_sources(sources) -> list:
@@ -159,6 +187,15 @@ class CompilationScheduler:
             the dirty region and patch the retained database in place.
             ``None`` (the default) reads the ``REPRO_INCREMENTAL``
             environment variable ("1" enables).
+        trace: Observability tracing (:mod:`repro.obs.tracer`).  A path
+            writes a deterministic JSONL event stream there; ``True``
+            collects records in memory on ``scheduler.tracer.records``;
+            an existing :class:`~repro.obs.tracer.Tracer` is used as-is
+            (and stays caller-owned).  ``None`` (the default) reads the
+            ``REPRO_TRACE`` environment variable (a path enables).
+            Every event is emitted from this parent process — worker
+            processes compute, the parent narrates — so serial and
+            parallel runs produce identical canonicalized streams.
 
     The worker pool is created lazily on the first parallel stage and
     reused across compilations (benchmark sessions amortize startup
@@ -172,12 +209,26 @@ class CompilationScheduler:
         cache_dir=None,
         verify: bool | None = None,
         incremental: bool | None = None,
+        trace=None,
     ):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        if trace is None:
+            trace = os.environ.get("REPRO_TRACE") or None
+        self._owns_tracer = False
+        if trace is None:
+            self.tracer = NULL_TRACER
+        elif trace is True:
+            self.tracer = Tracer()
+            self._owns_tracer = True
+        elif isinstance(trace, (str, os.PathLike)):
+            self.tracer = Tracer(trace)
+            self._owns_tracer = True
+        else:
+            self.tracer = trace
         self.cache = (
             ArtifactCache(cache_dir) if cache_dir is not None else None
         )
@@ -207,6 +258,9 @@ class CompilationScheduler:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._owns_tracer:
+            # Records stay readable in memory; only the file is closed.
+            self.tracer.close()
 
     def __enter__(self) -> "CompilationScheduler":
         return self
@@ -292,7 +346,10 @@ class CompilationScheduler:
     def run_phase1(self, sources, opt_level: int = 2) -> list:
         """Compiler first phase over every module (cached, parallel)."""
         modules = _normalize_sources(sources)
-        with self._timed("phase1"):
+        tracer = self.tracer
+        with self._timed("phase1"), tracer.span(
+            "phase1", modules=len(modules)
+        ):
             results: list = [None] * len(modules)
             pending: list = []  # (index, task item, cache key)
             for index, (name, text) in enumerate(modules):
@@ -311,6 +368,21 @@ class CompilationScheduler:
                 results[index] = result
                 if self.cache is not None:
                     self.cache.store("phase1", key, result)
+            if tracer.enabled:
+                # Narrated here, in module order, from the parent —
+                # worker scheduling cannot reorder the stream.
+                recompiled = {index for index, _item, _key in pending}
+                for index, (name, _text) in enumerate(modules):
+                    tracer.event(
+                        "module-phase1",
+                        module=name,
+                        cached=index not in recompiled,
+                        fingerprint=results[index].fingerprint,
+                        functions=sorted(
+                            p.name
+                            for p in results[index].summary.procedures
+                        ),
+                    )
         return results
 
     def analyze(self, summaries: list, options) -> ProgramDatabase:
@@ -324,7 +396,9 @@ class CompilationScheduler:
         lands on :attr:`last_invalidation_report` and its counters ride
         the next metrics snapshot.
         """
-        with self._timed("analyze"):
+        tracer = self.tracer
+        with self._timed("analyze"), tracer.span("analyze"), \
+                activate(tracer):
             self._count_tasks("analyze", 1)
             if self.incremental_analyzer is None:
                 return analyze_program(summaries, options)
@@ -332,6 +406,16 @@ class CompilationScheduler:
                 summaries, options
             )
             self.last_invalidation_report = report
+            if tracer.enabled:
+                tracer.event(
+                    "invalidation",
+                    mode=report.mode,
+                    reason=report.reason,
+                    webs_reused=report.webs_reused,
+                    webs_recomputed=report.webs_recomputed,
+                    clusters_reused=report.clusters_reused,
+                    clusters_recomputed=report.clusters_recomputed,
+                )
             counters = self._analyze_counters
 
             def bump(name: str, amount: int = 1) -> None:
@@ -364,7 +448,10 @@ class CompilationScheduler:
         that agree on a module's slice of directives share its object
         module no matter how much they differ elsewhere.
         """
-        with self._timed("phase2"):
+        tracer = self.tracer
+        with self._timed("phase2"), tracer.span(
+            "phase2", modules=len(phase1_results)
+        ):
             objects: list = [None] * len(phase1_results)
             pending: list = []  # (index, cache key or None)
             for index, result in enumerate(phase1_results):
@@ -393,6 +480,16 @@ class CompilationScheduler:
                 objects[index] = obj
                 if self.cache is not None and key is not None:
                     self.cache.store("phase2", key, obj)
+            if tracer.enabled:
+                recompiled = {index for index, _key in pending}
+                for index, result in enumerate(phase1_results):
+                    tracer.event(
+                        "module-phase2",
+                        module=getattr(
+                            result.ir_module, "name", str(index)
+                        ),
+                        cached=index not in recompiled,
+                    )
         return objects
 
     def audit(
@@ -403,11 +500,17 @@ class CompilationScheduler:
         The report is kept on :attr:`last_audit_report` and its summary
         rides along on the next metrics snapshot either way.
         """
-        with self._timed("verify"):
+        with self._timed("verify"), self.tracer.span("verify"):
+            # Counted before the audit runs: a raising auditor must
+            # still show up in stage_tasks (and _timed's finally keeps
+            # its wall-clock), or failed verification work would vanish
+            # from the metrics.
+            self._count_tasks("verify", 1)
             report = audit_executable(executable, database)
-        self._count_tasks("verify", 1)
         self.last_audit_report = report
         self._last_audit_summary = report.summary()
+        if self.tracer.enabled:
+            self.tracer.event("audit", **report.summary())
         if not report.ok:
             raise AuditError(report)
         return report
@@ -422,10 +525,21 @@ class CompilationScheduler:
     ) -> Executable:
         """Second phase + link, leaving phase-1 results intact."""
         objects = self.compile_objects(phase1_results, database, opt_level)
-        with self._timed("link"):
-            executable = link(objects)
+        executable = self._link(objects)
         if self.verify:
             self.audit(executable, database)
+        return executable
+
+    def _link(self, objects: list) -> Executable:
+        with self._timed("link"), self.tracer.span("link"):
+            executable = link(objects)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "link",
+                modules=len(objects),
+                functions=sorted(executable.function_entries),
+                instructions=len(executable.instructions),
+            )
         return executable
 
     def compile_program(
@@ -448,8 +562,7 @@ class CompilationScheduler:
         else:
             database = ProgramDatabase()
         objects = self.compile_objects(phase1_results, database, opt_level)
-        with self._timed("link"):
-            executable = link(objects)
+        executable = self._link(objects)
         if self.verify:
             self.audit(executable, database)
         return CompilationResult(

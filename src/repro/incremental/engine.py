@@ -460,8 +460,14 @@ class IncrementalAnalyzer:
 
     def _run_cross_check(self, key, summaries, options) -> None:
         """Shadow the update with a from-scratch analysis and compare."""
+        from repro.obs.tracer import suppressed
+
         state = self._states[key]
-        reference = analyze_program(summaries, options)
+        # The reference analysis is a shadow of work already narrated by
+        # the real update — tracing it would double-emit every
+        # provenance event.
+        with suppressed():
+            reference = analyze_program(summaries, options)
         patched = state.database
         if patched.to_json() != reference.to_json():
             raise IncrementalMismatchError(

@@ -29,6 +29,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.linker.link import Executable
+from repro.obs.tracer import current_tracer
 from repro.target import costs, isa
 from repro.target.registers import NUM_REGISTERS, RP, RV, SP
 
@@ -59,6 +60,23 @@ class CostModel:
 
 
 @dataclass
+class ProcedureStats:
+    """Per-procedure execution counts (``procedure_stats`` runs only).
+
+    Counters are attributed to the procedure *executing* the
+    instructions: cycles spent inside a callee belong to the callee, not
+    the caller.  Summing ``cycles`` over all procedures (plus the
+    ``<stub>`` pseudo-procedure) reproduces the program total exactly.
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    save_restore: int = 0
+
+
+@dataclass
 class ExecutionStats:
     """Dynamic counts collected from one program run."""
 
@@ -68,8 +86,10 @@ class ExecutionStats:
     stores: int = 0
     singleton_loads: int = 0
     singleton_stores: int = 0
+    save_restore_executed: int = 0
     call_counts: Counter = field(default_factory=Counter)
     call_edges: Counter = field(default_factory=Counter)
+    per_procedure: dict = field(default_factory=dict)
     output: str = ""
     exit_code: int = 0
 
@@ -163,6 +183,9 @@ def _decode(executable: Executable, costs: CostModel) -> list:
                     instruction.base,
                     instruction.offset,
                     instruction.singleton,
+                    # getattr: tolerate artifacts pickled before the
+                    # slot existed (a schema bump evicts them anyway).
+                    getattr(instruction, "save_restore", False),
                 )
             )
         elif isinstance(instruction, isa.STW):
@@ -174,6 +197,7 @@ def _decode(executable: Executable, costs: CostModel) -> list:
                     instruction.base,
                     instruction.offset,
                     instruction.singleton,
+                    getattr(instruction, "save_restore", False),
                 )
             )
         elif isinstance(instruction, isa.B):
@@ -230,6 +254,25 @@ class ConventionViolation(MachineError):
     """
 
 
+def _flush_proc(per_proc, name, cycles, instructions, loads, stores,
+                save_restore, marks) -> None:
+    """Attribute the counter deltas since the last call boundary to the
+    procedure that executed them (``marks`` is updated in place)."""
+    entry = per_proc.get(name)
+    if entry is None:
+        entry = per_proc[name] = [0, 0, 0, 0, 0]
+    entry[0] += cycles - marks[0]
+    entry[1] += instructions - marks[1]
+    entry[2] += loads - marks[2]
+    entry[3] += stores - marks[3]
+    entry[4] += save_restore - marks[4]
+    marks[0] = cycles
+    marks[1] = instructions
+    marks[2] = loads
+    marks[3] = stores
+    marks[4] = save_restore
+
+
 class Simulator:
     """Interprets a linked executable."""
 
@@ -240,6 +283,7 @@ class Simulator:
         cost_model: CostModel | None = None,
         check_conventions: bool = False,
         volatile_registers: set | None = None,
+        procedure_stats: bool | None = None,
     ):
         self.executable = executable
         self.memory_words = memory_words
@@ -248,6 +292,9 @@ class Simulator:
         # Registers holding interprocedurally promoted globals: callees
         # rewrite them by design, so the convention checker skips them.
         self.volatile_registers = frozenset(volatile_registers or ())
+        # None = decide at run time: attribute per-procedure counters
+        # whenever a trace is being collected.
+        self.procedure_stats = procedure_stats
         self._decoded = _decode(executable, self.costs)
         self._entry_names = {
             pc: name for name, pc in executable.function_entries.items()
@@ -273,8 +320,17 @@ class Simulator:
         volatile = self.volatile_registers
         cycles = 0
         instructions = 0
+        save_restore = 0
         entry_names = self._entry_names
         memory_words = self.memory_words
+        tracer = current_tracer()
+        track = (
+            tracer.enabled
+            if self.procedure_stats is None
+            else self.procedure_stats
+        )
+        per_proc: dict = {}
+        marks = [0, 0, 0, 0, 0]
 
         while True:
             if not 0 <= pc < code_size:
@@ -296,6 +352,8 @@ class Simulator:
                 stats.loads += 1
                 if op[5]:
                     stats.singleton_loads += 1
+                if op[6]:
+                    save_restore += 1
                 pc += 1
             elif code == _STW:
                 address = regs[op[3]] + op[4]
@@ -305,6 +363,8 @@ class Simulator:
                 stats.stores += 1
                 if op[5]:
                     stats.singleton_stores += 1
+                if op[6]:
+                    save_restore += 1
                 pc += 1
             elif code == _ADD or code == _ADDI:
                 value = (regs[op[3]] + (regs[op[4]] if code == _ADD else op[4])) & _WORD_MASK
@@ -404,6 +464,10 @@ class Simulator:
                 callee = op[3]
                 stats.call_counts[callee] += 1
                 stats.call_edges[(call_stack[-1], callee)] += 1
+                if track:
+                    _flush_proc(per_proc, call_stack[-1], cycles,
+                                instructions, stats.loads, stats.stores,
+                                save_restore, marks)
                 call_stack.append(callee)
                 if check_frames is not None:
                     preserved = [
@@ -425,6 +489,10 @@ class Simulator:
                 regs[RP] = pc + 1
                 stats.call_counts[callee] += 1
                 stats.call_edges[(call_stack[-1], callee)] += 1
+                if track:
+                    _flush_proc(per_proc, call_stack[-1], cycles,
+                                instructions, stats.loads, stats.stores,
+                                save_restore, marks)
                 call_stack.append(callee)
                 if check_frames is not None:
                     preserved = [
@@ -437,6 +505,10 @@ class Simulator:
                     )
                 pc = target
             elif code == _RET:
+                if track:
+                    _flush_proc(per_proc, call_stack[-1], cycles,
+                                instructions, stats.loads, stats.stores,
+                                save_restore, marks)
                 if len(call_stack) > 1:
                     call_stack.pop()
                 pc = regs[RP]
@@ -469,8 +541,39 @@ class Simulator:
 
         stats.cycles = cycles
         stats.instructions = instructions
+        stats.save_restore_executed = save_restore
         stats.output = "".join(output)
         stats.exit_code = regs[RV]
+        if track:
+            # Final flush: instructions since the last call boundary
+            # (including the HALT itself) belong to the procedure on top
+            # of the stack.
+            _flush_proc(per_proc, call_stack[-1], cycles, instructions,
+                        stats.loads, stats.stores, save_restore, marks)
+            stats.per_procedure = {
+                name: ProcedureStats(*entry)
+                for name, entry in sorted(per_proc.items())
+            }
+            if tracer.enabled:
+                tracer.event(
+                    "execution",
+                    cycles=cycles,
+                    instructions=instructions,
+                    memory_references=stats.memory_references,
+                    singleton_references=stats.singleton_references,
+                    save_restore_executed=save_restore,
+                    exit_code=stats.exit_code,
+                    per_procedure={
+                        name: {
+                            "cycles": entry[0],
+                            "instructions": entry[1],
+                            "loads": entry[2],
+                            "stores": entry[3],
+                            "save_restore": entry[4],
+                        }
+                        for name, entry in sorted(per_proc.items())
+                    },
+                )
         return stats
 
 

@@ -1,0 +1,58 @@
+"""Allocation observability: tracing, provenance, metrics, reporting.
+
+The analyzer makes thousands of interdependent decisions per program —
+web formation, interference coloring, cluster selection, register-set
+assignment — and the scheduler, incremental engine, and auditor judge
+those decisions.  This package is what lets a human (or a later tool)
+*explain* them:
+
+* :mod:`repro.obs.tracer` — zero-dependency structured event/span
+  tracer producing deterministic JSONL streams;
+* :mod:`repro.obs.provenance` — machine-readable reason records for
+  every promotion, rejection, and spill-motion decision, queryable via
+  :func:`~repro.obs.provenance.explain_global` /
+  :func:`~repro.obs.provenance.explain_procedure`;
+* :mod:`repro.obs.metrics` — a unified counter/gauge/histogram registry
+  folding scheduler, incremental, audit, and simulator counters into
+  one exportable view;
+* :mod:`repro.obs.report` — the ``repro-explain`` CLI rendering
+  paper-style allocation reports and answering ``why`` / ``why-not``
+  queries.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and usage.
+"""
+
+from repro.obs.metrics import MetricsRegistry, unified_registry
+from repro.obs.report import compile_workload, render_report, report_data
+from repro.obs.provenance import (
+    explain_global,
+    explain_procedure,
+    format_explanation,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Tracer,
+    activate,
+    canonicalize_trace,
+    current_tracer,
+    read_trace,
+    suppressed,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Tracer",
+    "activate",
+    "canonicalize_trace",
+    "compile_workload",
+    "current_tracer",
+    "explain_global",
+    "explain_procedure",
+    "format_explanation",
+    "read_trace",
+    "render_report",
+    "report_data",
+    "suppressed",
+    "unified_registry",
+]

@@ -1,0 +1,330 @@
+"""Unified metrics registry.
+
+One registry with three metric types — monotonically increasing
+**counters**, point-in-time **gauges**, and bucketed **histograms** —
+plus text and JSON exporters, and *fold* functions that pour every
+existing instrumentation surface into it:
+
+* :class:`~repro.driver.scheduler.MetricsSnapshot` (stage wall-clock,
+  task counts, cache counters, incremental ``analyze`` counters, the
+  last audit summary);
+* :class:`~repro.incremental.engine.InvalidationReport`;
+* post-link audit summaries;
+* :class:`~repro.machine.simulator.ExecutionStats`, including the new
+  per-procedure counters, attributed per cluster root against a
+  :class:`~repro.analyzer.database.ProgramDatabase`.
+
+Metrics are identified by name plus a sorted label set, prometheus
+style; the text exporter renders the conventional exposition format so
+the output can be scraped or diffed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default histogram bucket upper bounds; wide because observed values
+#: range from fractions of a second to hundreds of millions of cycles.
+DEFAULT_BUCKETS = (
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _format_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+@dataclass
+class _Histogram:
+    buckets: tuple
+    counts: list = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # +inf bucket
+
+    def observe(self, value) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_json(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Name+labels -> value store with counter/gauge/histogram types."""
+
+    def __init__(self):
+        # name -> {"type": ..., "values": {label_key: value|_Histogram}}
+        self._families: dict = {}
+
+    # -- writing ----------------------------------------------------------
+
+    def _family(self, name: str, type_: str) -> dict:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = {"type": type_, "values": {}}
+        elif family["type"] != type_:
+            raise ValueError(
+                f"metric {name!r} is a {family['type']}, not a {type_}"
+            )
+        return family
+
+    def inc(self, name: str, amount=1, **labels) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        values = self._family(name, "counter")["values"]
+        key = _label_key(labels)
+        values[key] = values.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value, **labels) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self._family(name, "gauge")["values"][_label_key(labels)] = value
+
+    def observe(self, name: str, value, buckets=DEFAULT_BUCKETS,
+                **labels) -> None:
+        """Record one observation in the histogram ``name``."""
+        values = self._family(name, "histogram")["values"]
+        key = _label_key(labels)
+        histogram = values.get(key)
+        if histogram is None:
+            histogram = values[key] = _Histogram(tuple(buckets))
+        histogram.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def value(self, name: str, **labels):
+        """Current value of a counter/gauge (None when unset)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family["values"].get(_label_key(labels))
+
+    def names(self) -> list:
+        return sorted(self._families)
+
+    # -- exporters --------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        out = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            rendered = []
+            for key in sorted(family["values"]):
+                value = family["values"][key]
+                rendered.append(
+                    {
+                        "labels": dict(key),
+                        "value": (
+                            value.to_json()
+                            if isinstance(value, _Histogram)
+                            else value
+                        ),
+                    }
+                )
+            out[name] = {"type": family["type"], "values": rendered}
+        return out
+
+    def to_text(self) -> str:
+        """Prometheus-style exposition text."""
+        lines = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            lines.append(f"# TYPE {name} {family['type']}")
+            for key in sorted(family["values"]):
+                value = family["values"][key]
+                if isinstance(value, _Histogram):
+                    cumulative = 0
+                    for bound, count in zip(value.buckets, value.counts):
+                        cumulative += count
+                        bucket_key = key + (("le", f"{bound:g}"),)
+                        lines.append(
+                            f"{name}_bucket{_format_labels(bucket_key)} "
+                            f"{cumulative}"
+                        )
+                    cumulative += value.counts[-1]
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_format_labels(inf_key)} "
+                        f"{cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {value.total:g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_format_labels(key)} {value.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(key)} "
+                        f"{value:g}" if isinstance(value, float)
+                        else f"{name}{_format_labels(key)} {value}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+# -- fold functions --------------------------------------------------------
+
+
+def fold_metrics_snapshot(registry: MetricsRegistry, snapshot) -> None:
+    """Fold a scheduler :class:`MetricsSnapshot` into ``registry``."""
+    registry.set_gauge("repro_scheduler_jobs", snapshot.jobs)
+    for stage, seconds in snapshot.stage_seconds.items():
+        registry.inc("repro_stage_seconds_total", seconds, stage=stage)
+    for stage, count in snapshot.stage_tasks.items():
+        registry.inc("repro_stage_tasks_total", count, stage=stage)
+    cache_families = (
+        ("hits", snapshot.cache_hits),
+        ("misses", snapshot.cache_misses),
+        ("bad_entries", snapshot.cache_bad_entries),
+        ("evictions", snapshot.cache_evictions),
+    )
+    for outcome, counters in cache_families:
+        for stage, count in counters.items():
+            registry.inc(
+                "repro_cache_events_total", count,
+                stage=stage, outcome=outcome,
+            )
+    for counter, count in snapshot.analyze.items():
+        registry.inc("repro_analyze_total", count, counter=counter)
+    if snapshot.audit:
+        fold_audit(registry, snapshot.audit)
+
+
+def fold_audit(registry: MetricsRegistry, summary: dict) -> None:
+    """Fold a post-link audit summary (``AuditReport.summary()``)."""
+    registry.set_gauge(
+        "repro_audit_functions_checked",
+        summary.get("functions_checked", 0),
+    )
+    registry.set_gauge(
+        "repro_audit_calls_checked", summary.get("calls_checked", 0)
+    )
+    registry.set_gauge(
+        "repro_audit_violations", summary.get("violation_count", 0)
+    )
+    for check, count in summary.get("violations_by_check", {}).items():
+        registry.inc(
+            "repro_audit_violations_total", count, check=check
+        )
+
+
+def fold_invalidation(registry: MetricsRegistry, report) -> None:
+    """Fold an incremental :class:`InvalidationReport`."""
+    registry.inc("repro_invalidation_runs_total", mode=report.mode)
+    if report.reason:
+        registry.inc(
+            "repro_invalidation_fallbacks_total", reason=report.reason
+        )
+    for what, reused, recomputed in (
+        ("webs", report.webs_reused, report.webs_recomputed),
+        ("clusters", report.clusters_reused, report.clusters_recomputed),
+    ):
+        registry.inc(
+            "repro_invalidation_items_total", reused,
+            item=what, outcome="reused",
+        )
+        registry.inc(
+            "repro_invalidation_items_total", recomputed,
+            item=what, outcome="recomputed",
+        )
+    registry.set_gauge(
+        "repro_invalidation_fraction_reanalyzed",
+        report.fraction_reanalyzed,
+    )
+
+
+def cluster_owner_map(database) -> dict:
+    """procedure name -> the cluster root its counters attribute to.
+
+    Non-root members attribute to their cluster's root; roots attribute
+    to themselves (each root executes its own migrated spill code, so
+    its traffic is its own), even when nested inside a parent cluster.
+    """
+    owner: dict = {}
+    for cluster in database.clusters:
+        for member in cluster.members:
+            owner[member] = cluster.root
+    for cluster in database.clusters:
+        owner[cluster.root] = cluster.root
+    return owner
+
+
+def fold_execution(registry: MetricsRegistry, stats,
+                   database=None) -> None:
+    """Fold one run's :class:`ExecutionStats`; with a ``database``,
+    per-procedure counters are additionally attributed per cluster
+    root."""
+    registry.set_gauge("repro_run_cycles", stats.cycles)
+    registry.set_gauge("repro_run_instructions", stats.instructions)
+    registry.set_gauge(
+        "repro_run_memory_references", stats.memory_references
+    )
+    registry.set_gauge(
+        "repro_run_singleton_references", stats.singleton_references
+    )
+    registry.set_gauge(
+        "repro_run_save_restore_executed", stats.save_restore_executed
+    )
+    for name, entry in sorted(stats.per_procedure.items()):
+        registry.inc(
+            "repro_procedure_cycles_total", entry.cycles, procedure=name
+        )
+        registry.inc(
+            "repro_procedure_memrefs_total",
+            entry.loads + entry.stores,
+            procedure=name,
+        )
+        registry.inc(
+            "repro_procedure_save_restore_total",
+            entry.save_restore,
+            procedure=name,
+        )
+        registry.observe(
+            "repro_procedure_cycles_histogram", entry.cycles
+        )
+    if database is not None and stats.per_procedure:
+        owner = cluster_owner_map(database)
+        for name, entry in sorted(stats.per_procedure.items()):
+            root = owner.get(name, "<none>")
+            registry.inc(
+                "repro_cluster_cycles_total", entry.cycles, root=root
+            )
+            registry.inc(
+                "repro_cluster_save_restore_total",
+                entry.save_restore,
+                root=root,
+            )
+
+
+def unified_registry(snapshot=None, stats=None, database=None,
+                     audit=None, invalidation=None) -> MetricsRegistry:
+    """Build one registry from whichever surfaces the caller has."""
+    registry = MetricsRegistry()
+    if snapshot is not None:
+        fold_metrics_snapshot(registry, snapshot)
+    if audit is not None:
+        fold_audit(registry, audit)
+    if invalidation is not None:
+        fold_invalidation(registry, invalidation)
+    if stats is not None:
+        fold_execution(registry, stats, database)
+    return registry

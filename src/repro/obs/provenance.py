@@ -1,0 +1,413 @@
+"""Decision provenance: machine-readable reasons for every allocation
+decision.
+
+Every directive the analyzer writes into the
+:class:`~repro.analyzer.database.ProgramDatabase` — and every
+*rejection* along the way — is narrated into the ambient trace as a
+typed event carrying the benefit/cost numbers that drove it.  This
+module defines the reason-code vocabulary, and the query API that turns
+a trace (or, with reduced detail, a bare database) back into an
+explanation:
+
+* :func:`explain_global` — why was this global promoted, and into which
+  register — or why not: ineligible (and how), its webs screened out
+  (and by which test), priority non-positive, or outcolored by which
+  winning neighbor webs;
+* :func:`explain_procedure` — a procedure's directives, cluster
+  membership, spill-motion history, and (when the trace includes an
+  ``execution`` event) its attributed runtime counters.
+
+Reason codes map to paper sections as documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Tracer, read_trace
+
+# -- reason codes ----------------------------------------------------------
+
+#: Global is not a word-sized scalar (section 4.1.2 eligibility).
+REASON_NOT_SCALAR_WORD = "not-scalar-word"
+#: Some module computed the global's address (section 4.1.2).
+REASON_ADDRESS_TAKEN = "address-taken"
+#: The global appears in a module's alias set (section 4.1.2).
+REASON_ALIASED = "aliased"
+#: Options requested no global promotion at all (config A).
+REASON_PROMOTION_DISABLED = "promotion-disabled"
+#: Web screening (section 4.1.3): reasons copied verbatim from
+#: ``Web.discarded_reason``.
+REASON_SCREENED_EXTERNAL = "external-caller"
+REASON_SCREENED_SPARSE = "sparse"
+REASON_SCREENED_SINGLE_LOW = "single-node-low-frequency"
+REASON_SCREENED_STATIC_CROSS = "static-cross-module-entry"
+#: Coloring (section 4.1.4): estimated benefit did not cover the web
+#: entry/exit transfer cost.
+REASON_NON_POSITIVE_PRIORITY = "non-positive-priority"
+#: Coloring: every candidate register was held by an interfering web of
+#: higher priority (the *winners* named in the explanation).
+REASON_LOST_COLORING = "lost-coloring"
+#: Blanket promotion (config-E style): global not among the selected.
+REASON_BLANKET_NOT_SELECTED = "blanket-not-selected"
+#: Spill motion (section 4.2.3): a save stayed at the nested root
+#: because its register is not available on all paths from the parent.
+REASON_NOT_AVAILABLE_ALL_PATHS = "not-available-on-all-paths"
+
+#: Event types the provenance queries consume (emitted by the analyzer
+#: driver, coloring, clusters, regsets, scheduler, and simulator).
+EVENT_TYPES = (
+    "global-ineligible",
+    "global-decision",
+    "web-formed",
+    "web-screened",
+    "web-colored",
+    "web-uncolored",
+    "web-rejected",
+    "cluster-root-candidate",
+    "cluster-formed",
+    "mspill-migrated",
+    "mspill-kept",
+    "directive",
+    "module-phase1",
+    "module-phase2",
+    "link",
+    "audit",
+    "execution",
+)
+
+
+def _records_from(source):
+    """Normalize ``source`` to a record list, or None for a database."""
+    if isinstance(source, Tracer):
+        return source.records
+    if isinstance(source, (list, tuple)):
+        return list(source)
+    if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        return read_trace(source)
+    return None  # assume ProgramDatabase
+
+
+def events_of(records, type_) -> list:
+    """All event payloads of one type, in ordinal order."""
+    return [
+        record["data"]
+        for record in records
+        if record.get("ev") == "event" and record.get("type") == type_
+    ]
+
+
+# -- explain_global --------------------------------------------------------
+
+
+def _web_entry(payload, status, **extra) -> dict:
+    entry = {
+        "web_id": payload.get("web_id"),
+        "status": status,
+        "nodes": payload.get("nodes", []),
+        "priority": payload.get("priority"),
+        "benefit": payload.get("benefit"),
+        "entry_cost": payload.get("entry_cost"),
+        "register": payload.get("register"),
+        "reason": payload.get("reason"),
+        "winners": payload.get("winners", []),
+    }
+    entry.update(extra)
+    return entry
+
+
+def _explain_global_from_trace(records, name) -> dict:
+    for payload in events_of(records, "global-ineligible"):
+        if payload["name"] == name:
+            return {
+                "name": name,
+                "status": "ineligible",
+                "reasons": list(payload.get("reasons", [])),
+                "webs": [],
+                "registers": [],
+            }
+    webs = []
+    for type_, status in (
+        ("web-screened", "screened"),
+        ("web-rejected", "rejected"),
+        ("web-uncolored", "uncolored"),
+        ("web-colored", "colored"),
+    ):
+        for payload in events_of(records, type_):
+            if payload.get("variable") == name:
+                webs.append(_web_entry(payload, status))
+    webs.sort(key=lambda entry: entry.get("web_id") or 0)
+    for payload in events_of(records, "global-decision"):
+        if payload["name"] == name:
+            return {
+                "name": name,
+                "status": payload["decision"],
+                "mode": payload.get("mode"),
+                "reasons": list(payload.get("reasons", [])),
+                "registers": list(payload.get("registers", [])),
+                "webs": webs,
+            }
+    return {
+        "name": name,
+        "status": "unknown",
+        "reasons": ["not-in-trace"],
+        "registers": [],
+        "webs": webs,
+    }
+
+
+def _explain_global_from_db(database, name) -> dict:
+    """Database-only reconstruction (no benefit/cost numbers, but the
+    winners of a lost coloring are recoverable from the web census)."""
+    by_id = {record.web_id: record for record in database.webs}
+    webs = []
+    registers = []
+    for record in database.webs:
+        if record.variable != name:
+            continue
+        if record.colored:
+            status, reason = "colored", None
+            registers.append(record.register)
+        elif record.discarded_reason == REASON_NON_POSITIVE_PRIORITY:
+            status, reason = "rejected", record.discarded_reason
+        elif record.discarded_reason is not None:
+            status, reason = "screened", record.discarded_reason
+        else:
+            status, reason = "uncolored", REASON_LOST_COLORING
+        winners = []
+        if status == "uncolored":
+            for other_id in sorted(record.interferes_with):
+                other = by_id.get(other_id)
+                if other is not None and other.colored:
+                    winners.append(
+                        {
+                            "web_id": other.web_id,
+                            "variable": other.variable,
+                            "register": other.register,
+                        }
+                    )
+        webs.append(
+            {
+                "web_id": record.web_id,
+                "status": status,
+                "nodes": sorted(record.nodes),
+                "priority": record.priority,
+                "benefit": None,
+                "entry_cost": None,
+                "register": record.register,
+                "reason": reason,
+                "winners": winners,
+            }
+        )
+    promoted_procs = sorted(
+        proc_name
+        for proc_name, directives in database.procedures.items()
+        if any(entry.name == name for entry in directives.promoted)
+    )
+    if promoted_procs or registers:
+        status = "promoted"
+        reasons = []
+    elif webs:
+        status = "rejected"
+        reasons = sorted(
+            {entry["reason"] for entry in webs if entry["reason"]}
+        ) or [REASON_LOST_COLORING]
+    else:
+        status = "unknown"
+        reasons = ["not-in-database"]
+    return {
+        "name": name,
+        "status": status,
+        "reasons": reasons,
+        "registers": sorted(set(registers)),
+        "webs": webs,
+        "procedures": promoted_procs,
+    }
+
+
+def explain_global(source, name: str) -> dict:
+    """Explain the promotion decision for global ``name``.
+
+    ``source`` may be a trace (a :class:`~repro.obs.tracer.Tracer`, a
+    record list, or a JSONL path) or a
+    :class:`~repro.analyzer.database.ProgramDatabase`.  A trace carries
+    the full benefit/cost numbers; a bare database reconstructs status,
+    screening reasons, and coloring winners from the web census.
+    """
+    records = _records_from(source)
+    if records is None:
+        return _explain_global_from_db(source, name)
+    return _explain_global_from_trace(records, name)
+
+
+# -- explain_procedure -----------------------------------------------------
+
+
+def _explain_procedure_from_db(database, name) -> dict:
+    directives = database.get(name)
+    from repro.analyzer.database import directive_payload
+
+    cluster_root = None
+    cluster_members = []
+    for cluster in database.clusters:
+        if cluster.root == name:
+            cluster_root = name
+            cluster_members = sorted(cluster.members)
+        elif name in cluster.members and cluster_root is None:
+            cluster_root = cluster.root
+    return {
+        "name": name,
+        "directives": directive_payload(directives),
+        "cluster_root": cluster_root,
+        "cluster_members": cluster_members,
+        "spill_motion": [],
+        "execution": None,
+    }
+
+
+def explain_procedure(source, name: str) -> dict:
+    """Explain a procedure's directives, cluster role, spill motion,
+    and (trace-only) attributed runtime counters."""
+    records = _records_from(source)
+    if records is None:
+        return _explain_procedure_from_db(source, name)
+    explanation = {
+        "name": name,
+        "directives": None,
+        "cluster_root": None,
+        "cluster_members": [],
+        "spill_motion": [],
+        "execution": None,
+    }
+    for payload in events_of(records, "directive"):
+        if payload["procedure"] == name:
+            explanation["directives"] = {
+                key: value
+                for key, value in payload.items()
+                if key != "procedure"
+            }
+    for payload in events_of(records, "cluster-formed"):
+        if payload["root"] == name:
+            explanation["cluster_root"] = name
+            explanation["cluster_members"] = list(
+                payload.get("members", [])
+            )
+        elif name in payload.get("members", []):
+            if explanation["cluster_root"] is None:
+                explanation["cluster_root"] = payload["root"]
+    for type_ in ("mspill-migrated", "mspill-kept"):
+        for payload in events_of(records, type_):
+            if payload.get("node") == name or (
+                type_ == "mspill-migrated"
+                and payload.get("cluster_root") == name
+            ):
+                entry = dict(payload)
+                entry["event"] = type_
+                explanation["spill_motion"].append(entry)
+    for payload in events_of(records, "execution"):
+        per_procedure = payload.get("per_procedure", {})
+        if name in per_procedure:
+            explanation["execution"] = per_procedure[name]
+    return explanation
+
+
+# -- formatting ------------------------------------------------------------
+
+
+def _format_web(entry) -> list:
+    lines = [
+        f"  web #{entry['web_id']}: {entry['status']}"
+        + (
+            f" -> r{entry['register']}"
+            if entry.get("register") is not None
+            else ""
+        )
+    ]
+    if entry.get("priority") is not None:
+        parts = [f"priority={entry['priority']:.2f}"]
+        if entry.get("benefit") is not None:
+            parts.append(f"benefit={entry['benefit']:.2f}")
+        if entry.get("entry_cost") is not None:
+            parts.append(f"entry_cost={entry['entry_cost']:.2f}")
+        lines.append("    " + " ".join(parts))
+    if entry.get("nodes"):
+        lines.append("    nodes: " + ", ".join(entry["nodes"]))
+    if entry.get("reason"):
+        lines.append(f"    reason: {entry['reason']}")
+    for winner in entry.get("winners", []):
+        lines.append(
+            f"    lost to web #{winner['web_id']} "
+            f"({winner['variable']}) holding r{winner['register']}"
+        )
+    return lines
+
+
+def format_explanation(explanation: dict) -> str:
+    """Render an :func:`explain_global` / :func:`explain_procedure`
+    result as human-readable text."""
+    lines = []
+    if "webs" in explanation:  # global explanation
+        header = f"global {explanation['name']}: {explanation['status']}"
+        if explanation.get("registers"):
+            header += " -> " + ", ".join(
+                f"r{register}" for register in explanation["registers"]
+            )
+        lines.append(header)
+        for reason in explanation.get("reasons", []):
+            lines.append(f"  reason: {reason}")
+        for entry in explanation.get("webs", []):
+            lines.extend(_format_web(entry))
+        if explanation.get("procedures"):
+            lines.append(
+                "  promoted in: " + ", ".join(explanation["procedures"])
+            )
+    else:  # procedure explanation
+        lines.append(f"procedure {explanation['name']}")
+        if explanation.get("cluster_root"):
+            role = (
+                "cluster root"
+                if explanation["cluster_root"] == explanation["name"]
+                else f"member of cluster {explanation['cluster_root']}"
+            )
+            lines.append(f"  {role}")
+            if explanation.get("cluster_members"):
+                lines.append(
+                    "  members: "
+                    + ", ".join(explanation["cluster_members"])
+                )
+        directives = explanation.get("directives")
+        if directives:
+            for key in ("free", "caller", "callee", "mspill"):
+                if key in directives:
+                    regs = ", ".join(
+                        f"r{register}" for register in directives[key]
+                    )
+                    lines.append(f"  {key.upper()}: {regs or '-'}")
+            for promoted in directives.get("promoted", []):
+                lines.append(
+                    f"  promoted: {promoted['name']} -> "
+                    f"r{promoted['register']}"
+                    + (" (entry)" if promoted.get("is_entry") else "")
+                )
+        for entry in explanation.get("spill_motion", []):
+            registers = ", ".join(
+                f"r{register}" for register in entry.get("registers", [])
+            )
+            if entry["event"] == "mspill-migrated":
+                lines.append(
+                    f"  saves migrated up to {entry['cluster_root']}: "
+                    f"{registers}"
+                )
+            else:
+                lines.append(
+                    f"  saves kept at {entry['node']}: {registers} "
+                    f"({entry.get('reason')})"
+                )
+        execution = explanation.get("execution")
+        if execution:
+            lines.append(
+                "  execution: "
+                f"cycles={execution.get('cycles')} "
+                f"memrefs={execution.get('loads', 0) + execution.get('stores', 0)} "
+                f"save_restore={execution.get('save_restore')}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Structured event/span tracer for the compilation pipeline.
+
+Zero-dependency (standard library only) and deliberately boring: a
+:class:`Tracer` collects a flat stream of *records* — typed events and
+begin/end markers of nested spans — each carrying a monotonically
+increasing ordinal.  Records are kept in memory and, when the tracer
+was given a path, appended to a JSONL file as they happen.
+
+Determinism is a hard requirement: the test suite asserts that two
+runs of the same compilation — and a serial run against a ``jobs=2``
+run — produce *identical* canonicalized streams.  The rules that make
+that hold:
+
+* payloads never contain wall-clock values, process ids, memory
+  addresses, or hash-order-dependent collections (sets are sorted
+  before they enter a record);
+* the only timing field is the ``seconds`` slot of span-end records,
+  and :func:`canonicalize_trace` strips it;
+* every record is emitted from the scheduler's parent process — worker
+  processes compute, the parent narrates — so worker scheduling cannot
+  reorder the stream.
+
+Instrumentation sites never hold a tracer; they fetch the ambient one
+via :func:`current_tracer`, which answers the no-op :data:`NULL_TRACER`
+unless a real tracer was installed with :func:`activate` (the scheduler
+does this around every stage when constructed with ``trace=`` or with
+``REPRO_TRACE`` set).  The null tracer's methods are empty and its
+``enabled`` flag is ``False``, so disabled tracing costs one global
+read and one attribute check per instrumentation site.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+#: Keys holding timing values; stripped by :func:`canonicalize_trace`.
+TIMING_FIELDS = ("seconds",)
+
+
+def _jsonable(value):
+    """Render payload values deterministic and JSON-serializable.
+
+    Sets (including frozensets) are sorted — they are the one standard
+    container whose iteration order could differ between runs.
+    """
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so hot instrumentation sites can skip
+    payload construction entirely (``if tracer.enabled: ...``).
+    """
+
+    enabled = False
+
+    def event(self, type_, **payload):
+        pass
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def close(self):
+        pass
+
+    @property
+    def records(self):
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects a deterministic stream of events and nested spans.
+
+    Args:
+        path: When given, every record is also appended to this JSONL
+            file (created/truncated on construction).  Records are
+            always retained in memory on :attr:`records` — traces are
+            bounded by program structure (per-module, per-web,
+            per-global events), never by execution length.
+    """
+
+    enabled = True
+
+    def __init__(self, path=None):
+        self.path = str(path) if path is not None else None
+        self.records: list = []
+        self._file = (
+            open(self.path, "w", encoding="utf-8")
+            if self.path is not None
+            else None
+        )
+        self._ordinal = 0
+        self._span_stack: list = []  # span ids, innermost last
+        self._next_span_id = 1
+
+    # -- emission ---------------------------------------------------------
+
+    def _emit(self, record: dict) -> None:
+        record["ord"] = self._ordinal
+        self._ordinal += 1
+        self.records.append(record)
+        if self._file is not None:
+            self._file.write(json.dumps(record, sort_keys=True))
+            self._file.write("\n")
+
+    def event(self, type_: str, **payload) -> None:
+        """Record one typed event under the innermost open span."""
+        self._emit(
+            {
+                "ev": "event",
+                "type": type_,
+                "span": self._span_stack[-1] if self._span_stack else 0,
+                "data": _jsonable(payload),
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a nested span; the end record carries wall-clock
+        ``seconds`` (the single timing field in the schema)."""
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._emit(
+            {
+                "ev": "span-begin",
+                "name": name,
+                "id": span_id,
+                "parent": self._span_stack[-1] if self._span_stack else 0,
+                "data": _jsonable(attrs),
+            }
+        )
+        self._span_stack.append(span_id)
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            elapsed = time.perf_counter() - start
+            self._span_stack.pop()
+            self._emit(
+                {
+                    "ev": "span-end",
+                    "name": name,
+                    "id": span_id,
+                    "seconds": elapsed,
+                }
+            )
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- ambient tracer -------------------------------------------------------
+
+_CURRENT = NULL_TRACER
+
+
+def current_tracer():
+    """The ambient tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _CURRENT
+
+
+@contextmanager
+def activate(tracer):
+    """Install ``tracer`` as the ambient tracer for the dynamic extent."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    try:
+        yield tracer
+    finally:
+        _CURRENT = previous
+
+
+@contextmanager
+def suppressed():
+    """Silence the ambient tracer (used by the incremental engine's
+    shadow cross-check, whose from-scratch reference analysis must not
+    double-emit provenance events)."""
+    with activate(NULL_TRACER):
+        yield
+
+
+# -- reading and canonicalization -----------------------------------------
+
+
+def read_trace(path) -> list:
+    """Parse a JSONL trace file back into its record list."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def canonicalize_trace(records) -> list:
+    """Ordinal-sorted records with timing fields stripped.
+
+    Two runs of the same compilation are *defined* to be equivalent
+    when their canonicalized traces compare equal; the determinism
+    suite asserts exactly this.
+    """
+    canonical = []
+    for record in sorted(records, key=lambda r: r.get("ord", 0)):
+        canonical.append(
+            {
+                key: value
+                for key, value in record.items()
+                if key not in TIMING_FIELDS
+            }
+        )
+    return canonical

@@ -262,15 +262,20 @@ class LDW(MInstr):
     ``offset`` may be a symbolic frame location until finalization.
     ``singleton`` statically tags accesses of simple scalar variables
     (including register save/restore traffic) for Table 5 accounting.
+    ``save_restore`` further tags prologue/epilogue register
+    save/restore traffic specifically, so the simulator can attribute
+    linkage overhead per procedure (Tables 4-5).
     """
 
-    __slots__ = ("rd", "base", "offset", "singleton")
+    __slots__ = ("rd", "base", "offset", "singleton", "save_restore")
 
-    def __init__(self, rd: Reg, base: Reg, offset, singleton: bool = False):
+    def __init__(self, rd: Reg, base: Reg, offset, singleton: bool = False,
+                 save_restore: bool = False):
         self.rd = rd
         self.base = base
         self.offset = offset
         self.singleton = singleton
+        self.save_restore = save_restore
 
     def uses(self) -> list:
         return [self.base]
@@ -293,13 +298,15 @@ class LDW(MInstr):
 class STW(MInstr):
     """Store word: ``memory[base + offset] <- rs``."""
 
-    __slots__ = ("rs", "base", "offset", "singleton")
+    __slots__ = ("rs", "base", "offset", "singleton", "save_restore")
 
-    def __init__(self, rs: Reg, base: Reg, offset, singleton: bool = False):
+    def __init__(self, rs: Reg, base: Reg, offset, singleton: bool = False,
+                 save_restore: bool = False):
         self.rs = rs
         self.base = base
         self.offset = offset
         self.singleton = singleton
+        self.save_restore = save_restore
 
     def uses(self) -> list:
         return [self.rs, self.base]

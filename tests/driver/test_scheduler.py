@@ -68,6 +68,83 @@ def test_metrics_track_analyze_counters():
     assert delta.to_json_dict()["analyze"] == delta.analyze
 
 
+def test_minus_carries_audit_snapshot_without_sharing():
+    """The audit dict is a point-in-time snapshot with nested
+    non-numeric values; ``minus`` carries the newer value (never a
+    numeric diff) and never shares mutable structure."""
+    before = MetricsSnapshot(
+        jobs=1,
+        audit={"violation_count": 1, "violations_by_check": {"a": 1}},
+    )
+    after = MetricsSnapshot(
+        jobs=1,
+        audit={"violation_count": 2, "violations_by_check": {"b": 2}},
+    )
+    delta = after.minus(before)
+    assert delta.audit == after.audit
+    assert delta.audit is not after.audit
+    delta.audit["violations_by_check"]["b"] = 99
+    assert after.audit["violations_by_check"]["b"] == 2
+    # The receiver is always the carried side, whatever the operand.
+    assert before.minus(after).audit == before.audit
+
+
+def test_snapshot_json_round_trip():
+    snapshot = MetricsSnapshot(
+        jobs=2,
+        stage_seconds={"phase1": 1.25},
+        stage_tasks={"phase1": 3},
+        cache_hits={"phase1": 1},
+        cache_misses={"phase2": 2},
+        cache_bad_entries={},
+        cache_evictions={},
+        analyze={"runs": 1},
+        audit={"violation_count": 0, "violations_by_check": {}},
+    )
+    payload = snapshot.to_json_dict()
+    clone = MetricsSnapshot.from_json_dict(payload)
+    assert clone == snapshot
+    assert clone.to_json_dict() == payload
+    # to_json_dict deep-copies nested audit state: mutating the payload
+    # must not reach back into the snapshot (and vice versa).
+    payload["audit"]["violations_by_check"]["x"] = 1
+    assert snapshot.audit["violations_by_check"] == {}
+    assert clone.audit["violations_by_check"] == {}
+
+
+def test_stage_timing_survives_raising_phase1():
+    """A stage that raises still records its wall-clock: _timed
+    finalizes in a ``finally``, so failed work never vanishes from the
+    stage_seconds ledger."""
+    with CompilationScheduler(jobs=1) as scheduler:
+        with pytest.raises(Exception):
+            scheduler.run_phase1({"bad": "int main( {"})
+        snapshot = scheduler.metrics_snapshot()
+    assert snapshot.stage_seconds.get("phase1", 0) > 0
+
+
+def test_stage_timing_survives_raising_auditor(monkeypatch):
+    """A raising auditor still shows up in both verify stage_seconds
+    and the verify task count."""
+    import repro.driver.scheduler as scheduler_module
+
+    def exploding_audit(executable, database):
+        time.sleep(0.005)
+        raise RuntimeError("auditor exploded")
+
+    monkeypatch.setattr(
+        scheduler_module, "audit_executable", exploding_audit
+    )
+    with CompilationScheduler(jobs=1, verify=True) as scheduler:
+        with pytest.raises(RuntimeError, match="auditor exploded"):
+            scheduler.compile_program(
+                {"main": "int main() { print(5); return 0; }"}
+            )
+        snapshot = scheduler.metrics_snapshot()
+    assert snapshot.stage_seconds.get("verify", 0) > 0
+    assert snapshot.stage_tasks.get("verify") == 1
+
+
 def test_metrics_diff_isolates_one_compilation(tmp_path):
     with CompilationScheduler(jobs=1, cache_dir=tmp_path) as scheduler:
         sources = {"main": "int main() { print(1); return 0; }"}

@@ -1,0 +1,220 @@
+"""The unified metrics registry and its fold functions."""
+
+import json
+
+import pytest
+
+from repro.analyzer.database import ClusterRecord
+from repro.driver.scheduler import MetricsSnapshot
+from repro.machine.simulator import ExecutionStats, ProcedureStats
+from repro.obs.metrics import (
+    MetricsRegistry,
+    cluster_owner_map,
+    fold_audit,
+    fold_execution,
+    fold_metrics_snapshot,
+    unified_registry,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    registry = MetricsRegistry()
+    registry.inc("hits", stage="phase1")
+    registry.inc("hits", 2, stage="phase1")
+    registry.inc("hits", stage="phase2")
+    assert registry.value("hits", stage="phase1") == 3
+    assert registry.value("hits", stage="phase2") == 1
+    assert registry.value("hits", stage="nope") is None
+    assert registry.value("unset") is None
+
+
+def test_gauge_overwrites():
+    registry = MetricsRegistry()
+    registry.set_gauge("jobs", 2)
+    registry.set_gauge("jobs", 4)
+    assert registry.value("jobs") == 4
+
+
+def test_histogram_buckets_and_json():
+    registry = MetricsRegistry()
+    for value in (0.5, 5, 50, 1e9):
+        registry.observe("lat", value, buckets=(1.0, 10.0, 100.0))
+    payload = registry.to_json_dict()["lat"]
+    assert payload["type"] == "histogram"
+    histogram = payload["values"][0]["value"]
+    assert histogram["counts"] == [1, 1, 1, 1]  # last = +Inf overflow
+    assert histogram["count"] == 4
+    assert histogram["sum"] == pytest.approx(0.5 + 5 + 50 + 1e9)
+
+
+def test_type_conflict_raises():
+    registry = MetricsRegistry()
+    registry.inc("m")
+    with pytest.raises(ValueError):
+        registry.set_gauge("m", 1)
+    with pytest.raises(ValueError):
+        registry.observe("m", 1)
+
+
+def test_text_exposition_format():
+    registry = MetricsRegistry()
+    registry.inc("repro_things_total", 3, kind="web")
+    registry.set_gauge("repro_level", 2.5)
+    registry.observe("repro_sizes", 5, buckets=(1.0, 10.0))
+    text = registry.to_text()
+    assert '# TYPE repro_things_total counter' in text
+    assert 'repro_things_total{kind="web"} 3' in text
+    assert '# TYPE repro_level gauge' in text
+    assert 'repro_level 2.5' in text
+    # Histogram buckets are cumulative and end at +Inf.
+    assert 'repro_sizes_bucket{le="1"} 0' in text
+    assert 'repro_sizes_bucket{le="10"} 1' in text
+    assert 'repro_sizes_bucket{le="+Inf"} 1' in text
+    assert 'repro_sizes_sum 5' in text
+    assert 'repro_sizes_count 1' in text
+
+
+def test_json_dict_is_json_serializable_and_sorted():
+    registry = MetricsRegistry()
+    registry.inc("b_metric", 1, z="1", a="2")
+    registry.inc("a_metric", 1)
+    payload = registry.to_json_dict()
+    json.dumps(payload)  # must not raise
+    assert list(payload) == ["a_metric", "b_metric"]
+    assert payload["b_metric"]["values"][0]["labels"] == {
+        "a": "2", "z": "1",
+    }
+
+
+def test_fold_metrics_snapshot():
+    snapshot = MetricsSnapshot(
+        jobs=2,
+        stage_seconds={"phase1": 1.5, "analyze": 0.5},
+        stage_tasks={"phase1": 3},
+        cache_hits={"phase1": 2},
+        cache_misses={"phase2": 1},
+        cache_bad_entries={},
+        cache_evictions={},
+        analyze={"webs_recomputed": 4},
+        audit={"functions_checked": 7, "calls_checked": 9,
+               "violation_count": 0},
+    )
+    registry = MetricsRegistry()
+    fold_metrics_snapshot(registry, snapshot)
+    assert registry.value("repro_scheduler_jobs") == 2
+    assert registry.value(
+        "repro_stage_seconds_total", stage="phase1"
+    ) == pytest.approx(1.5)
+    assert registry.value("repro_stage_tasks_total", stage="phase1") == 3
+    assert registry.value(
+        "repro_cache_events_total", stage="phase1", outcome="hits"
+    ) == 2
+    assert registry.value(
+        "repro_cache_events_total", stage="phase2", outcome="misses"
+    ) == 1
+    assert registry.value(
+        "repro_analyze_total", counter="webs_recomputed"
+    ) == 4
+    assert registry.value("repro_audit_functions_checked") == 7
+    assert registry.value("repro_audit_violations") == 0
+
+
+def test_fold_audit_violations_by_check():
+    registry = MetricsRegistry()
+    fold_audit(
+        registry,
+        {
+            "functions_checked": 1,
+            "calls_checked": 2,
+            "violation_count": 3,
+            "violations_by_check": {"callee-saved": 2, "mspill": 1},
+        },
+    )
+    assert registry.value(
+        "repro_audit_violations_total", check="callee-saved"
+    ) == 2
+    assert registry.value(
+        "repro_audit_violations_total", check="mspill"
+    ) == 1
+
+
+class _FakeDatabase:
+    def __init__(self, clusters):
+        self.clusters = clusters
+
+
+def test_cluster_owner_map_roots_attribute_to_themselves():
+    database = _FakeDatabase(
+        [
+            ClusterRecord(root="a", members=frozenset({"b", "c"})),
+            # "c" is itself a nested root: its own traffic is its own.
+            ClusterRecord(root="c", members=frozenset({"d"})),
+        ]
+    )
+    owner = cluster_owner_map(database)
+    assert owner["b"] == "a"
+    assert owner["d"] == "c"
+    assert owner["a"] == "a"
+    assert owner["c"] == "c"
+
+
+def test_fold_execution_attributes_per_cluster():
+    stats = ExecutionStats()
+    stats.cycles = 100
+    stats.instructions = 90
+    stats.save_restore_executed = 12
+    stats.per_procedure = {
+        "root": ProcedureStats(
+            cycles=60, instructions=55, loads=4, stores=2, save_restore=8
+        ),
+        "leaf": ProcedureStats(
+            cycles=30, instructions=25, loads=1, stores=1, save_restore=4
+        ),
+        "other": ProcedureStats(
+            cycles=10, instructions=10, loads=0, stores=0, save_restore=0
+        ),
+    }
+    database = _FakeDatabase(
+        [ClusterRecord(root="root", members=frozenset({"leaf"}))]
+    )
+    registry = MetricsRegistry()
+    fold_execution(registry, stats, database)
+    assert registry.value("repro_run_cycles") == 100
+    assert registry.value("repro_run_save_restore_executed") == 12
+    assert registry.value(
+        "repro_procedure_cycles_total", procedure="leaf"
+    ) == 30
+    assert registry.value(
+        "repro_procedure_memrefs_total", procedure="root"
+    ) == 6
+    # leaf's counters roll up into its root; "other" is unclustered.
+    assert registry.value(
+        "repro_cluster_cycles_total", root="root"
+    ) == 90
+    assert registry.value(
+        "repro_cluster_save_restore_total", root="root"
+    ) == 12
+    assert registry.value(
+        "repro_cluster_cycles_total", root="<none>"
+    ) == 10
+
+
+def test_unified_registry_composes_all_surfaces():
+    snapshot = MetricsSnapshot(
+        jobs=1,
+        stage_seconds={"phase1": 0.1},
+        stage_tasks={"phase1": 1},
+        cache_hits={},
+        cache_misses={},
+        cache_bad_entries={},
+        cache_evictions={},
+        analyze={},
+        audit={},
+    )
+    stats = ExecutionStats()
+    stats.cycles = 5
+    registry = unified_registry(snapshot=snapshot, stats=stats)
+    assert registry.value("repro_scheduler_jobs") == 1
+    assert registry.value("repro_run_cycles") == 5
+    # All-default call answers an empty but valid registry.
+    assert unified_registry().names() == []
