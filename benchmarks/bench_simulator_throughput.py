@@ -1,0 +1,89 @@
+"""Simulator backend throughput: compiled vs reference.
+
+The threaded-code backend (``docs/SIMULATOR.md``) exists to make
+re-simulating the full workload matrix cheap; its contract is
+bit-identical statistics at >=5x the reference interpreter's simulated
+instructions/sec on the two workloads that bracket the instruction mix:
+``othello`` (branchy search) and ``dhrystone`` (global-heavy straight
+line).
+
+Methodology: both backends run warm (the compiled program cache is
+primed before timing) and interleaved in the same process, best of
+``ROUNDS`` — the ratio of same-process bests is stable even when the
+host is noisy, where absolute rates are not.  Results land in the
+``simulator_throughput`` section of ``BENCH_results.json`` (both the
+``benchmarks/`` report and the tracked repo-root snapshot).
+"""
+
+import time
+
+from repro import ProgramDatabase, compile_with_database, run_phase1
+from repro.machine.simulator import Simulator
+from repro.workloads import get_workload
+
+from conftest import _SIM_THROUGHPUT, print_table
+
+WORKLOADS = ("othello", "dhrystone")
+ROUNDS = 9
+MEMORY_WORDS = 1 << 17
+TARGET_SPEEDUP = 5.0
+
+
+def _measure(name: str) -> dict:
+    workload = get_workload(name)
+    phase1 = run_phase1(workload.sources)
+    executable = compile_with_database(phase1, ProgramDatabase())
+    compiled = Simulator(
+        executable, backend="compiled", memory_words=MEMORY_WORDS
+    )
+    reference = Simulator(
+        executable, backend="reference", memory_words=MEMORY_WORDS
+    )
+    # Warm-up: primes the closure cache and checks the backends agree
+    # on this executable before any timing.
+    warm = compiled.run(workload.max_cycles)
+    ref_warm = reference.run(workload.max_cycles)
+    assert warm.instructions == ref_warm.instructions
+    assert warm.output == ref_warm.output
+    instructions = warm.instructions
+
+    best = {"compiled": 0.0, "reference": 0.0}
+    for _ in range(ROUNDS):
+        for backend, simulator in (
+            ("compiled", compiled), ("reference", reference)
+        ):
+            start = time.perf_counter()
+            simulator.run(workload.max_cycles)
+            elapsed = time.perf_counter() - start
+            best[backend] = max(best[backend], instructions / elapsed)
+    return {
+        "instructions": instructions,
+        "compiled_instructions_per_second": best["compiled"],
+        "reference_instructions_per_second": best["reference"],
+        "speedup": best["compiled"] / best["reference"],
+    }
+
+
+def test_compiled_backend_throughput():
+    rows = []
+    for name in WORKLOADS:
+        result = _measure(name)
+        _SIM_THROUGHPUT[name] = result
+        rows.append((
+            name,
+            result["instructions"],
+            f"{result['compiled_instructions_per_second'] / 1e6:.2f}",
+            f"{result['reference_instructions_per_second'] / 1e6:.2f}",
+            f"{result['speedup']:.2f}x",
+        ))
+    _SIM_THROUGHPUT["target_speedup"] = TARGET_SPEEDUP
+    print_table(
+        "Simulator throughput (compiled vs reference backend)",
+        ["workload", "instructions", "compiled M/s", "reference M/s",
+         "speedup"],
+        rows,
+    )
+    for name in WORKLOADS:
+        assert _SIM_THROUGHPUT[name]["speedup"] >= TARGET_SPEEDUP, (
+            name, _SIM_THROUGHPUT[name]
+        )

@@ -134,6 +134,11 @@ _INCREMENTAL_SESSION: dict = {}
 _OBSERVABILITY: dict = {}
 
 
+# Simulator backend throughput (bench_simulator_throughput.py), written
+# alongside the tables at session end.
+_SIM_THROUGHPUT: dict = {}
+
+
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
@@ -224,36 +229,56 @@ def record_note(text):
     _RESULT_LINES.append(text)
 
 
+def write_bench_report(json_path) -> dict:
+    """Merge this session's sections over ``json_path`` and rewrite it.
+
+    A partial session (one bench module selected) refreshes only the
+    sections it measured instead of clobbering the full matrix.
+    """
+    payload = {}
+    try:
+        with open(json_path) as handle:
+            payload.update(json.load(handle))
+    except (OSError, ValueError):
+        pass
+    # The legend must come from this build, not the merged report: a
+    # stale file written before a legend change would otherwise
+    # resurrect the old wording.
+    payload["legend"] = CONFIG_LEGEND
+    for key, section in (
+        ("workloads", _BENCH_WORKLOADS),
+        ("scheduler", _SCHEDULER_METRICS),
+        ("incremental_session", _INCREMENTAL_SESSION),
+        ("observability_overhead", _OBSERVABILITY),
+        ("simulator_throughput", _SIM_THROUGHPUT),
+    ):
+        if section:
+            payload[key] = section
+        else:
+            payload.setdefault(key, {})
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
 def pytest_sessionfinish(session, exitstatus):
     written = []
     if (_BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION
-            or _OBSERVABILITY):
+            or _OBSERVABILITY or _SIM_THROUGHPUT):
         json_path = os.path.join(
             os.path.dirname(__file__), "BENCH_results.json"
         )
-        # Merge over the previous report: a partial session (one bench
-        # module selected) refreshes only the sections it measured
-        # instead of clobbering the full matrix.
-        payload = {"legend": CONFIG_LEGEND}
-        try:
-            with open(json_path) as handle:
-                payload.update(json.load(handle))
-        except (OSError, ValueError):
-            pass
-        for key, section in (
-            ("workloads", _BENCH_WORKLOADS),
-            ("scheduler", _SCHEDULER_METRICS),
-            ("incremental_session", _INCREMENTAL_SESSION),
-            ("observability_overhead", _OBSERVABILITY),
-        ):
-            if section:
-                payload[key] = section
-            else:
-                payload.setdefault(key, {})
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_bench_report(json_path)
         written.append(json_path)
+        # Refresh the tracked repo-root snapshot too, so each PR's CI
+        # benchmark run leaves a committable perf-trajectory diff.
+        snapshot = os.path.join(
+            os.path.dirname(os.path.dirname(__file__)),
+            "BENCH_results.json",
+        )
+        write_bench_report(snapshot)
+        written.append(snapshot)
     if not _RESULT_LINES:
         return
     path = os.path.join(os.path.dirname(__file__), "latest_results.txt")

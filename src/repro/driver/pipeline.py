@@ -148,10 +148,15 @@ def collect_profile(
     opt_level: int = 2,
     max_cycles: int = 200_000_000,
     scheduler=None,
+    backend: str | None = None,
 ) -> ProfileData:
-    """The gprof step: run the level-2 binary and harvest call counts."""
+    """The gprof step: run the level-2 binary and harvest call counts.
+
+    ``backend`` picks the simulator backend for the profiling run
+    (``None`` defers to ``REPRO_SIM`` and the module default).
+    """
     executable = compile_with_database(
         phase1_results, ProgramDatabase(), opt_level, scheduler
     )
-    stats = run_executable(executable, max_cycles)
+    stats = run_executable(executable, max_cycles, backend=backend)
     return ProfileData.from_stats(stats)

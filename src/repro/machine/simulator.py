@@ -18,12 +18,28 @@ data addresses are separate spaces.  Reads of the guard region below the
 data base return zero; writes there are errors, as are out-of-range
 accesses.
 
-For speed, instructions are pre-decoded into flat tuples with integer
-opcodes, and the interpreter loop dispatches on those.  All arithmetic
-matches :mod:`repro.ir.arith` (32-bit two's complement, C semantics).
+Execution is delegated to one of two pluggable backends behind the
+:class:`Simulator` facade (see ``docs/SIMULATOR.md``):
+
+* ``reference`` — instructions are pre-decoded into flat tuples with
+  integer opcodes and an interpreter loop dispatches on those.  This is
+  the semantic baseline every other backend must match bit for bit.
+* ``compiled`` — the threaded-code backend in
+  :mod:`repro.machine.compiled`: basic blocks of decoded instructions
+  are compiled to specialized Python closures (operands, costs, and
+  stats increments folded in as constants) chained by returned program
+  counters, with a reference-semantics tail interpreter taking over
+  near the cycle limit so faults and :class:`ExecutionLimitExceeded`
+  land on the identical instruction boundary.
+
+The default backend is ``compiled``; set ``REPRO_SIM=reference`` (or
+pass ``backend=``) to select explicitly.  All arithmetic matches
+:mod:`repro.ir.arith` (32-bit two's complement, C semantics).
 """
 
 from __future__ import annotations
+
+import os
 
 from collections import Counter
 from dataclasses import dataclass, field
@@ -35,6 +51,28 @@ from repro.target.registers import NUM_REGISTERS, RP, RV, SP
 
 _WORD_MASK = 0xFFFFFFFF
 _INT_MAX = 0x7FFFFFFF
+
+#: Execution backends selectable via ``Simulator(backend=...)`` or the
+#: ``REPRO_SIM`` environment variable.
+BACKENDS = ("compiled", "reference")
+DEFAULT_BACKEND = "compiled"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Validate an explicit backend name or fall back to ``REPRO_SIM``.
+
+    ``None`` consults the ``REPRO_SIM`` environment variable and then
+    the module default, so one environment knob steers every simulation
+    in the process (convenience wrappers, profiling runs, benchmarks).
+    """
+    name = backend or os.environ.get("REPRO_SIM") or DEFAULT_BACKEND
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {name!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return name
 
 
 class MachineError(Exception):
@@ -274,7 +312,14 @@ def _flush_proc(per_proc, name, cycles, instructions, loads, stores,
 
 
 class Simulator:
-    """Interprets a linked executable."""
+    """Facade over the pluggable execution backends.
+
+    Decoding, accounting configuration, and result shape are shared;
+    ``backend`` picks how the decoded stream is executed (``compiled``
+    closures or the ``reference`` interpreter loop).  Both backends
+    produce bit-identical :class:`ExecutionStats` and raise the same
+    exceptions at the same instruction boundaries.
+    """
 
     def __init__(
         self,
@@ -284,6 +329,7 @@ class Simulator:
         check_conventions: bool = False,
         volatile_registers: set | None = None,
         procedure_stats: bool | None = None,
+        backend: str | None = None,
     ):
         self.executable = executable
         self.memory_words = memory_words
@@ -295,13 +341,24 @@ class Simulator:
         # None = decide at run time: attribute per-procedure counters
         # whenever a trace is being collected.
         self.procedure_stats = procedure_stats
+        self.backend = resolve_backend(backend)
         self._decoded = _decode(executable, self.costs)
         self._entry_names = {
             pc: name for name, pc in executable.function_entries.items()
         }
+        # (track, check) -> compiled program, owned by machine.compiled.
+        self._compiled_cache: dict = {}
 
     def run(self, max_cycles: int = 200_000_000) -> ExecutionStats:
         """Execute from the startup stub until HALT."""
+        if self.backend == "compiled":
+            from repro.machine.compiled import run_compiled
+
+            return run_compiled(self, max_cycles)
+        return self._run_reference(max_cycles)
+
+    def _run_reference(self, max_cycles: int) -> ExecutionStats:
+        """The pre-decoded tuple interpreter (semantic baseline)."""
         stats = ExecutionStats()
         regs = [0] * NUM_REGISTERS
         memory = [0] * self.memory_words
@@ -582,7 +639,25 @@ def run_executable(
     max_cycles: int = 200_000_000,
     memory_words: int = 1 << 20,
     cost_model: CostModel | None = None,
+    check_conventions: bool = False,
+    volatile_registers: set | None = None,
+    procedure_stats: bool | None = None,
+    backend: str | None = None,
 ) -> ExecutionStats:
-    """Convenience wrapper: simulate ``executable`` and return stats."""
-    simulator = Simulator(executable, memory_words, cost_model)
+    """Convenience wrapper: simulate ``executable`` and return stats.
+
+    Accepts the full :class:`Simulator` configuration so callers on the
+    convenience path (``obs/report.py``, ``driver/pipeline.py``) can
+    enable convention checking, per-procedure attribution, and backend
+    selection without constructing the simulator themselves.
+    """
+    simulator = Simulator(
+        executable,
+        memory_words,
+        cost_model,
+        check_conventions=check_conventions,
+        volatile_registers=volatile_registers,
+        procedure_stats=procedure_stats,
+        backend=backend,
+    )
     return simulator.run(max_cycles)

@@ -1,0 +1,138 @@
+"""Regression tests: ``run_executable`` threads every Simulator kwarg.
+
+The convenience wrapper once accepted ``check_conventions``,
+``volatile_registers``, and ``procedure_stats`` but silently dropped
+them on the floor, so callers on the convenience path
+(``obs/report.py``, ``driver/pipeline.py``) could not enable
+convention checking.  Each test here proves one kwarg observably
+reaches the simulator.
+"""
+
+import pytest
+
+from repro import (
+    AnalyzerOptions,
+    compile_program,
+    run_executable,
+    run_phase1,
+)
+from repro.analyzer.driver import analyze_program
+from repro.driver.pipeline import collect_profile, compile_with_database
+from repro.machine.simulator import (
+    ConventionViolation,
+    CostModel,
+    MachineError,
+)
+from repro.target import isa
+
+
+def _corrupted_executable():
+    """A program whose callee smashes callee-saves r20 — only a
+    convention-checking run can tell."""
+    result = compile_program({"m": """
+        int helper(int x) { return x + 1; }
+        int main() { return helper(1); }
+    """})
+    executable = result.executable
+    start = executable.function_entries["helper"]
+    executable.instructions[start] = isa.LDI(20, 12345)
+    return executable
+
+
+def test_check_conventions_is_threaded():
+    executable = _corrupted_executable()
+    # Without checking the corruption goes unnoticed...
+    run_executable(executable)
+    # ...with it, the violation must surface through the wrapper.
+    with pytest.raises(ConventionViolation, match="r20"):
+        run_executable(executable, check_conventions=True)
+
+
+def test_volatile_registers_are_threaded():
+    """Config-E blanket promotion parks globals in registers the
+    checker would flag unless the database's volatile set is passed."""
+    phase1 = run_phase1({"m": """
+        int g;
+        int bump() { g = g + 1; return g; }
+        int main() {
+          int i;
+          for (i = 0; i < 5; i++) bump();
+          print(g);
+          return 0;
+        }
+    """})
+    database = analyze_program(
+        [result.summary for result in phase1],
+        AnalyzerOptions.config("E"),
+    )
+    volatile = database.convention_volatile_registers()
+    assert volatile, "config E must promote at least one global"
+    executable = compile_with_database(phase1, database)
+    stats = run_executable(
+        executable,
+        check_conventions=True,
+        volatile_registers=volatile,
+    )
+    assert stats.output == "5\n"
+    with pytest.raises(ConventionViolation):
+        run_executable(executable, check_conventions=True)
+
+
+def test_procedure_stats_is_threaded():
+    result = compile_program({"m": """
+        int helper(int x) { return x * 2; }
+        int main() { return helper(21); }
+    """})
+    attributed = run_executable(result.executable, procedure_stats=True)
+    assert attributed.per_procedure
+    assert "helper" in attributed.per_procedure
+    plain = run_executable(result.executable, procedure_stats=False)
+    assert not plain.per_procedure
+
+
+def test_cost_model_is_threaded():
+    result = compile_program(
+        {"m": "int main() { int a = 6; int b = 2; return a * b / b; }"},
+        0,
+    )
+    cheap = run_executable(result.executable)
+    costly = run_executable(
+        result.executable, cost_model=CostModel(mul=8, div=30)
+    )
+    assert costly.cycles > cheap.cycles
+    assert costly.instructions == cheap.instructions
+
+
+def test_memory_words_is_threaded():
+    result = compile_program(
+        {"m": "int main() { int *p = 100000; return *p; }"}
+    )
+    assert run_executable(result.executable).exit_code == 0
+    with pytest.raises(MachineError, match="load"):
+        run_executable(result.executable, memory_words=1 << 10)
+
+
+def test_backend_is_threaded():
+    result = compile_program({"m": """
+        int main() { int i; int s = 0;
+          for (i = 0; i < 9; i++) s = s + i;
+          print(s); return s & 255; }
+    """})
+    reference = run_executable(result.executable, backend="reference")
+    compiled = run_executable(result.executable, backend="compiled")
+    assert reference.cycles == compiled.cycles
+    assert reference.output == compiled.output
+    with pytest.raises(ValueError, match="unknown simulator backend"):
+        run_executable(result.executable, backend="turbo")
+
+
+def test_collect_profile_backend_is_threaded():
+    phase1 = run_phase1({"m": """
+        int helper(int x) { return x + 1; }
+        int main() { return helper(helper(1)); }
+    """})
+    reference = collect_profile(phase1, backend="reference")
+    compiled = collect_profile(phase1, backend="compiled")
+    assert reference.call_counts == compiled.call_counts
+    with pytest.raises(ValueError, match="unknown simulator backend"):
+        collect_profile(phase1, backend="turbo")
