@@ -139,6 +139,12 @@ _OBSERVABILITY: dict = {}
 _SIM_THROUGHPUT: dict = {}
 
 
+# Allocator-strategy tournament (bench_allocator_tournament.py): the
+# full matrix re-measured under every registered allocation strategy,
+# written alongside the tables at session end.
+_ALLOCATOR_TOURNAMENT: dict = {}
+
+
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
@@ -251,6 +257,7 @@ def write_bench_report(json_path) -> dict:
         ("incremental_session", _INCREMENTAL_SESSION),
         ("observability_overhead", _OBSERVABILITY),
         ("simulator_throughput", _SIM_THROUGHPUT),
+        ("allocator_tournament", _ALLOCATOR_TOURNAMENT),
     ):
         if section:
             payload[key] = section
@@ -265,7 +272,8 @@ def write_bench_report(json_path) -> dict:
 def pytest_sessionfinish(session, exitstatus):
     written = []
     if (_BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION
-            or _OBSERVABILITY or _SIM_THROUGHPUT):
+            or _OBSERVABILITY or _SIM_THROUGHPUT
+            or _ALLOCATOR_TOURNAMENT):
         json_path = os.path.join(
             os.path.dirname(__file__), "BENCH_results.json"
         )

@@ -30,6 +30,11 @@ Quickstart::
 from repro.analyzer.database import ProgramDatabase
 from repro.analyzer.driver import analyze_program
 from repro.analyzer.options import PAPER_CONFIGS, AnalyzerOptions
+from repro.backend.allocators import (
+    ALLOCATORS,
+    get_allocator,
+    resolve_allocator,
+)
 from repro.driver.pipeline import (
     CompilationResult,
     collect_profile,
@@ -64,8 +69,11 @@ from repro.obs import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALLOCATORS",
     "AnalyzerOptions",
     "ConventionViolation",
+    "get_allocator",
+    "resolve_allocator",
     "Simulator",
     "CompilationResult",
     "CompilationScheduler",

@@ -1,14 +1,25 @@
 """Compiler second phase: IR + program database -> object modules."""
 
+from repro.backend.allocators import (
+    ALLOCATORS,
+    AllocatorStrategy,
+    RegisterAllocationError,
+    get_allocator,
+    resolve_allocator,
+)
+from repro.backend.allocators.paper import allocate_function
 from repro.backend.finalize import finalize_frame
 from repro.backend.isel import select_function
 from repro.backend.mir import MachineBlock, MachineFunction
 from repro.backend.object import ObjectFunction, ObjectModule, emit_function
 from repro.backend.phase2 import compile_module_phase2
 from repro.backend.promotion import apply_web_promotion
-from repro.backend.regalloc import RegisterAllocationError, allocate_function
 
 __all__ = [
+    "ALLOCATORS",
+    "AllocatorStrategy",
+    "get_allocator",
+    "resolve_allocator",
     "MachineBlock",
     "MachineFunction",
     "ObjectFunction",

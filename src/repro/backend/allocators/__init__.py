@@ -1,0 +1,30 @@
+"""Pluggable register-allocation strategies for phase 2.
+
+See :mod:`repro.backend.allocators.base` for the strategy contract and
+``docs/ALLOCATORS.md`` for the tournament that compares them.
+"""
+
+from repro.backend.allocators.base import (
+    ALLOCATORS,
+    DEFAULT_ALLOCATOR,
+    AllocatorStrategy,
+    RegisterAllocationError,
+    get_allocator,
+    register_allocator,
+    resolve_allocator,
+)
+
+# Importing the strategy modules populates the registry.
+from repro.backend.allocators import linearscan  # noqa: E402,F401
+from repro.backend.allocators import paper  # noqa: E402,F401
+from repro.backend.allocators import spilleverywhere  # noqa: E402,F401
+
+__all__ = [
+    "ALLOCATORS",
+    "DEFAULT_ALLOCATOR",
+    "AllocatorStrategy",
+    "RegisterAllocationError",
+    "get_allocator",
+    "register_allocator",
+    "resolve_allocator",
+]

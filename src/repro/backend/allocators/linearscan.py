@@ -1,0 +1,291 @@
+"""Iterative linear-scan register allocation — the intraprocedural baseline.
+
+Shaped after the sire compiler's allocator (SNIPPETS.md Snippet 2):
+each round computes liveness, eliminates dead statements, then sweeps
+coarse live intervals in one linear pass; values the sweep cannot place
+are spilled to frame slots (or rematerialized, for single-def LDI/LDA
+constants) and the round repeats until no spills remain.
+
+The strategy is deliberately *intraprocedural*: it allocates only from
+the caller-saves pool the convention grants this procedure (the same
+:func:`~repro.backend.allocators.shared.caller_pool` bound every
+strategy must respect) plus the callee-saves set, and ignores the
+analyzer's interprocedural FREE/MSPILL gifts entirely.  Call-clobber
+safety falls out of liveness, not analysis: every BL/BLR *defines* its
+clobber set, so those physical registers occupy the call position and
+any interval spanning it is steered elsewhere.
+
+Intervals are coarse — one ``[first, last]`` position span per vreg
+over the emission-order linearization, a sound over-approximation of
+exact liveness.  Two values live at the same position therefore always
+have overlapping intervals and never share a register; the cost is
+extra pressure (holes are not reused), which is part of what the
+allocator tournament measures against the paper's colorer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import compute_liveness
+from repro.backend.mir import MachineFunction
+from repro.target import isa
+
+from repro.backend.allocators.base import (
+    AllocatorStrategy,
+    RegisterAllocationError,
+    register_allocator,
+)
+from repro.backend.allocators.shared import (
+    caller_pool,
+    insert_spill_code,
+    is_tracked,
+    rewrite,
+)
+
+_MAX_ROUNDS = 48
+
+# Instructions with no side effect beyond their register result; a dead
+# definition by one of these may be deleted.  Division and modulus stay:
+# a zero divisor faults, and dead-code elimination must not change
+# whether a program faults.  Loads stay too — a dead load may still trap
+# on a wild address.
+_PURE = (isa.LDI, isa.LDA, isa.MOV, isa.ALU, isa.ALUI, isa.CMP)
+_TRAPPING_OPS = ("/", "%")
+
+
+class LinearScanAllocator(AllocatorStrategy):
+    """Liveness → dead-statement elimination → linear scan → spill,
+    iterated to fixpoint."""
+
+    name = "linearscan"
+
+    def allocate(self, machine: MachineFunction) -> None:
+        spilled_ever: set = set()
+        for _ in range(_MAX_ROUNDS):
+            eliminate_dead_statements(machine)
+            intervals, blocked = build_intervals(machine)
+            assignment, spills = scan(machine, intervals, blocked)
+            if not spills:
+                rewrite(machine, assignment)
+                machine.used_registers = set(assignment.values()) | set(
+                    machine.precolored.values()
+                )
+                return
+            for vreg in spills:
+                if vreg in spilled_ever:  # pragma: no cover - defensive
+                    raise RegisterAllocationError(
+                        f"{machine.name}: vreg {vreg} spilled twice"
+                    )
+                spilled_ever.add(vreg)
+            insert_spill_code(machine, spills, rematerialize=True)
+        raise RegisterAllocationError(  # pragma: no cover - defensive
+            f"{machine.name}: linear scan did not converge"
+        )
+
+
+register_allocator(LinearScanAllocator())
+
+
+def allocation_pool(machine: MachineFunction) -> list[int]:
+    """Caller-saves (convention-bounded) first, then callee-saves.
+
+    No FREE, no MSPILL: those pools exist only because the analyzer
+    looked across procedure boundaries, which this baseline pointedly
+    does not.
+    """
+    return caller_pool(machine) + sorted(machine.directives.callee)
+
+
+# ---------------------------------------------------------------------------
+# Dead-statement elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_statements(machine: MachineFunction) -> int:
+    """Delete pure instructions whose virtual results are never read.
+
+    Spilling splits a value into per-use temporaries, routinely leaving
+    the original definition dead; rematerialized constants always do.
+    Runs to its own fixpoint; returns the number of deletions.
+    """
+    total = 0
+    while True:
+        liveness = compute_liveness(
+            machine.blocks.keys(),
+            lambda label: machine.blocks[label].successors(),
+            lambda label: machine.blocks[label].instructions,
+            lambda value: isinstance(value, isa.VReg),
+        )
+        removed = 0
+        for label, block in machine.blocks.items():
+            live = set(liveness.live_out(label))
+            kept: list[isa.MInstr] = []
+            for instruction in reversed(block.instructions):
+                defs = instruction.defs()
+                if _removable(machine, instruction, defs, live):
+                    removed += 1
+                    continue
+                for defined in defs:
+                    live.discard(defined)
+                for used in instruction.uses():
+                    if isinstance(used, isa.VReg):
+                        live.add(used)
+                kept.append(instruction)
+            kept.reverse()
+            block.instructions = kept
+        if not removed:
+            return total
+        total += removed
+
+
+def _removable(machine, instruction, defs, live) -> bool:
+    if not isinstance(instruction, _PURE):
+        return False
+    if (
+        isinstance(instruction, (isa.ALU, isa.ALUI))
+        and instruction.op in _TRAPPING_OPS
+    ):
+        return False
+    for defined in defs:
+        if not isinstance(defined, isa.VReg):
+            return False  # writes to a physical register are ABI-visible
+        if defined in machine.precolored or defined in live:
+            return False
+    return bool(defs)
+
+
+# ---------------------------------------------------------------------------
+# Interval construction
+# ---------------------------------------------------------------------------
+
+
+def build_intervals(machine: MachineFunction):
+    """Coarse live intervals plus per-position physical-occupancy masks.
+
+    Positions number instructions in emission (layout) order.  At each
+    position the *occupied* set is ``uses ∪ defs ∪ live-out``; a vreg's
+    interval spans its first to last occupied position, physical
+    registers (including precolored web registers, call clobbers, and
+    argument/RV traffic) contribute a bitmask blocking that position.
+
+    Returns ``(intervals, blocked)`` where intervals is a list of
+    ``(start, end, vreg)`` sorted by start and blocked is the
+    per-position mask list.
+    """
+    liveness = compute_liveness(
+        machine.blocks.keys(),
+        lambda label: machine.blocks[label].successors(),
+        lambda label: machine.blocks[label].instructions,
+        is_tracked,
+    )
+    starts: dict[isa.VReg, int] = {}
+    ends: dict[isa.VReg, int] = {}
+    blocked: list[int] = []
+    position = 0
+    for block in machine.layout_order():
+        count = len(block.instructions)
+        occupied: list[set] = [set()] * count
+        live = set(liveness.live_out(block.label))
+        for index in range(count - 1, -1, -1):
+            instruction = block.instructions[index]
+            defs = [d for d in instruction.defs() if is_tracked(d)]
+            uses = [u for u in instruction.uses() if is_tracked(u)]
+            occupied[index] = set(live) | set(defs) | set(uses)
+            for defined in defs:
+                live.discard(defined)
+            for used in uses:
+                live.add(used)
+        for index in range(count):
+            mask = 0
+            for value in occupied[index]:
+                if isinstance(value, isa.VReg):
+                    if value in machine.precolored:
+                        mask |= 1 << machine.precolored[value]
+                    else:
+                        starts.setdefault(value, position)
+                        ends[value] = position
+                else:
+                    mask |= 1 << value
+            blocked.append(mask)
+            position += 1
+    intervals = sorted(
+        ((starts[vreg], ends[vreg], vreg) for vreg in starts),
+        key=lambda item: (item[0], item[1], item[2].uid),
+    )
+    return intervals, blocked
+
+
+class _RangeOr:
+    """O(1) bitwise-OR over position ranges (doubling sparse table)."""
+
+    def __init__(self, masks: list[int]):
+        self.rows = [list(masks)]
+        length = len(masks)
+        width = 2
+        while width <= length:
+            prev = self.rows[-1]
+            half = width // 2
+            self.rows.append(
+                [prev[i] | prev[i + half] for i in range(length - width + 1)]
+            )
+            width *= 2
+
+    def query(self, lo: int, hi: int) -> int:
+        """OR of masks[lo..hi], inclusive."""
+        level = (hi - lo + 1).bit_length() - 1
+        row = self.rows[level]
+        return row[lo] | row[hi - (1 << level) + 1]
+
+
+# ---------------------------------------------------------------------------
+# The scan
+# ---------------------------------------------------------------------------
+
+
+def scan(machine: MachineFunction, intervals, blocked):
+    """One linear sweep; returns ``(assignment, spills)``.
+
+    Walks intervals by start position, retiring expired ones and
+    assigning the first pool register neither held by an overlapping
+    interval nor blocked anywhere in the candidate's span.  When no
+    register fits, the furthest-ending eligible interval (current
+    included, spill temporaries excluded) is chosen for spilling —
+    freeing the longest stretch of future positions.
+    """
+    pool = allocation_pool(machine)
+    table = _RangeOr(blocked)
+    assignment: dict[isa.VReg, int] = dict(machine.precolored)
+    spills: list[isa.VReg] = []
+    active: list[tuple[int, int, isa.VReg]] = []  # (end, register, vreg)
+    for start, end, vreg in intervals:
+        active = [entry for entry in active if entry[0] >= start]
+        forbid = table.query(start, end)
+        taken = forbid
+        for _, register, _ in active:
+            taken |= 1 << register
+        chosen = next((r for r in pool if not (taken >> r) & 1), None)
+        if chosen is None:
+            is_temp = vreg.hint.startswith("!spill")
+            candidates = [
+                entry
+                for entry in active
+                if not entry[2].hint.startswith("!spill")
+                and not (forbid >> entry[1]) & 1
+            ]
+            if not is_temp:
+                candidates.append((end, -1, vreg))
+            if not candidates:  # pragma: no cover - defensive
+                raise RegisterAllocationError(
+                    f"{machine.name}: cannot place spill temp {vreg}"
+                )
+            victim = max(
+                candidates, key=lambda entry: (entry[0], entry[2].uid)
+            )
+            spills.append(victim[2])
+            if victim[2] is vreg:
+                continue  # current loses; scan on
+            active.remove(victim)
+            del assignment[victim[2]]
+            chosen = victim[1]
+        assignment[vreg] = chosen
+        active.append((end, chosen, vreg))
+    return assignment, spills

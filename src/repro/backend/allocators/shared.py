@@ -1,0 +1,183 @@
+"""Helpers shared by the allocation strategies.
+
+These are the parts of allocation whose behavior is convention-bound
+rather than algorithm-bound: which caller-saves registers a procedure
+may legally hand out (sound under caller-saves preallocation), how
+spill code is materialized, and the final vreg→register rewrite.  Every
+strategy must agree on these or the auditor / runtime convention
+checker rejects its output.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mir import MachineFunction
+from repro.target import isa
+from repro.target.frame import FrameLoc
+from repro.target.registers import ALL_ALLOCATABLE, SP
+
+from repro.backend.allocators.base import RegisterAllocationError
+
+__all__ = [
+    "RegisterAllocationError",
+    "caller_pool",
+    "insert_spill_code",
+    "is_tracked",
+    "rewrite",
+]
+
+
+def is_tracked(value) -> bool:
+    """Liveness tracks virtual registers and allocatable physical ones."""
+    if isinstance(value, isa.VReg):
+        return True
+    return isinstance(value, int) and value in ALL_ALLOCATABLE
+
+
+def caller_pool(machine: MachineFunction) -> list[int]:
+    """The caller-saves registers this procedure may allocate.
+
+    Without preallocation data this is the directive's CALLER set.  With
+    it, standard caller-saves usage is restricted to the analyzer's
+    prefix plus the argument registers the procedure demonstrably
+    touches (incoming parameters were written by our callers, outgoing
+    argument registers are part of our propagated subtree usage) and RV
+    — keeping the propagated subtree sets sound upper bounds.  Every
+    strategy must respect this bound, not just the paper's colorer: the
+    runtime convention checker and the clobber sets other procedures
+    compile against assume it.
+    """
+    from repro.target.registers import ARG_REGISTERS, CALLER_SAVES, RV
+
+    directives = machine.directives
+    prefix = getattr(directives, "caller_prefix", None)
+    if prefix is None:
+        return sorted(directives.caller)
+    allowed: list[int] = list(prefix)
+    for register in ARG_REGISTERS[: machine.num_params]:
+        if register not in allowed:
+            allowed.append(register)
+    for register in ARG_REGISTERS[: machine.max_outgoing_args]:
+        if register not in allowed:
+            allowed.append(register)
+    if RV not in allowed:
+        allowed.append(RV)
+    # Non-standard caller registers granted by spill code motion.
+    for register in sorted(set(directives.caller) - set(CALLER_SAVES)):
+        if register not in allowed:
+            allowed.append(register)
+    return allowed
+
+
+def _rematerializable(machine: MachineFunction, spills: list) -> dict:
+    """Spilled vregs defined exactly once by an LDI/LDA.
+
+    Their value is a constant (immediate or symbol address), so a use
+    can re-derive it in place instead of round-tripping through a stack
+    slot.  Beyond saving memory traffic, this keeps web entry-load /
+    exit-store base addresses traceable to an LDA for the auditor.
+    Returns ``{vreg: defining instruction}``.
+    """
+    spill_set = set(spills)
+    def_count: dict[isa.VReg, int] = {}
+    def_instr: dict[isa.VReg, isa.MInstr] = {}
+    for instruction in machine.iter_instructions():
+        for defined in instruction.defs():
+            if isinstance(defined, isa.VReg) and defined in spill_set:
+                def_count[defined] = def_count.get(defined, 0) + 1
+                def_instr[defined] = instruction
+    return {
+        vreg: instruction
+        for vreg, instruction in def_instr.items()
+        if def_count[vreg] == 1
+        and isinstance(instruction, (isa.LDI, isa.LDA))
+    }
+
+
+def _clone_def(template: isa.MInstr, target: isa.VReg) -> isa.MInstr:
+    if isinstance(template, isa.LDI):
+        return isa.LDI(target, template.imm)
+    assert isinstance(template, isa.LDA)
+    return isa.LDA(target, template.symbol, template.is_function)
+
+
+def insert_spill_code(
+    machine: MachineFunction, spills: list, rematerialize: bool = False
+) -> None:
+    """Demote ``spills`` to frame slots: loads before uses, stores after
+    defs, all tagged singleton (register spill traffic is scalar).
+
+    With ``rematerialize`` enabled, single-def LDI/LDA values get no
+    slot at all — each use re-emits the defining instruction into the
+    spill temp and the now-dead definition is left for the next round's
+    dead-statement elimination.  The ``paper`` strategy keeps this off
+    to stay byte-identical with its pre-refactor output.
+    """
+    remat = _rematerializable(machine, spills) if rematerialize else {}
+    slots = {}
+    for vreg in spills:
+        if vreg in remat:
+            continue
+        slots[vreg] = machine.num_spills
+        machine.num_spills += 1
+    spill_set = set(spills)
+    for block in machine.blocks.values():
+        out: list[isa.MInstr] = []
+        for instruction in block.instructions:
+            touched = [
+                v
+                for v in set(
+                    list(instruction.uses()) + list(instruction.defs())
+                )
+                if isinstance(v, isa.VReg) and v in spill_set
+            ]
+            if not touched:
+                out.append(instruction)
+                continue
+            mapping = {}
+            for vreg in touched:
+                mapping[vreg] = machine.new_vreg(f"!spill.{vreg.uid}")
+            uses = set(instruction.uses())
+            defs = set(instruction.defs())
+            for vreg in touched:
+                if vreg in uses:
+                    if vreg in remat:
+                        out.append(_clone_def(remat[vreg], mapping[vreg]))
+                    else:
+                        out.append(
+                            isa.LDW(
+                                mapping[vreg],
+                                SP,
+                                FrameLoc("spill", slots[vreg]),
+                                singleton=True,
+                            )
+                        )
+            instruction.rename(mapping)
+            out.append(instruction)
+            for vreg in touched:
+                if vreg in defs and vreg not in remat:
+                    out.append(
+                        isa.STW(
+                            mapping[vreg],
+                            SP,
+                            FrameLoc("spill", slots[vreg]),
+                            singleton=True,
+                        )
+                    )
+        block.instructions = out
+
+
+def rewrite(machine: MachineFunction, assignment: dict) -> None:
+    """Substitute the final assignment and drop moves coalesced by
+    identical coloring."""
+    for block in machine.blocks.values():
+        out = []
+        for instruction in block.instructions:
+            instruction.rename(assignment)
+            if (
+                isinstance(instruction, isa.MOV)
+                and isinstance(instruction.rd, int)
+                and instruction.rd == instruction.rs
+            ):
+                continue
+            out.append(instruction)
+        block.instructions = out

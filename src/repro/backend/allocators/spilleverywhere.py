@@ -1,0 +1,186 @@
+"""Spill-everywhere allocation — the memory-traffic upper bound.
+
+The "spill everywhere" baseline of the SSA spilling literature
+(Bouchez/Darte/Rastello, PAPERS.md): every tracked value lives in its
+stack slot for its whole lifetime and visits a register only inside a
+single instruction — loaded into a scratch register immediately before
+each use, stored back immediately after each def.  No liveness, no
+pressure model, no iteration; allocation cannot fail as long as three
+scratch registers exist (an ALU takes at most two sources and one
+destination).
+
+Two refinements keep the output convention-clean rather than merely
+runnable:
+
+* scratch registers are drawn from the same convention-bounded
+  :func:`~repro.backend.allocators.shared.caller_pool` (minus argument
+  registers and RV, which instruction selection addresses directly
+  around calls), falling back to callee-saves that the shared frame
+  finalizer then saves — never from reserved web registers;
+* single-def LDI/LDA constants are rematerialized at each use instead
+  of round-tripping through memory, which also keeps web entry-load /
+  exit-store base addresses traceable to an LDA for the auditor.
+
+Promoted web values arrive precolored and simply stay in their reserved
+registers — the web discipline (entry load, exit store, in-register
+lifetime) is part of the promotion contract, not of any one allocator.
+
+Everything else about the pipeline is unchanged, which is the point:
+the tournament measures exactly what register *placement* is worth.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mir import MachineFunction
+from repro.target import isa
+from repro.target.frame import FrameLoc
+from repro.target.registers import ARG_REGISTERS, RV, SP
+
+from repro.backend.allocators.base import (
+    AllocatorStrategy,
+    RegisterAllocationError,
+    register_allocator,
+)
+from repro.backend.allocators.shared import caller_pool
+
+#: An instruction reads at most two registers and writes at most one.
+_MAX_SCRATCH = 3
+
+
+class SpillEverywhereAllocator(AllocatorStrategy):
+    """Every value in its stack slot; registers only between def/use."""
+
+    name = "spill-everywhere"
+
+    def allocate(self, machine: MachineFunction) -> None:
+        remat = _rematerializable_defs(machine)
+        remat_defs = {id(ins) for ins in remat.values()}
+        slots = self._assign_slots(machine, remat)
+        scratch = _scratch_registers(machine)
+        used: set[int] = set()
+        for block in machine.blocks.values():
+            out: list[isa.MInstr] = []
+            for instruction in block.instructions:
+                # The lone definition of a rematerialized constant is
+                # dropped: every use re-derives the value in place.
+                if id(instruction) in remat_defs:
+                    continue
+                self._expand(
+                    machine, instruction, slots, remat, scratch, used, out
+                )
+            block.instructions = out
+        machine.used_registers = used | set(machine.precolored.values())
+
+    def _assign_slots(self, machine, remat) -> dict:
+        slots: dict[isa.VReg, int] = {}
+        for instruction in machine.iter_instructions():
+            for value in list(instruction.uses()) + list(
+                instruction.defs()
+            ):
+                if (
+                    isinstance(value, isa.VReg)
+                    and value not in machine.precolored
+                    and value not in remat
+                    and value not in slots
+                ):
+                    slots[value] = machine.num_spills
+                    machine.num_spills += 1
+        return slots
+
+    def _expand(
+        self, machine, instruction, slots, remat, scratch, used, out
+    ) -> None:
+        uses = [u for u in instruction.uses() if isinstance(u, isa.VReg)]
+        defs = [d for d in instruction.defs() if isinstance(d, isa.VReg)]
+        mapping: dict[isa.VReg, int] = {}
+        next_scratch = 0
+        for vreg in uses + defs:
+            if vreg in mapping:
+                continue
+            if vreg in machine.precolored:
+                mapping[vreg] = machine.precolored[vreg]
+                continue
+            if next_scratch >= len(scratch):  # pragma: no cover
+                raise RegisterAllocationError(
+                    f"{machine.name}: out of scratch registers"
+                )
+            register = scratch[next_scratch]
+            next_scratch += 1
+            used.add(register)
+            mapping[vreg] = register
+            if vreg in uses:
+                if vreg in remat:
+                    out.append(_clone_def(remat[vreg], register))
+                else:
+                    out.append(
+                        isa.LDW(
+                            register,
+                            SP,
+                            FrameLoc("spill", slots[vreg]),
+                            singleton=True,
+                        )
+                    )
+        instruction.rename(mapping)
+        out.append(instruction)
+        for vreg in defs:
+            if vreg in machine.precolored or vreg in remat:
+                continue
+            out.append(
+                isa.STW(
+                    mapping[vreg],
+                    SP,
+                    FrameLoc("spill", slots[vreg]),
+                    singleton=True,
+                )
+            )
+
+
+register_allocator(SpillEverywhereAllocator())
+
+
+def _rematerializable_defs(machine: MachineFunction) -> dict:
+    """Non-precolored vregs defined exactly once by an LDI/LDA."""
+    def_count: dict[isa.VReg, int] = {}
+    def_instr: dict[isa.VReg, isa.MInstr] = {}
+    for instruction in machine.iter_instructions():
+        for defined in instruction.defs():
+            if (
+                isinstance(defined, isa.VReg)
+                and defined not in machine.precolored
+            ):
+                def_count[defined] = def_count.get(defined, 0) + 1
+                def_instr[defined] = instruction
+    return {
+        vreg: instruction
+        for vreg, instruction in def_instr.items()
+        if def_count[vreg] == 1
+        and isinstance(instruction, (isa.LDI, isa.LDA))
+    }
+
+
+def _clone_def(template: isa.MInstr, target: int) -> isa.MInstr:
+    if isinstance(template, isa.LDI):
+        return isa.LDI(target, template.imm)
+    assert isinstance(template, isa.LDA)
+    return isa.LDA(target, template.symbol, template.is_function)
+
+
+def _scratch_registers(machine: MachineFunction) -> list[int]:
+    """Scratch pool: convention-bounded caller-saves minus the argument
+    registers and RV (instruction selection names those directly around
+    calls and returns), then callee-saves; reserved web registers are in
+    neither directive set and precolored registers are filtered out."""
+    reserved = set(machine.precolored.values())
+    pool = [
+        register
+        for register in caller_pool(machine)
+        if register not in ARG_REGISTERS
+        and register != RV
+        and register not in reserved
+    ]
+    pool += [
+        register
+        for register in sorted(machine.directives.callee)
+        if register not in reserved
+    ]
+    return pool[:_MAX_SCRATCH]

@@ -7,7 +7,9 @@ module:
 1. apply web promotion rewrites from the database,
 2. re-run the local optimization fixpoint to clean up,
 3. instruction selection against the PRISM target,
-4. graph-coloring register allocation under the directive sets,
+4. register allocation under the directive sets — by default the
+   paper's graph colorer, selectable per compilation via the
+   :mod:`repro.backend.allocators` strategy registry,
 5. frame finalization (spill code placement per CALLEE/MSPILL/web rules),
 6. emission to an object module.
 
@@ -18,12 +20,12 @@ compiled independently and in any order.
 from __future__ import annotations
 
 from repro.analyzer.database import ProgramDatabase
+from repro.backend.allocators import get_allocator
 from repro.backend.finalize import finalize_frame
 from repro.backend.isel import select_function
 from repro.backend.mir import validate_machine_function
 from repro.backend.object import ObjectModule, emit_module
 from repro.backend.promotion import apply_web_promotion
-from repro.backend.regalloc import allocate_function
 from repro.ir.module import IRModule
 from repro.opt.pipeline import _local_fixpoint
 
@@ -47,8 +49,15 @@ def compile_module_phase2(
     module: IRModule,
     database: ProgramDatabase,
     opt_level: int = 2,
+    allocator: str | None = None,
 ) -> ObjectModule:
-    """Translate one IR module to an object module."""
+    """Translate one IR module to an object module.
+
+    ``allocator`` names a registered allocation strategy (``paper``,
+    ``linearscan``, ``spill-everywhere``); ``None`` defers to the
+    ``REPRO_ALLOCATOR`` environment variable and then the default.
+    """
+    strategy = get_allocator(allocator)
     machine_functions = []
     for function in module.functions.values():
         directives = database.get(function.name)
@@ -56,7 +65,7 @@ def compile_module_phase2(
         if changed and opt_level >= 1:
             _local_fixpoint(function)
         machine = select_function(function, directives, database)
-        allocate_function(machine)
+        strategy.allocate(machine)
         finalize_frame(machine)
         validate_machine_function(machine)
         machine_functions.append(machine)

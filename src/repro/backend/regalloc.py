@@ -1,327 +1,14 @@
-"""Graph-coloring register allocation honoring interprocedural directives.
+"""Compatibility shim — allocation now lives in
+:mod:`repro.backend.allocators`.
 
-A priority-based colorer in the Chow-Hennessy tradition (the paper's
-compilers use priority-based coloring):
-
-* liveness runs over virtual *and* physical registers, so argument
-  registers, RV, and call clobbers constrain allocation naturally;
-* each call instruction *defines* its clobber set — the registers the
-  analyzer says the callee may destroy (``CALLER ∪ MSPILL``), which is
-  how values live across calls are steered away from them;
-* virtual registers live across a call may only receive **FREE** (no
-  save/restore, preserved across calls thanks to spill code motion) or
-  **CALLEE** registers (save/restore added at entry/exit);
-* other virtual registers prefer **CALLER**, then **MSPILL** (spilled at
-  cluster roots on our behalf), then FREE/CALLEE;
-* registers reserved for promoted global webs appear in no pool; the
-  promoted values themselves arrive as precolored vregs.
-
-Uncolorable vregs are spilled to frame slots (loads before uses, stores
-after defs — all tagged singleton, since register spill traffic is scalar)
-and allocation reruns.
+The graph-coloring allocator this module used to implement moved
+verbatim to :mod:`repro.backend.allocators.paper` when allocation grew
+a strategy interface (paper / linearscan / spill-everywhere; see
+``docs/ALLOCATORS.md``).  The historical entry points are re-exported
+here for existing imports.
 """
 
-from __future__ import annotations
+from repro.backend.allocators.base import RegisterAllocationError
+from repro.backend.allocators.paper import allocate_function
 
-from dataclasses import dataclass, field
-
-from repro.analysis.liveness import compute_liveness
-from repro.backend.mir import MachineFunction
-from repro.target import isa
-from repro.target.frame import FrameLoc
-from repro.target.registers import ALL_ALLOCATABLE, SP
-
-_MAX_ROUNDS = 24
-
-
-class RegisterAllocationError(Exception):
-    """Raised when allocation cannot make progress."""
-
-
-@dataclass
-class _NodeInfo:
-    vreg: isa.VReg
-    neighbors: set = field(default_factory=set)  # other vregs
-    forbidden: set = field(default_factory=set)  # physical registers
-    cost: float = 0.0
-    live_across_call: bool = False
-    is_spill_temp: bool = False
-    # Move partners, for move-biased coloring: vregs this one is copied
-    # to/from, and physical registers likewise.
-    move_vregs: set = field(default_factory=set)
-    move_physical: set = field(default_factory=set)
-
-
-def allocate_function(machine: MachineFunction) -> None:
-    """Allocate registers in place; sets ``machine.used_registers``."""
-    spilled_ever: set = set()
-    for _ in range(_MAX_ROUNDS):
-        nodes = _build_interference(machine)
-        assignment, spills = _color(machine, nodes)
-        if not spills:
-            _rewrite(machine, assignment)
-            used = set(assignment.values()) | set(
-                machine.precolored.values()
-            )
-            machine.used_registers = used
-            return
-        for vreg in spills:
-            if vreg in spilled_ever:  # pragma: no cover - defensive
-                raise RegisterAllocationError(
-                    f"{machine.name}: vreg {vreg} spilled twice"
-                )
-            spilled_ever.add(vreg)
-        _insert_spill_code(machine, spills)
-    raise RegisterAllocationError(  # pragma: no cover - defensive
-        f"{machine.name}: register allocation did not converge"
-    )
-
-
-# ---------------------------------------------------------------------------
-# Interference construction
-# ---------------------------------------------------------------------------
-
-
-def _is_tracked(value) -> bool:
-    if isinstance(value, isa.VReg):
-        return True
-    return isinstance(value, int) and value in ALL_ALLOCATABLE
-
-
-def _build_interference(machine: MachineFunction) -> dict:
-    liveness = compute_liveness(
-        machine.blocks.keys(),
-        lambda label: machine.blocks[label].successors(),
-        lambda label: machine.blocks[label].instructions,
-        _is_tracked,
-    )
-    nodes: dict[isa.VReg, _NodeInfo] = {}
-
-    def node(vreg: isa.VReg) -> _NodeInfo:
-        if vreg not in nodes:
-            info = _NodeInfo(vreg)
-            info.is_spill_temp = vreg.hint.startswith("!spill")
-            nodes[vreg] = info
-        return nodes[vreg]
-
-    # Ensure every vreg has a node even if dead, and record move pairs
-    # for move-biased coloring.
-    for instruction in machine.iter_instructions():
-        for value in list(instruction.uses()) + list(instruction.defs()):
-            if isinstance(value, isa.VReg):
-                node(value)
-        if isinstance(instruction, isa.MOV):
-            dst, src = instruction.rd, instruction.rs
-            if isinstance(dst, isa.VReg) and isinstance(src, isa.VReg):
-                node(dst).move_vregs.add(src)
-                node(src).move_vregs.add(dst)
-            elif isinstance(dst, isa.VReg) and isinstance(src, int):
-                node(dst).move_physical.add(src)
-            elif isinstance(src, isa.VReg) and isinstance(dst, int):
-                node(src).move_physical.add(dst)
-
-    for label, block in machine.blocks.items():
-        weight = 10 ** min(block.loop_depth, 6)
-        live = set(liveness.live_out(label))
-        for instruction in reversed(block.instructions):
-            defs = [d for d in instruction.defs() if _is_tracked(d)]
-            uses = [u for u in instruction.uses() if _is_tracked(u)]
-            move_source = (
-                instruction.rs
-                if isinstance(instruction, isa.MOV)
-                else None
-            )
-            for defined in defs:
-                for other in live:
-                    if other is defined or other is move_source:
-                        continue
-                    _add_edge(node, defined, other)
-            if instruction.is_call:
-                for value in live:
-                    if isinstance(value, isa.VReg) and value not in defs:
-                        node(value).live_across_call = True
-            for defined in defs:
-                live.discard(defined)
-                if isinstance(defined, isa.VReg):
-                    node(defined).cost += weight
-            for used in uses:
-                live.add(used)
-                if isinstance(used, isa.VReg):
-                    node(used).cost += weight
-    return nodes
-
-
-def _add_edge(node_of, a, b) -> None:
-    a_virtual = isinstance(a, isa.VReg)
-    b_virtual = isinstance(b, isa.VReg)
-    if a_virtual and b_virtual:
-        node_of(a).neighbors.add(b)
-        node_of(b).neighbors.add(a)
-    elif a_virtual and not b_virtual:
-        node_of(a).forbidden.add(b)
-    elif b_virtual and not a_virtual:
-        node_of(b).forbidden.add(a)
-
-
-# ---------------------------------------------------------------------------
-# Coloring
-# ---------------------------------------------------------------------------
-
-
-def _pools(machine: MachineFunction) -> tuple[list[int], list[int]]:
-    directives = machine.directives
-    free = sorted(directives.free)
-    callee = sorted(directives.callee)
-    mspill = sorted(directives.mspill)
-    caller = _caller_pool(machine)
-    # Values live across calls may also take caller-saves registers: the
-    # per-call-site clobber interference (BL defines its clobber set)
-    # rules out every unsafe choice, and with caller-saves preallocation
-    # (section 7.6.2) some caller registers genuinely survive specific
-    # calls.  FREE first (guaranteed, no save/restore), then caller
-    # (no save/restore, call-dependent), then CALLEE (save/restore).
-    across_pool = free + caller + callee
-    normal_pool = caller + mspill + free + callee
-    return across_pool, normal_pool
-
-
-def _caller_pool(machine: MachineFunction) -> list[int]:
-    """The caller-saves registers this procedure may allocate.
-
-    Without preallocation data this is the directive's CALLER set.  With
-    it, standard caller-saves usage is restricted to the analyzer's
-    prefix plus the argument registers the procedure demonstrably
-    touches (incoming parameters were written by our callers, outgoing
-    argument registers are part of our propagated subtree usage) and RV
-    — keeping the propagated subtree sets sound upper bounds.
-    """
-    from repro.target.registers import ARG_REGISTERS, CALLER_SAVES, RV
-
-    directives = machine.directives
-    prefix = getattr(directives, "caller_prefix", None)
-    if prefix is None:
-        return sorted(directives.caller)
-    allowed: list[int] = list(prefix)
-    for register in ARG_REGISTERS[: machine.num_params]:
-        if register not in allowed:
-            allowed.append(register)
-    for register in ARG_REGISTERS[: machine.max_outgoing_args]:
-        if register not in allowed:
-            allowed.append(register)
-    if RV not in allowed:
-        allowed.append(RV)
-    # Non-standard caller registers granted by spill code motion.
-    for register in sorted(set(directives.caller) - set(CALLER_SAVES)):
-        if register not in allowed:
-            allowed.append(register)
-    return allowed
-
-
-def _color(machine: MachineFunction, nodes: dict) -> tuple[dict, list]:
-    across_pool, normal_pool = _pools(machine)
-    assignment: dict[isa.VReg, int] = dict(machine.precolored)
-    spills: list[isa.VReg] = []
-    order = sorted(
-        (info for vreg, info in nodes.items() if vreg not in assignment),
-        key=lambda info: (-info.cost, info.vreg.uid),
-    )
-    for info in order:
-        taken = set(info.forbidden)
-        for neighbor in info.neighbors:
-            if neighbor in assignment:
-                taken.add(assignment[neighbor])
-        pool = across_pool if info.live_across_call else normal_pool
-        # Move-biased choice: a move partner's register (when legal and
-        # in the pool) coalesces the copy away at rewrite time.
-        preferred = set(info.move_physical)
-        for partner in info.move_vregs:
-            if partner in assignment:
-                preferred.add(assignment[partner])
-        chosen = next(
-            (r for r in pool if r in preferred and r not in taken), None
-        )
-        if chosen is None:
-            chosen = next((r for r in pool if r not in taken), None)
-        if chosen is None:
-            if info.is_spill_temp:  # pragma: no cover - defensive
-                raise RegisterAllocationError(
-                    f"{machine.name}: cannot color spill temp {info.vreg}"
-                )
-            spills.append(info.vreg)
-        else:
-            assignment[info.vreg] = chosen
-    return assignment, spills
-
-
-# ---------------------------------------------------------------------------
-# Spilling
-# ---------------------------------------------------------------------------
-
-
-def _insert_spill_code(machine: MachineFunction, spills: list) -> None:
-    slots = {}
-    for vreg in spills:
-        slots[vreg] = machine.num_spills
-        machine.num_spills += 1
-    spill_set = set(spills)
-    for block in machine.blocks.values():
-        out: list[isa.MInstr] = []
-        for instruction in block.instructions:
-            touched = [
-                v
-                for v in set(
-                    list(instruction.uses()) + list(instruction.defs())
-                )
-                if isinstance(v, isa.VReg) and v in spill_set
-            ]
-            if not touched:
-                out.append(instruction)
-                continue
-            mapping = {}
-            for vreg in touched:
-                mapping[vreg] = machine.new_vreg(f"!spill.{vreg.uid}")
-            uses = set(instruction.uses())
-            defs = set(instruction.defs())
-            for vreg in touched:
-                if vreg in uses:
-                    out.append(
-                        isa.LDW(
-                            mapping[vreg],
-                            SP,
-                            FrameLoc("spill", slots[vreg]),
-                            singleton=True,
-                        )
-                    )
-            instruction.rename(mapping)
-            out.append(instruction)
-            for vreg in touched:
-                if vreg in defs:
-                    out.append(
-                        isa.STW(
-                            mapping[vreg],
-                            SP,
-                            FrameLoc("spill", slots[vreg]),
-                            singleton=True,
-                        )
-                    )
-        block.instructions = out
-
-
-# ---------------------------------------------------------------------------
-# Rewrite
-# ---------------------------------------------------------------------------
-
-
-def _rewrite(machine: MachineFunction, assignment: dict) -> None:
-    for block in machine.blocks.values():
-        out = []
-        for instruction in block.instructions:
-            instruction.rename(assignment)
-            if (
-                isinstance(instruction, isa.MOV)
-                and isinstance(instruction.rd, int)
-                and instruction.rd == instruction.rs
-            ):
-                continue  # coalesced by identical coloring
-            out.append(instruction)
-        block.instructions = out
+__all__ = ["RegisterAllocationError", "allocate_function"]

@@ -48,11 +48,17 @@ def text_digest(text: str) -> str:
 
 
 def phase2_key(phase1_fingerprint: str, directive_digest: str,
-               opt_level: int) -> str:
-    """Cache key for one module's phase-2 object module."""
+               opt_level: int, allocator: str = "paper") -> str:
+    """Cache key for one module's phase-2 object module.
+
+    ``allocator`` is the resolved allocation-strategy name
+    (:mod:`repro.backend.allocators`): strategies produce different
+    object code from identical inputs, so they must never share cache
+    entries.
+    """
     token = "|".join(
         ("phase2", str(SCHEMA_VERSION), phase1_fingerprint,
-         directive_digest, str(opt_level))
+         directive_digest, str(opt_level), allocator)
     )
     return hashlib.sha256(token.encode("utf-8")).hexdigest()
 

@@ -48,8 +48,10 @@ def default_scheduler():
     otherwise at first use; ``REPRO_VERIFY=1`` additionally runs the
     post-link allocation auditor (:mod:`repro.verify.auditor`) on every
     linked executable, ``REPRO_INCREMENTAL=1`` routes the analyze stage
-    through the incremental engine (:mod:`repro.incremental`), and
-    ``REPRO_CACHE_MAX_BYTES`` caps the artifact cache's on-disk size.
+    through the incremental engine (:mod:`repro.incremental`),
+    ``REPRO_CACHE_MAX_BYTES`` caps the artifact cache's on-disk size,
+    and ``REPRO_ALLOCATOR`` picks the phase-2 allocation strategy
+    (read at each compilation, like ``REPRO_SIM`` for the simulator).
     """
     global _default_scheduler
     if _default_scheduler is None:
@@ -101,11 +103,18 @@ def compile_with_database(
     database: ProgramDatabase,
     opt_level: int = 2,
     scheduler=None,
+    allocator: str | None = None,
 ) -> Executable:
-    """Compiler second phase + link, leaving phase-1 results intact."""
+    """Compiler second phase + link, leaving phase-1 results intact.
+
+    ``allocator`` names the phase-2 allocation strategy
+    (:mod:`repro.backend.allocators`); ``None`` defers to the
+    scheduler's default and the ``REPRO_ALLOCATOR`` environment
+    variable.
+    """
     scheduler = scheduler or default_scheduler()
     return scheduler.compile_with_database(
-        phase1_results, database, opt_level
+        phase1_results, database, opt_level, allocator=allocator
     )
 
 
@@ -114,6 +123,7 @@ def compile_program(
     opt_level: int = 2,
     analyzer_options: Optional[AnalyzerOptions] = None,
     scheduler=None,
+    allocator: str | None = None,
 ) -> CompilationResult:
     """Compile a whole program.
 
@@ -126,9 +136,15 @@ def compile_program(
         scheduler: A :class:`~repro.driver.scheduler.CompilationScheduler`
             to compile on (parallel workers, artifact cache); defaults
             to the serial, uncached module-level one.
+        allocator: Phase-2 allocation strategy
+            (:mod:`repro.backend.allocators`: ``paper``, ``linearscan``,
+            ``spill-everywhere``); ``None`` defers to the scheduler's
+            default and the ``REPRO_ALLOCATOR`` environment variable.
     """
     scheduler = scheduler or default_scheduler()
-    return scheduler.compile_program(sources, opt_level, analyzer_options)
+    return scheduler.compile_program(
+        sources, opt_level, analyzer_options, allocator=allocator
+    )
 
 
 def compile_and_run(
@@ -137,9 +153,12 @@ def compile_and_run(
     analyzer_options: Optional[AnalyzerOptions] = None,
     max_cycles: int = 200_000_000,
     scheduler=None,
+    allocator: str | None = None,
 ) -> ExecutionStats:
     """Compile and simulate in one call."""
-    result = compile_program(sources, opt_level, analyzer_options, scheduler)
+    result = compile_program(
+        sources, opt_level, analyzer_options, scheduler, allocator=allocator
+    )
     return run_executable(result.executable, max_cycles)
 
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.analyzer.database import ProgramDatabase
 from repro.analyzer.driver import analyze_program
+from repro.backend.allocators import resolve_allocator
 from repro.backend.phase2 import (
     compile_module_phase2,
     module_directive_names,
@@ -70,8 +71,10 @@ def _phase2_task(item):
     whether it runs in a worker (where the pickle round-trip already
     isolated it) or inline in the parent.
     """
-    ir_module, database, opt_level = item
-    return compile_module_phase2(deepcopy(ir_module), database, opt_level)
+    ir_module, database, opt_level, allocator = item
+    return compile_module_phase2(
+        deepcopy(ir_module), database, opt_level, allocator
+    )
 
 
 @dataclass
@@ -196,6 +199,13 @@ class CompilationScheduler:
             Every event is emitted from this parent process — worker
             processes compute, the parent narrates — so serial and
             parallel runs produce identical canonicalized streams.
+        allocator: Default register-allocation strategy for phase 2
+            (:mod:`repro.backend.allocators`: ``paper``, ``linearscan``,
+            ``spill-everywhere``).  ``None`` (the default) defers to the
+            ``REPRO_ALLOCATOR`` environment variable and then the
+            ``paper`` strategy; individual ``compile_*`` calls may
+            override per compilation.  The strategy is part of each
+            phase-2 cache key, so strategies never share object modules.
 
     The worker pool is created lazily on the first parallel stage and
     reused across compilations (benchmark sessions amortize startup
@@ -210,7 +220,9 @@ class CompilationScheduler:
         verify: bool | None = None,
         incremental: bool | None = None,
         trace=None,
+        allocator: str | None = None,
     ):
+        self.allocator = allocator
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -440,14 +452,19 @@ class CompilationScheduler:
         phase1_results: list,
         database: ProgramDatabase,
         opt_level: int = 2,
+        allocator: str | None = None,
     ) -> list:
         """Compiler second phase over every module (cached, parallel).
 
         Cache keys pair each module's phase-1 fingerprint with a digest
-        of the directives its compilation can observe, so two databases
-        that agree on a module's slice of directives share its object
-        module no matter how much they differ elsewhere.
+        of the directives its compilation can observe (plus the
+        allocation strategy), so two databases that agree on a module's
+        slice of directives share its object module no matter how much
+        they differ elsewhere.
         """
+        resolved = resolve_allocator(
+            allocator if allocator is not None else self.allocator
+        )
         tracer = self.tracer
         with self._timed("phase2"), tracer.span(
             "phase2", modules=len(phase1_results)
@@ -461,7 +478,8 @@ class CompilationScheduler:
                         module_directive_names(result.ir_module)
                     )
                     key = phase2_key(
-                        result.fingerprint, digest, opt_level
+                        result.fingerprint, digest, opt_level,
+                        allocator=resolved,
                     )
                     cached = self.cache.load("phase2", key)
                     if cached is not None:
@@ -472,7 +490,12 @@ class CompilationScheduler:
             computed = self._run_tasks(
                 _phase2_task,
                 [
-                    (phase1_results[index].ir_module, database, opt_level)
+                    (
+                        phase1_results[index].ir_module,
+                        database,
+                        opt_level,
+                        resolved,
+                    )
                     for index, _key in pending
                 ],
             )
@@ -489,6 +512,7 @@ class CompilationScheduler:
                             result.ir_module, "name", str(index)
                         ),
                         cached=index not in recompiled,
+                        allocator=resolved,
                     )
         return objects
 
@@ -522,9 +546,12 @@ class CompilationScheduler:
         phase1_results: list,
         database: ProgramDatabase,
         opt_level: int = 2,
+        allocator: str | None = None,
     ) -> Executable:
         """Second phase + link, leaving phase-1 results intact."""
-        objects = self.compile_objects(phase1_results, database, opt_level)
+        objects = self.compile_objects(
+            phase1_results, database, opt_level, allocator=allocator
+        )
         executable = self._link(objects)
         if self.verify:
             self.audit(executable, database)
@@ -547,6 +574,7 @@ class CompilationScheduler:
         sources,
         opt_level: int = 2,
         analyzer_options=None,
+        allocator: str | None = None,
     ):
         """Full pipeline; the returned result carries this
         compilation's share of the scheduler metrics."""
@@ -561,7 +589,9 @@ class CompilationScheduler:
             )
         else:
             database = ProgramDatabase()
-        objects = self.compile_objects(phase1_results, database, opt_level)
+        objects = self.compile_objects(
+            phase1_results, database, opt_level, allocator=allocator
+        )
         executable = self._link(objects)
         if self.verify:
             self.audit(executable, database)
