@@ -1,0 +1,174 @@
+"""Analyzer throughput at scale: packed vs reference dataflow kernels.
+
+The interprocedural analyzer is the piece of this system that must run
+over *whole programs* — the paper's pitch is analysis cheap enough to
+rerun at every link.  This harness synthesizes optimizer-shaped programs
+(binary call trees per module, ~one file-scope global per procedure,
+cross-module calls; see ``FuzzProgramGenerator.synthesize_large``) at
+1 000 / 10 000 / 50 000 procedures and measures full ``analyze_program``
+runs (config C) under both dataflow kernels.
+
+Methodology: ``time.process_time`` (CPU, immune to scheduler noise),
+best of ``ROUNDS`` interleaved runs.  The reference kernel is only timed
+through 10k procedures — its per-variable whole-graph sweeps make 50k
+runs take minutes, which is the point of the packed kernels.  Database
+byte-identity between the two kernels is asserted at every scale where
+both run.  Results land in the ``scalability`` section of
+``BENCH_results.json``.
+
+``REPRO_SCALE_PROCS`` (comma-separated procedure counts) restricts the
+scales — CI's smoke step runs ``REPRO_SCALE_PROCS=1000``.
+"""
+
+import hashlib
+import os
+import time
+
+from repro.analysis.liveness import compute_ir_liveness
+from repro.analysis.frequency import (
+    _function_walk,
+    estimate_callee_saves_need,
+    estimate_caller_saves_need,
+)
+from repro.analyzer.driver import AnalyzerOptions, analyze_program
+from repro.ir import lower_source
+from repro.verify.progen import FuzzProgramGenerator, generate_fuzz_program
+
+from conftest import _SCALABILITY, print_table, record_note
+
+#: (procedures, modules) — modules scale so each holds ~50 procedures.
+SCALES = ((1_000, 20), (10_000, 200), (50_000, 1_000))
+REFERENCE_CEILING = 10_000  # reference kernel not timed above this
+ROUNDS = 3
+TARGET_SPEEDUP_AT_10K = 10.0
+#: CI floor for the 1k smoke run (observed ~9k procs/sec on a dev box;
+#: the floor leaves ~6x headroom for slower runners).
+MIN_PACKED_PROCS_PER_SEC_1K = 1_500
+
+
+def _selected_scales():
+    override = os.environ.get("REPRO_SCALE_PROCS")
+    if not override:
+        return SCALES
+    wanted = {int(v) for v in override.split(",") if v.strip()}
+    return tuple(s for s in SCALES if s[0] in wanted)
+
+
+def _timed_analysis(summaries, mode, rounds=ROUNDS):
+    """Best-of CPU seconds plus the database digest of one run."""
+    os.environ["REPRO_DATAFLOW"] = mode
+    try:
+        best = None
+        digest = None
+        for _ in range(rounds):
+            start = time.process_time()
+            database = analyze_program(
+                summaries, AnalyzerOptions.config("C")
+            )
+            elapsed = time.process_time() - start
+            if best is None or elapsed < best:
+                best = elapsed
+            if digest is None:
+                digest = hashlib.sha256(
+                    database.to_json().encode()
+                ).hexdigest()
+        return best, digest
+    finally:
+        os.environ.pop("REPRO_DATAFLOW", None)
+
+
+def test_analyzer_scale():
+    rows = []
+    for procedures, modules in _selected_scales():
+        summaries = FuzzProgramGenerator(0).synthesize_large(
+            modules, procedures
+        )
+        packed_s, packed_digest = _timed_analysis(summaries, "packed")
+        entry = {
+            "procedures": procedures,
+            "modules": modules,
+            "packed_seconds": packed_s,
+            "packed_procs_per_sec": procedures / packed_s,
+        }
+        if procedures <= REFERENCE_CEILING:
+            reference_s, reference_digest = _timed_analysis(
+                summaries, "reference", rounds=max(1, ROUNDS - 1)
+            )
+            assert packed_digest == reference_digest, (
+                f"{procedures} procs: database bytes diverge across kernels"
+            )
+            entry["reference_seconds"] = reference_s
+            entry["reference_procs_per_sec"] = procedures / reference_s
+            entry["speedup"] = reference_s / packed_s
+        _SCALABILITY[str(procedures)] = entry
+        rows.append((
+            procedures,
+            modules,
+            f"{entry['packed_procs_per_sec']:.0f}",
+            f"{entry['reference_procs_per_sec']:.0f}"
+            if "reference_procs_per_sec" in entry else "-",
+            f"{entry['speedup']:.1f}x" if "speedup" in entry else "-",
+        ))
+
+        if procedures == 1_000:
+            assert (
+                entry["packed_procs_per_sec"]
+                > MIN_PACKED_PROCS_PER_SEC_1K
+            ), entry
+        if procedures == 10_000 and "speedup" in entry:
+            assert entry["speedup"] >= TARGET_SPEEDUP_AT_10K, entry
+            _SCALABILITY["target_speedup_at_10k"] = TARGET_SPEEDUP_AT_10K
+
+    print_table(
+        "Analyzer scale: full interprocedural analysis (config C)",
+        ("procs", "modules", "packed procs/s", "reference procs/s",
+         "speedup"),
+        rows,
+    )
+
+
+def test_frequency_walk_hoisting():
+    """The register-need estimators accept a precomputed liveness result
+    and instruction walk; sharing them (as ``analyze_function_usage``
+    does) must beat per-estimator re-derivation — the old hot path
+    solved the same liveness fixpoint three times per function."""
+    functions = []
+    for seed in range(4):
+        for module_name, text in sorted(
+            generate_fuzz_program(seed).items()
+        ):
+            module = lower_source(text, f"s{seed}_{module_name}")
+            functions.extend(module.functions.values())
+    assert len(functions) >= 10
+
+    def shared():
+        for function in functions:
+            liveness = compute_ir_liveness(function)
+            walk = _function_walk(function)
+            estimate_callee_saves_need(function, liveness, walk)
+            estimate_caller_saves_need(function, liveness, walk)
+
+    def rederived():
+        for function in functions:
+            estimate_callee_saves_need(function)
+            estimate_caller_saves_need(function)
+
+    best = {"shared": None, "rederived": None}
+    for _ in range(5):
+        for name, body in (("shared", shared), ("rederived", rederived)):
+            start = time.process_time()
+            body()
+            elapsed = time.process_time() - start
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+    speedup = best["rederived"] / best["shared"]
+    _SCALABILITY["frequency_walk_hoisting"] = {
+        "shared_seconds": best["shared"],
+        "rederived_seconds": best["rederived"],
+        "speedup": speedup,
+    }
+    record_note(
+        f"frequency estimate hoisting: shared liveness+walk "
+        f"{speedup:.2f}x faster than per-estimator re-derivation"
+    )
+    assert speedup > 1.1, best

@@ -145,6 +145,12 @@ _SIM_THROUGHPUT: dict = {}
 _ALLOCATOR_TOURNAMENT: dict = {}
 
 
+# Analyzer scale harness (bench_analyzer_scale.py): procedures/sec of
+# the packed vs reference dataflow kernels on synthesized 1k-50k
+# procedure programs, written alongside the tables at session end.
+_SCALABILITY: dict = {}
+
+
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
@@ -258,6 +264,7 @@ def write_bench_report(json_path) -> dict:
         ("observability_overhead", _OBSERVABILITY),
         ("simulator_throughput", _SIM_THROUGHPUT),
         ("allocator_tournament", _ALLOCATOR_TOURNAMENT),
+        ("scalability", _SCALABILITY),
     ):
         if section:
             payload[key] = section
@@ -273,7 +280,7 @@ def pytest_sessionfinish(session, exitstatus):
     written = []
     if (_BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION
             or _OBSERVABILITY or _SIM_THROUGHPUT
-            or _ALLOCATOR_TOURNAMENT):
+            or _ALLOCATOR_TOURNAMENT or _SCALABILITY):
         json_path = os.path.join(
             os.path.dirname(__file__), "BENCH_results.json"
         )

@@ -10,6 +10,14 @@ Following the prototype described in section 6, "usage counts and call
 frequencies were determined based on the location of each reference or
 call in the control flow hierarchy": a reference at loop nesting depth
 ``d`` is weighted ``FREQUENCY_BASE ** d``.
+
+The live-across-call walkers share one precomputed *function walk* — a
+per-block tuple of ``(defs, temp uses, call flags)`` triples in reverse
+program order — instead of rebuilding ``set(instruction.defs())`` and
+``list(block.instructions)`` inside every inner loop, and one liveness
+result instead of re-solving the fixpoint per estimate.  Under the
+default ``packed`` dataflow mode (:mod:`repro.analysis.packed`) the
+walks run on integer bitmasks over a dense temp index.
 """
 
 from __future__ import annotations
@@ -17,7 +25,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.analysis.liveness import compute_ir_liveness
+from repro.analysis.liveness import LivenessResult, compute_ir_liveness
+from repro.analysis.packed import resolve_dataflow
 from repro.ir.function import IRFunction
 from repro.ir.instructions import (
     Call,
@@ -62,6 +71,40 @@ class FunctionUsage:
     max_call_args: int = 0
 
 
+def _function_walk(function: IRFunction) -> list:
+    """Hoisted per-block reverse walks for the live-across-call passes.
+
+    Returns ``[(label, steps), ...]`` where ``steps`` is a tuple of
+    ``(defs, temp_uses, is_call, is_user_call)`` records — one per
+    instruction *including* the terminator, in reverse program order —
+    with ``defs``/``temp_uses`` as tuples.  Built once per function;
+    the old code re-allocated ``set(instruction.defs())`` and the
+    instruction list inside every inner loop of every estimate.
+    """
+    walk = []
+    for block in function.blocks.values():
+        instructions = list(block.instructions)
+        if block.terminator is not None:
+            instructions.append(block.terminator)
+        steps = []
+        for instruction in reversed(instructions):
+            is_call = isinstance(instruction, (Call, CallIndirect))
+            is_user_call = is_call and not (
+                isinstance(instruction, Call) and instruction.is_builtin
+            )
+            steps.append((
+                tuple(instruction.defs()),
+                tuple(
+                    used for used in instruction.uses()
+                    if isinstance(used, Temp)
+                ),
+                is_call,
+                is_user_call,
+            ))
+        walk.append((block.label, tuple(steps)))
+    return walk
+
+
 def analyze_function_usage(function: IRFunction) -> FunctionUsage:
     """Collect weighted reference/call counts and register-need estimate."""
     usage = FunctionUsage()
@@ -87,12 +130,24 @@ def analyze_function_usage(function: IRFunction) -> FunctionUsage:
                 )
             elif isinstance(instruction, LoadAddr) and instruction.is_function:
                 usage.address_taken_functions.add(instruction.symbol)
-    usage.callee_saves_needed = estimate_callee_saves_need(function)
-    usage.caller_saves_needed = estimate_caller_saves_need(function)
+    # One liveness fixpoint and one instruction walk feed both register
+    # estimates (each used to re-solve liveness privately).
+    liveness = compute_ir_liveness(function)
+    walk = _function_walk(function)
+    usage.callee_saves_needed = estimate_callee_saves_need(
+        function, liveness, walk
+    )
+    usage.caller_saves_needed = estimate_caller_saves_need(
+        function, liveness, walk
+    )
     return usage
 
 
-def estimate_caller_saves_need(function: IRFunction) -> int:
+def estimate_caller_saves_need(
+    function: IRFunction,
+    liveness: LivenessResult | None = None,
+    walk: list | None = None,
+) -> int:
     """Estimate how many caller-saves registers the procedure needs.
 
     Values *not* live across calls can use caller-saves registers; the
@@ -102,48 +157,63 @@ def estimate_caller_saves_need(function: IRFunction) -> int:
     usage bottom-up so callers can keep values in caller-saves registers
     across calls that do not touch them.
     """
-    liveness = compute_ir_liveness(function)
-    across = _temps_live_across_calls(function, liveness)
+    if liveness is None:
+        liveness = compute_ir_liveness(function)
+    if walk is None:
+        walk = _function_walk(function)
+    if resolve_dataflow() == "packed":
+        masks = _PackedWalk(liveness, walk)
+        across = masks.across_user_calls()
+        peak = 0
+        for label, steps in masks.steps:
+            live = masks.live_out[label] & ~across
+            peak = max(peak, live.bit_count())
+            for defs, uses, _is_call, _is_user_call in steps:
+                live &= ~defs
+                live |= uses & ~across
+                count = live.bit_count()
+                if count > peak:
+                    peak = count
+        return peak
+    across = _temps_live_across_calls(function, liveness, walk)
     peak = 0
-    for block in function.blocks.values():
+    for label, steps in walk:
         live: set[Temp] = {
-            t for t in liveness.live_out(block.label) if t not in across
+            t for t in liveness.live_out(label) if t not in across
         }
         peak = max(peak, len(live))
-        instructions = list(block.instructions)
-        if block.terminator is not None:
-            instructions.append(block.terminator)
-        for instruction in reversed(instructions):
-            for defined in instruction.defs():
+        for defs, uses, _is_call, _is_user_call in steps:
+            for defined in defs:
                 live.discard(defined)
-            for used in instruction.uses():
-                if isinstance(used, Temp) and used not in across:
+            for used in uses:
+                if used not in across:
                     live.add(used)
             peak = max(peak, len(live))
     return peak
 
 
-def _temps_live_across_calls(function: IRFunction, liveness) -> set:
+def _temps_live_across_calls(
+    function: IRFunction, liveness, walk: list | None = None
+) -> set:
+    if walk is None:
+        walk = _function_walk(function)
     across: set[Temp] = set()
-    for block in function.blocks.values():
-        instructions = list(block.instructions)
-        if block.terminator is not None:
-            instructions.append(block.terminator)
-        live: set[Temp] = set(liveness.live_out(block.label))
-        for instruction in reversed(instructions):
-            if isinstance(instruction, (Call, CallIndirect)) and not (
-                isinstance(instruction, Call) and instruction.is_builtin
-            ):
-                across |= live - set(instruction.defs())
-            for defined in instruction.defs():
+    for label, steps in walk:
+        live: set[Temp] = set(liveness.live_out(label))
+        for defs, uses, _is_call, is_user_call in steps:
+            if is_user_call:
+                across |= live.difference(defs)
+            for defined in defs:
                 live.discard(defined)
-            for used in instruction.uses():
-                if isinstance(used, Temp):
-                    live.add(used)
+            live.update(uses)
     return across
 
 
-def estimate_callee_saves_need(function: IRFunction) -> int:
+def estimate_callee_saves_need(
+    function: IRFunction,
+    liveness: LivenessResult | None = None,
+    walk: list | None = None,
+) -> int:
     """Estimate how many callee-saves registers the procedure needs.
 
     A temp that is live across some call must survive the call, so it
@@ -152,21 +222,84 @@ def estimate_callee_saves_need(function: IRFunction) -> int:
     phase records in the summary file for the spill-code-motion
     preallocation (section 4.2.4).
     """
-    liveness = compute_ir_liveness(function)
+    if liveness is None:
+        liveness = compute_ir_liveness(function)
+    if walk is None:
+        walk = _function_walk(function)
+    if resolve_dataflow() == "packed":
+        masks = _PackedWalk(liveness, walk)
+        across = 0
+        for label, steps in masks.steps:
+            live = masks.live_out[label]
+            # Walk backward so "live after the call" is available at the
+            # call; every call counts here, builtins included.
+            for defs, uses, is_call, _is_user_call in steps:
+                if is_call:
+                    across |= live & ~defs
+                live &= ~defs
+                live |= uses
+        return across.bit_count()
     live_across_calls: set[Temp] = set()
-    for block in function.blocks.values():
-        instructions = list(block.instructions)
-        if block.terminator is not None:
-            instructions.append(block.terminator)
-        live: set[Temp] = set(liveness.live_out(block.label))
+    for label, steps in walk:
+        live: set[Temp] = set(liveness.live_out(label))
         # Walk backward so "live after the call" is available at the call.
-        for instruction in reversed(instructions):
-            if isinstance(instruction, (Call, CallIndirect)):
-                after = live - set(instruction.defs())
-                live_across_calls |= after
-            for defined in instruction.defs():
+        for defs, uses, is_call, _is_user_call in steps:
+            if is_call:
+                live_across_calls |= live.difference(defs)
+            for defined in defs:
                 live.discard(defined)
-            for used in instruction.uses():
-                if isinstance(used, Temp):
-                    live.add(used)
+            live.update(uses)
     return len(live_across_calls)
+
+
+class _PackedWalk:
+    """Bitmask form of a function walk + its block ``live_out`` facts.
+
+    Temps get a dense per-function index; each walk step's def/use
+    tuples and each block's ``live_out`` set become single integers, so
+    the estimate loops above run on ``&``/``|`` instead of per-element
+    set mutation.
+    """
+
+    __slots__ = ("steps", "live_out", "_index")
+
+    def __init__(self, liveness, walk: list):
+        self._index: dict = {}
+        index = self._index
+
+        def mask_of(items) -> int:
+            mask = 0
+            for item in items:
+                position = index.get(item)
+                if position is None:
+                    position = len(index)
+                    index[item] = position
+                mask |= 1 << position
+            return mask
+
+        self.steps = [
+            (
+                label,
+                tuple(
+                    (mask_of(defs), mask_of(uses), is_call, is_user_call)
+                    for defs, uses, is_call, is_user_call in steps
+                ),
+            )
+            for label, steps in walk
+        ]
+        self.live_out = {
+            label: mask_of(liveness.live_out(label))
+            for label, _steps in self.steps
+        }
+
+    def across_user_calls(self) -> int:
+        """Mask of temps live across some non-builtin call."""
+        across = 0
+        for label, steps in self.steps:
+            live = self.live_out[label]
+            for defs, uses, _is_call, is_user_call in steps:
+                if is_user_call:
+                    across |= live & ~defs
+                live &= ~defs
+                live |= uses
+        return across

@@ -4,12 +4,26 @@ Written generically over any block graph whose instructions expose
 ``uses()``/``defs()``: both the IR (:mod:`repro.ir`) and the PRISM machine
 code (:mod:`repro.backend`) satisfy the protocol, so the same engine
 drives IR dead-code elimination and the backend's register allocator.
+
+The fixpoint is solved with a worklist seeded in reverse post-order and
+popped last-in-first-out (so blocks are first processed successors-first),
+re-queueing a block's predecessors only when its ``live_in`` actually
+changed — on an acyclic CFG every block is visited exactly once, where
+the old round-robin changed-flag sweep recomputed every block's
+``live_out`` from scratch each global pass even when no predecessor
+changed.  Two interchangeable kernels solve the same equations (the
+``REPRO_DATAFLOW`` knob, see :mod:`repro.analysis.packed`): the
+``reference`` kernel keeps one Python ``set`` per fact, the default
+``packed`` kernel runs the whole fixpoint on integer bit vectors over a
+dense value index and converts to sets once at the end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, TypeVar
+
+from repro.analysis.packed import iter_bits, resolve_dataflow
 
 Value = TypeVar("Value", bound=Hashable)
 
@@ -25,10 +39,17 @@ class BlockLiveness:
 
 
 class LivenessResult:
-    """Per-block liveness sets, plus per-instruction iteration support."""
+    """Per-block liveness sets, plus per-instruction iteration support.
 
-    def __init__(self, blocks: dict[str, BlockLiveness]):
+    ``block_visits`` counts worklist pops during the fixpoint — the
+    regression guard for the solver's work bound (an acyclic CFG must
+    cost exactly one visit per block).
+    """
+
+    def __init__(self, blocks: dict[str, BlockLiveness],
+                 block_visits: int = 0):
         self.blocks = blocks
+        self.block_visits = block_visits
 
     def live_in(self, label: str) -> set:
         return self.blocks[label].live_in
@@ -37,11 +58,52 @@ class LivenessResult:
         return self.blocks[label].live_out
 
 
+def _worklist_order(
+    label_list: list, succs: dict, preds: dict
+) -> list:
+    """Reverse post-order over the CFG, for seeding the worklist.
+
+    Roots are blocks without predecessors (falling back to the first
+    block of a fully cyclic graph); unreachable blocks are appended so
+    every block is seeded at least once.
+    """
+    visited: set = set()
+    postorder: list = []
+
+    def dfs(root: str) -> None:
+        stack = [(root, iter(succs[root]))]
+        visited.add(root)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(succs[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    roots = [label for label in label_list if not preds[label]]
+    if not roots and label_list:
+        roots = [label_list[0]]
+    for root in roots:
+        if root not in visited:
+            dfs(root)
+    for label in label_list:
+        if label not in visited:
+            dfs(label)
+    return list(reversed(postorder))
+
+
 def compute_liveness(
     labels: Iterable[str],
     successors: Callable[[str], Iterable[str]],
     block_instructions: Callable[[str], list],
     is_trackable: Callable[[object], bool],
+    mode: str | None = None,
 ) -> LivenessResult:
     """Run backward liveness to a fixpoint.
 
@@ -52,9 +114,35 @@ def compute_liveness(
             terminator (each exposing ``uses()``/``defs()``).
         is_trackable: Filter for operand values to track (e.g. "is a
             Temp" or "is a virtual register").
+        mode: Kernel override; ``None`` consults ``REPRO_DATAFLOW``.
     """
-    facts: dict[str, BlockLiveness] = {}
     label_list = list(labels)
+    succs = {label: list(successors(label)) for label in label_list}
+    preds: dict[str, list] = {label: [] for label in label_list}
+    for label in label_list:
+        for successor in succs[label]:
+            preds[successor].append(label)
+    order = _worklist_order(label_list, succs, preds)
+
+    if resolve_dataflow(mode) == "packed":
+        return _solve_packed(
+            label_list, succs, preds, order, block_instructions,
+            is_trackable,
+        )
+    return _solve_reference(
+        label_list, succs, preds, order, block_instructions, is_trackable
+    )
+
+
+def _solve_reference(
+    label_list: list,
+    succs: dict,
+    preds: dict,
+    order: list,
+    block_instructions: Callable[[str], list],
+    is_trackable: Callable[[object], bool],
+) -> LivenessResult:
+    facts: dict[str, BlockLiveness] = {}
     for label in label_list:
         fact = BlockLiveness()
         # Scan backward to compute upward-exposed uses and kills.
@@ -67,20 +155,97 @@ def compute_liveness(
                     fact.use.add(used)
         facts[label] = fact
 
-    changed = True
-    while changed:
-        changed = False
-        for label in reversed(label_list):
-            fact = facts[label]
-            live_out: set = set()
-            for successor in successors(label):
-                live_out |= facts[successor].live_in
-            live_in = fact.use | (live_out - fact.define)
-            if live_out != fact.live_out or live_in != fact.live_in:
-                fact.live_out = live_out
-                fact.live_in = live_in
-                changed = True
-    return LivenessResult(facts)
+    # Seeded in reverse post-order, popped LIFO: the first sweep runs
+    # successors-first, so acyclic regions converge in one visit each.
+    stack = list(order)
+    queued = set(order)
+    visits = 0
+    while stack:
+        label = stack.pop()
+        queued.discard(label)
+        visits += 1
+        fact = facts[label]
+        live_out: set = set()
+        for successor in succs[label]:
+            live_out |= facts[successor].live_in
+        live_in = fact.use | (live_out - fact.define)
+        fact.live_out = live_out
+        if live_in != fact.live_in:
+            fact.live_in = live_in
+            for predecessor in preds[label]:
+                if predecessor not in queued:
+                    queued.add(predecessor)
+                    stack.append(predecessor)
+    return LivenessResult(facts, visits)
+
+
+def _solve_packed(
+    label_list: list,
+    succs: dict,
+    preds: dict,
+    order: list,
+    block_instructions: Callable[[str], list],
+    is_trackable: Callable[[object], bool],
+) -> LivenessResult:
+    # Dense value index, assigned in first-encounter order; only the
+    # final masks-to-sets conversion ever looks at it again.
+    index_of: dict = {}
+    values: list = []
+
+    def bit_of(value) -> int:
+        position = index_of.get(value)
+        if position is None:
+            position = len(values)
+            index_of[value] = position
+            values.append(value)
+        return 1 << position
+
+    use_mask: dict[str, int] = {}
+    def_mask: dict[str, int] = {}
+    for label in label_list:
+        use = 0
+        define = 0
+        for instruction in reversed(block_instructions(label)):
+            for defined in instruction.defs():
+                mask = bit_of(defined)
+                use &= ~mask
+                define |= mask
+            for used in instruction.uses():
+                if is_trackable(used):
+                    use |= bit_of(used)
+        use_mask[label] = use
+        def_mask[label] = define
+
+    live_in: dict[str, int] = {label: 0 for label in label_list}
+    live_out: dict[str, int] = {label: 0 for label in label_list}
+    stack = list(order)
+    queued = set(order)
+    visits = 0
+    while stack:
+        label = stack.pop()
+        queued.discard(label)
+        visits += 1
+        out = 0
+        for successor in succs[label]:
+            out |= live_in[successor]
+        new_in = use_mask[label] | (out & ~def_mask[label])
+        live_out[label] = out
+        if new_in != live_in[label]:
+            live_in[label] = new_in
+            for predecessor in preds[label]:
+                if predecessor not in queued:
+                    queued.add(predecessor)
+                    stack.append(predecessor)
+
+    facts = {}
+    for label in label_list:
+        facts[label] = BlockLiveness(
+            live_in={values[i] for i in iter_bits(live_in[label])},
+            live_out={values[i] for i in iter_bits(live_out[label])},
+            use={values[i] for i in iter_bits(use_mask[label])},
+            define={values[i] for i in iter_bits(def_mask[label])},
+        )
+    return LivenessResult(facts, visits)
 
 
 class _ReturnProxy:

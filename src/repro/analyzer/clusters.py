@@ -202,7 +202,9 @@ def _grow_cluster(
                 continue
             cluster_nodes.add(candidate)
             changed = True
-    return Cluster(root, cluster_nodes - {root})
+    # Frozen members let every downstream census (ClusterRecord, the
+    # incremental dependency graph) share the set instead of copying it.
+    return Cluster(root, frozenset(cluster_nodes - {root}))
 
 
 def _would_close_cycle(

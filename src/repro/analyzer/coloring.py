@@ -55,15 +55,28 @@ def web_priority_parts(web: Web, graph: CallGraph) -> tuple:
     insertion order than a from-scratch construction — the priority (and
     everything downstream of its ordering) must not depend on that.
     """
-    benefit = math.fsum(
-        REFERENCE_GAIN
-        * graph.nodes[name].summary.global_refs.get(web.variable, 0)
-        * max(graph.nodes[name].weight, 1.0)
-        for name in web.nodes
-    )
+    # (global_refs, clamped weight) per node, memoized on the graph:
+    # priorities touch every member of every live web, and the repeated
+    # ``node.summary.global_refs`` attribute chain dominates the loop.
+    # ``normalize_weights`` drops the memo, so it never sees stale
+    # weights.
+    info = getattr(graph, "_priority_info", None)
+    if info is None:
+        info = graph._priority_info = {
+            name: (node.summary.global_refs, max(node.weight, 1.0))
+            for name, node in graph.nodes.items()
+        }
+    variable = web.variable
+    terms = []
+    for name in web.nodes:
+        entry = info[name]
+        refs = entry[0].get(variable, 0)
+        if refs:
+            terms.append(REFERENCE_GAIN * refs * entry[1])
+    benefit = math.fsum(terms)
     entry_cost = math.fsum(
-        ENTRY_CALL_COST * max(graph.nodes[name].weight, 1.0)
-        for name in web.entry_nodes(graph)
+        [ENTRY_CALL_COST * info[name][1]
+         for name in web.entry_nodes(graph)]
     )
     return benefit, entry_cost
 
@@ -131,7 +144,7 @@ def color_webs_priority(
         else:
             taken = {
                 colored[n].register
-                for n in interference.neighbors(web)
+                for n in interference.neighbor_ids(web)
                 if n in colored
             }
             register = next((r for r in pool if r not in taken), None)
@@ -178,7 +191,7 @@ def color_webs_greedy(
             allowed = callee_sorted[: max(0, len(callee_sorted) - max_need)]
             taken = {
                 colored[n].register
-                for n in interference.neighbors(web)
+                for n in interference.neighbor_ids(web)
                 if n in colored
             }
             register = next((r for r in allowed if r not in taken), None)

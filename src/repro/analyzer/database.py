@@ -78,6 +78,22 @@ class ProcedureDirectives:
 
     def validate(self) -> None:
         """Check the linkage-convention invariants of the usage sets."""
+        free, caller, callee, mspill = (
+            self.free, self.caller, self.callee, self.mspill
+        )
+        # Fast path for the common (valid) case: the four sets are
+        # pairwise disjoint iff their union has no collisions; the slow
+        # path below is only entered to attribute a violation.
+        union = free | caller | callee | mspill
+        if (
+            len(union)
+            == len(free) + len(caller) + len(callee) + len(mspill)
+        ) and not (mspill and not self.is_cluster_root):
+            for entry in self.promoted:
+                if entry.register in union:
+                    break
+            else:
+                return
         sets = {
             "free": self.free,
             "caller": self.caller,

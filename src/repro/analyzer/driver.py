@@ -264,10 +264,46 @@ def _static_modules(summaries) -> dict:
 
 
 def _web_needs_store(web, graph: CallGraph) -> bool:
-    return any(
-        graph.nodes[name].summary.global_stores.get(web.variable, 0) > 0
-        for name in web.nodes
-    )
+    stamp = getattr(web, "_packed_nodes", None)
+    if (
+        stamp is not None
+        and stamp[2] == len(web.nodes)
+        and getattr(graph, "_packed_graph", None) is stamp[0]
+    ):
+        masks = _storing_masks(graph, stamp[0])
+        return bool(masks.get(web.variable, 0) & stamp[1])
+    stores = _storing_nodes(graph).get(web.variable)
+    return stores is not None and not stores.isdisjoint(web.nodes)
+
+
+def _storing_masks(graph: CallGraph, packed) -> dict:
+    """variable -> bitmask of storing nodes (packed-mode counterpart of
+    :func:`_storing_nodes`, likewise memoized on the graph)."""
+    cached = getattr(graph, "_storing_masks", None)
+    if cached is None:
+        index_of = packed.index.index_of
+        cached = {}
+        for name, node in graph.nodes.items():
+            bit = 1 << index_of[name]
+            for variable, count in node.summary.global_stores.items():
+                if count > 0:
+                    cached[variable] = cached.get(variable, 0) | bit
+        graph._storing_masks = cached
+    return cached
+
+
+def _storing_nodes(graph: CallGraph) -> dict:
+    """variable -> nodes that store it, memoized on the graph (one sweep
+    instead of a per-web re-scan of every member's store counts)."""
+    cached = getattr(graph, "_storing_nodes", None)
+    if cached is None:
+        cached = {}
+        for name, node in graph.nodes.items():
+            for variable, count in node.summary.global_stores.items():
+                if count > 0:
+                    cached.setdefault(variable, set()).add(name)
+        graph._storing_nodes = cached
+    return cached
 
 
 def _run_web_promotion(
@@ -330,17 +366,18 @@ def _run_web_promotion(
              web.from_split, web.discarded_reason)
             for web in webs
         ]
+    reason_counts: dict = defaultdict(int)
+    for w in webs:
+        reason_counts[w.discarded_reason] += 1
     database.statistics.total_webs = len(webs)
-    database.statistics.webs_discarded_sparse = sum(
-        1 for w in webs if w.discarded_reason == "sparse"
-    )
-    database.statistics.webs_discarded_single_low = sum(
-        1 for w in webs if w.discarded_reason == "single-node-low-frequency"
-    )
-    database.statistics.webs_discarded_static_cross_module = sum(
-        1 for w in webs if w.discarded_reason == "static-cross-module-entry"
-    )
-    database.statistics.webs_considered = sum(1 for w in webs if w.is_live)
+    database.statistics.webs_discarded_sparse = reason_counts["sparse"]
+    database.statistics.webs_discarded_single_low = reason_counts[
+        "single-node-low-frequency"
+    ]
+    database.statistics.webs_discarded_static_cross_module = reason_counts[
+        "static-cross-module-entry"
+    ]
+    database.statistics.webs_considered = reason_counts[None]
 
     with tracer.span("coloring", mode=options.coloring):
         interference = WebInterferenceGraph(webs)
@@ -394,7 +431,7 @@ def _run_web_promotion(
                 nodes=frozenset(web.nodes),
                 entry_nodes=frozenset(web.entry_nodes(graph)),
                 register=web.register,
-                interferes_with=frozenset(interference.neighbors(web))
+                interferes_with=interference.neighbors_frozen(web)
                 if web.is_live
                 else frozenset(),
                 priority=web.priority,
@@ -405,24 +442,39 @@ def _run_web_promotion(
             continue
         needs_store = _web_needs_store(web, graph)
         entries = web.entry_nodes(graph)
-        for name in web.nodes:
-            wrap: tuple = ()
-            if web.from_split:
-                from repro.analyzer.webs import wrap_targets_for
+        if web.from_split:
+            from repro.analyzer.webs import wrap_targets_for
 
-                wrap = tuple(
-                    sorted(wrap_targets_for(graph, sets, web, name))
+            for name in web.nodes:
+                promoted_per_proc[name].append(
+                    PromotedGlobal(
+                        name=web.variable,
+                        register=web.register,
+                        is_entry=name in entries,
+                        needs_store=needs_store,
+                        wrap_callees=tuple(
+                            sorted(wrap_targets_for(graph, sets, web, name))
+                        ),
+                    )
                 )
-            promoted_per_proc[name].append(
-                PromotedGlobal(
-                    name=web.variable,
-                    register=web.register,
-                    is_entry=name in entries,
-                    needs_store=needs_store,
-                    wrap_callees=wrap,
-                )
+                web_reserved[name].add(web.register)
+        else:
+            # PromotedGlobal is frozen, so the (at most) two distinct
+            # records of a non-split web are shared across its members.
+            entry_record = PromotedGlobal(
+                name=web.variable, register=web.register,
+                is_entry=True, needs_store=needs_store,
             )
-            web_reserved[name].add(web.register)
+            inner_record = PromotedGlobal(
+                name=web.variable, register=web.register,
+                is_entry=False, needs_store=needs_store,
+            )
+            register = web.register
+            for name in web.nodes:
+                promoted_per_proc[name].append(
+                    entry_record if name in entries else inner_record
+                )
+                web_reserved[name].add(register)
 
 
 def _run_blanket_promotion(

@@ -4,21 +4,34 @@ Two webs *interfere* when they share a call graph node — they would need
 the same procedure to dedicate two registers to two different globals at
 once if colored alike.  Webs for the same variable never interfere (web
 construction makes them disjoint and merges overlaps).
+
+Under the default ``packed`` dataflow mode the adjacency is built on web
+bitmasks — one integer per call-graph node with the bit of every web
+containing it — so a node shared by ``k`` webs costs ``k`` mask unions
+instead of ``k^2/2`` pairwise set inserts.  Both kernels produce the
+same neighbor sets.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.analysis.packed import iter_bits, resolve_dataflow
 from repro.analyzer.webs import Web
 
 
 class WebInterferenceGraph:
     """Adjacency over live (non-discarded) webs."""
 
-    def __init__(self, webs: list):
+    def __init__(self, webs: list, mode: str | None = None):
         self.webs = [web for web in webs if web.is_live]
-        self._neighbors: dict[int, set] = defaultdict(set)
+        if resolve_dataflow(mode) == "packed":
+            self._neighbors = self._build_packed()
+        else:
+            self._neighbors = self._build_reference()
+
+    def _build_reference(self) -> dict:
+        neighbors: dict[int, set] = defaultdict(set)
         by_node: dict[str, list] = defaultdict(list)
         for web in self.webs:
             for name in web.nodes:
@@ -28,12 +41,80 @@ class WebInterferenceGraph:
                 for other in sharing[i + 1:]:
                     if web.web_id == other.web_id:
                         continue
-                    self._neighbors[web.web_id].add(other.web_id)
-                    self._neighbors[other.web_id].add(web.web_id)
+                    neighbors[web.web_id].add(other.web_id)
+                    neighbors[other.web_id].add(web.web_id)
+        return neighbors
+
+    def _build_packed(self) -> dict:
+        # Shared-node index first (web *positions* per node), then an
+        # adaptive kernel choice: when nodes are shared by few webs the
+        # pairwise sweep is cheaper than big-int arithmetic, but a hub
+        # node shared by k webs costs k^2/2 pairwise inserts vs. k mask
+        # unions, so dense sharing switches to one bit per live web.
+        # Both branches produce the same neighbor sets.
+        webs = self.webs
+        by_node: dict[str, list] = defaultdict(list)
+        for position, web in enumerate(webs):
+            for name in web.nodes:
+                by_node[name].append(position)
+        shared = [s for s in by_node.values() if len(s) > 1]
+        pair_cost = sum(len(s) * len(s) for s in shared)
+        mask_cost = sum(len(s) for s in shared) * ((len(webs) >> 6) + 1)
+        if pair_cost <= mask_cost:
+            # Accumulate web *ids* directly: converting position sets to
+            # id sets afterwards would re-walk every (large) neighbor
+            # set, while the per-node groups are small.
+            ids = [web.web_id for web in webs]
+            result: dict[int, set] = {}
+            for sharing in shared:
+                group = {ids[p] for p in sharing}
+                for web_id in group:
+                    existing = result.get(web_id)
+                    if existing is None:
+                        result[web_id] = set(group)
+                    else:
+                        existing.update(group)
+            for web_id, members in result.items():
+                members.discard(web_id)
+            return result
+        neighbor_masks = [0] * len(webs)
+        for sharing in shared:
+            mask = 0
+            for p in sharing:
+                mask |= 1 << p
+            for p in sharing:
+                neighbor_masks[p] |= mask
+        neighbors: dict[int, set] = {}
+        for position, web in enumerate(webs):
+            mask = neighbor_masks[position] & ~(1 << position)
+            if mask:
+                neighbors[web.web_id] = {
+                    webs[i].web_id for i in iter_bits(mask)
+                }
+        return neighbors
 
     def neighbors(self, web: Web) -> set:
         """IDs of webs interfering with ``web``."""
         return set(self._neighbors.get(web.web_id, set()))
+
+    def neighbor_ids(self, web: Web):
+        """The stored neighbor-id set of ``web`` — MUST NOT be mutated.
+
+        Hot loops (coloring) read this instead of :meth:`neighbors` to
+        skip the defensive copy.
+        """
+        return self._neighbors.get(web.web_id, ())
+
+    def neighbors_frozen(self, web: Web) -> frozenset:
+        """Like :meth:`neighbors`, as a shared immutable set."""
+        cache = getattr(self, "_frozen", None)
+        if cache is None:
+            cache = self._frozen = {}
+        value = cache.get(web.web_id)
+        if value is None:
+            value = frozenset(self._neighbors.get(web.web_id, ()))
+            cache[web.web_id] = value
+        return value
 
     def degree(self, web: Web) -> int:
         return len(self._neighbors.get(web.web_id, set()))

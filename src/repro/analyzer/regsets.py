@@ -33,10 +33,48 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.dominators import DominatorTree
+from repro.analysis.packed import iter_bits, resolve_dataflow
 from repro.analyzer.clusters import Cluster
 from repro.callgraph.graph import CallGraph
 from repro.obs.tracer import current_tracer
 from repro.target.registers import CALLEE_SAVES, CALLER_SAVES
+
+
+def _regs_mask(registers) -> int:
+    """Register set -> bitmask (registers are small ints, so the bit
+    position *is* the register number)."""
+    mask = 0
+    for register in registers:
+        mask |= 1 << register
+    return mask
+
+
+_CALLER_SAVES_MASK = _regs_mask(CALLER_SAVES)
+_CALLEE_SAVES_MASK = _regs_mask(CALLEE_SAVES)
+
+#: mask -> register tuple.  Register masks draw from one machine word
+#: and only a handful of distinct values occur per program, so decoding
+#: is memoized (the final masks->RegisterSets conversion runs once per
+#: procedure).
+_REGS_OF_MASK: dict[int, tuple] = {}
+
+
+def _regs_of(mask: int) -> tuple:
+    registers = _REGS_OF_MASK.get(mask)
+    if registers is None:
+        registers = tuple(iter_bits(mask))
+        _REGS_OF_MASK[mask] = registers
+    return registers
+
+
+_FROZEN_OF_MASK: dict[int, frozenset] = {}
+
+
+def _frozen_of(mask: int) -> frozenset:
+    value = _FROZEN_OF_MASK.get(mask)
+    if value is None:
+        value = _FROZEN_OF_MASK[mask] = frozenset(iter_bits(mask))
+    return value
 
 
 @dataclass
@@ -71,6 +109,11 @@ def compute_register_sets(
         dominators = graph.dominator_tree()
     web_reserved = web_reserved or {}
 
+    if resolve_dataflow() == "packed":
+        return _compute_register_sets_packed(
+            graph, clusters, dominators, web_reserved
+        )
+
     sets: dict[str, RegisterSets] = {}
     for name in graph.nodes:
         reserved = set(web_reserved.get(name, ()))
@@ -87,6 +130,190 @@ def compute_register_sets(
     for cluster in _bottom_up(clusters, dominators):
         _process_cluster(graph, cluster, roots, sets, avail, web_reserved)
     return sets
+
+
+def _compute_register_sets_packed(
+    graph: CallGraph,
+    clusters: list,
+    dominators: DominatorTree,
+    web_reserved: dict,
+) -> dict:
+    """Bitmask mirror of Figure 6: the per-procedure FREE/CALLER/CALLEE/
+    MSPILL sets and the AVAIL intersections are single integers while
+    the clusters are processed, converted to :class:`RegisterSets` sets
+    at the end.  Control flow (cluster order, Kahn worklist, register
+    priority order, tracer events) matches the reference kernel exactly.
+    """
+    # Web-reserved registers as masks, computed once (the dict is sparse
+    # relative to the node count).
+    reserved_masks = {
+        name: _regs_mask(registers)
+        for name, registers in web_reserved.items()
+        if registers
+    }
+
+    # Per-name [free, caller, callee, mspill] masks.
+    masks: dict[str, list] = {}
+    for name in graph.nodes:
+        reserved = reserved_masks.get(name, 0)
+        masks[name] = [
+            0, _CALLER_SAVES_MASK, _CALLEE_SAVES_MASK & ~reserved, 0
+        ]
+
+    roots = {cluster.root for cluster in clusters}
+    avail: dict[str, int] = {}
+
+    for cluster in _bottom_up(clusters, dominators):
+        _process_cluster_packed(
+            graph, cluster, roots, masks, avail, reserved_masks
+        )
+    # The emitted sets are frozen and shared across procedures carrying
+    # the same mask — nothing mutates them after the fixpoint, and the
+    # directive builder's ``frozenset(...)`` wrapping becomes identity.
+    return {
+        name: RegisterSets(
+            free=_frozen_of(free),
+            caller=_frozen_of(caller),
+            callee=_frozen_of(callee),
+            mspill=_frozen_of(mspill),
+        )
+        for name, (free, caller, callee, mspill) in masks.items()
+    }
+
+
+def _process_cluster_packed(
+    graph: CallGraph,
+    cluster: Cluster,
+    roots: set,
+    masks: dict,
+    avail: dict,
+    reserved_masks: dict,
+) -> None:
+    root = cluster.root
+    members = cluster.members
+
+    child_mspill = 0
+    for name in members:
+        if name in roots:
+            child_mspill |= masks[name][3]
+    order = sorted(
+        CALLEE_SAVES, key=lambda r: (child_mspill >> r & 1, r)
+    )
+
+    reserved_in_cluster = 0
+    for name in cluster.all_nodes:
+        reserved_in_cluster |= reserved_masks.get(name, 0)
+
+    selectable = [
+        r for r in order if not reserved_in_cluster >> r & 1
+    ]
+    need = graph.nodes[root].summary.callee_saves_needed
+    root_masks = masks[root]
+    root_callee = _regs_mask(selectable[max(0, len(selectable) - need):])
+    root_masks[2] = root_callee
+    avail[root] = _regs_mask(selectable) & ~root_callee
+
+    used = [0]
+    visited: set = {root}
+    pending = set(members)
+    # Predecessor maps have unique keys, so counting avoids the per-node
+    # set difference allocation.
+    unresolved = {
+        name: sum(
+            1 for p in graph.nodes[name].predecessors if p not in visited
+        )
+        for name in pending
+    }
+    ready = [name for name in pending if unresolved[name] == 0]
+    heapq.heapify(ready)
+    while ready:
+        name = heapq.heappop(ready)
+        _preallocate_node_packed(
+            graph, name, roots, masks, avail, order, used, root
+        )
+        visited.add(name)
+        pending.discard(name)
+        for successor in graph.nodes[name].successors:
+            if successor in pending:
+                unresolved[successor] -= 1
+                if unresolved[successor] == 0:
+                    heapq.heappush(ready, successor)
+    if pending:  # pragma: no cover - clusters are acyclic
+        raise AssertionError(
+            f"cluster {root}: could not order members {sorted(pending)}"
+        )
+
+    root_masks[3] |= used[0]
+    for name in members:
+        if name in roots:
+            continue
+        masks[name][1] |= avail[name] & root_masks[3]
+
+
+def _preallocate_node_packed(
+    graph: CallGraph,
+    name: str,
+    roots: set,
+    masks: dict,
+    avail: dict,
+    order: list,
+    used: list,
+    cluster_root: Optional[str] = None,
+) -> None:
+    node_avail = None
+    for predecessor in graph.nodes[name].predecessors:
+        pred_avail = avail.get(predecessor, 0)
+        node_avail = (
+            pred_avail if node_avail is None else node_avail & pred_avail
+        )
+    if node_avail is None:
+        node_avail = 0
+    node_masks = masks[name]
+
+    if name in roots:
+        mspill = node_masks[3]
+        moved = mspill & node_avail
+        used[0] |= moved
+        tracer = current_tracer()
+        if tracer.enabled:
+            kept = mspill & ~node_avail
+            if moved:
+                tracer.event(
+                    "mspill-migrated",
+                    node=name,
+                    cluster_root=cluster_root,
+                    registers=set(iter_bits(moved)),
+                )
+            if kept:
+                tracer.event(
+                    "mspill-kept",
+                    node=name,
+                    cluster_root=cluster_root,
+                    registers=set(iter_bits(kept)),
+                    reason="not-available-on-all-paths",
+                )
+        node_masks[3] = mspill & ~node_avail
+        freed = node_masks[2] & node_avail
+        used[0] |= freed
+        node_masks[0] |= freed
+        node_masks[2] &= ~freed
+        avail[name] = node_avail & ~node_masks[0]
+    else:
+        need = graph.nodes[name].summary.callee_saves_needed
+        taken = 0
+        if need > 0:
+            count = 0
+            for register in order:
+                if node_avail >> register & 1:
+                    taken |= 1 << register
+                    count += 1
+                    if count >= need:
+                        break
+        node_masks[0] |= taken
+        node_avail &= ~taken
+        node_masks[2] &= ~(taken | node_avail)
+        used[0] |= taken
+        avail[name] = node_avail
 
 
 def _bottom_up(clusters: list, dominators: DominatorTree) -> list:
@@ -146,7 +373,9 @@ def _process_cluster(
     # pending set after every node.
     pending = set(members)
     unresolved = {
-        name: len(set(graph.nodes[name].predecessors) - visited)
+        name: sum(
+            1 for p in graph.nodes[name].predecessors if p not in visited
+        )
         for name in pending
     }
     ready = [name for name in pending if unresolved[name] == 0]

@@ -35,6 +35,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.analysis.packed import (
+    iter_bits,
+    packed_variable_masks,
+    resolve_dataflow,
+)
 from repro.callgraph.dataflow import ReferenceSets
 from repro.callgraph.graph import CallGraph
 
@@ -57,15 +62,44 @@ class Web:
     priority: float = 0.0
     from_split: bool = False
 
-    def entry_nodes(self, graph: CallGraph) -> set:
+    def entry_nodes(self, graph: CallGraph) -> frozenset:
         """Nodes of the web with no predecessor inside the web."""
-        return {
-            name
-            for name in self.nodes
-            if not any(
-                p in self.nodes for p in graph.nodes[name].predecessors
+        # Webs built by the packed kernel carry their node bitmask; one
+        # mask test per member replaces a predecessor-set probe loop.
+        # The guards reject the mask when the web was produced against a
+        # different graph or its nodes were rewritten (sparse splitting
+        # builds fresh webs, so this only defends against future code).
+        memo = getattr(self, "_entries_memo", None)
+        if memo is not None and memo[0] == len(self.nodes):
+            return memo[1]
+        cached = getattr(self, "_packed_nodes", None)
+        if (
+            cached is not None
+            and cached[2] == len(self.nodes)
+            and getattr(graph, "_packed_graph", None) is cached[0]
+        ):
+            packed, mask, _count = cached
+            entries_mask = getattr(self, "_entries_mask", None)
+            if entries_mask is None:
+                pred = packed.pred
+                entries_mask = 0
+                remaining = mask
+                while remaining:
+                    i = (remaining & -remaining).bit_length() - 1
+                    remaining &= remaining - 1
+                    if not pred[i] & mask:
+                        entries_mask |= 1 << i
+            entries = frozenset(packed.index.set_of(entries_mask))
+        else:
+            entries = frozenset(
+                name
+                for name in self.nodes
+                if not any(
+                    p in self.nodes for p in graph.nodes[name].predecessors
+                )
             )
-        }
+        self._entries_memo = (len(self.nodes), entries)
+        return entries
 
     @property
     def is_live(self) -> bool:
@@ -135,6 +169,10 @@ def identify_variable_webs(
     options = options or WebOptions()
     if next_id is None:
         next_id = [1]
+    if resolve_dataflow() == "packed":
+        return _identify_variable_webs_packed(
+            graph, sets, variable, options, static_modules, next_id
+        )
     variable_webs: list[Web] = []
     for name in sorted(graph.nodes):
         if variable not in sets.l_ref[name]:
@@ -156,6 +194,138 @@ def identify_variable_webs(
         )
     _screen_webs(graph, sets, variable_webs, options, static_modules or {})
     return variable_webs
+
+
+def _identify_variable_webs_packed(
+    graph: CallGraph,
+    sets: ReferenceSets,
+    variable: str,
+    options: WebOptions,
+    static_modules: Optional[dict],
+    next_id: list,
+) -> list[Web]:
+    """Bitmask mirror of the reference construction.
+
+    Webs are node bitmasks until screening; every growth/merge step
+    follows the reference control flow call for call, so the id counter
+    advances identically and the resulting web list (ids, member sets,
+    order) is indistinguishable from the reference kernel's — the
+    property the incremental analyzer's per-variable replay depends on.
+    Node bit order is ``sorted(graph.nodes)``, so ascending-bit sweeps
+    reproduce the reference ``sorted(...)`` traversals.
+    """
+    packed, lref, pref, cref = packed_variable_masks(graph, sets)
+    lref_v = lref.get(variable, 0)
+    expand_v = lref_v | cref.get(variable, 0)
+    webs: list = []  # (web_id, node mask, entry mask) triples
+    covered = 0
+    for i in iter_bits(lref_v & ~pref.get(variable, 0)):
+        if covered >> i & 1:
+            continue
+        grown = _grow_web_packed(packed, expand_v, 1 << i, next_id)
+        webs = _merge_overlapping_packed(packed, expand_v, webs, grown,
+                                         next_id)
+        covered = 0
+        for entry in webs:
+            covered |= entry[1]
+    uncovered = lref_v & ~covered
+    if uncovered:
+        scc_masks = packed.scc_mask_of(graph)
+        seen = 0
+        for i in iter_bits(uncovered):
+            if seen >> i & 1 or covered >> i & 1:
+                continue
+            seeds = scc_masks[i]
+            seen |= seeds
+            grown = _grow_web_packed(packed, expand_v, seeds, next_id)
+            webs = _merge_overlapping_packed(packed, expand_v, webs,
+                                             grown, next_id)
+            covered = 0
+            for entry in webs:
+                covered |= entry[1]
+    set_of = packed.index.set_of
+    variable_webs = []
+    for web_id, mask, entries_mask in webs:
+        web = Web(web_id, variable, nodes=set_of(mask))
+        web._packed_nodes = (packed, mask, len(web.nodes))
+        web._entries_mask = entries_mask
+        variable_webs.append(web)
+    if options.split_sparse_webs:
+        variable_webs = _split_sparse_webs(
+            graph, sets, variable, variable_webs, options, next_id
+        )
+    _screen_webs(graph, sets, variable_webs, options, static_modules or {})
+    return variable_webs
+
+
+def _grow_web_packed(
+    packed, expand_v: int, seeds: int, next_id: list
+) -> tuple:
+    """Figure 2 on bitmasks: downward closure through ``expand_v``
+    members, then pull in external predecessors of nodes that also have
+    internal ones, to fixpoint.  Consumes exactly one web id.
+
+    Returns ``(web_id, member_mask, entry_mask)`` — the entry nodes
+    (members with no internal predecessor) fall out of the correctness
+    scan for free.  Bit iteration shifts each mask down to its lowest
+    set bit first: webs cluster inside one module's contiguous bit
+    range, and per-bit extraction on a big int costs O(total width)."""
+    web_id = next_id[0]
+    next_id[0] += 1
+    succ = packed.succ
+    pred = packed.pred
+    mask = 0
+    pending = seeds
+    while True:
+        frontier = pending & ~mask
+        mask |= frontier
+        while frontier:
+            reached = 0
+            base = ((frontier & -frontier).bit_length() - 1) & ~63
+            frontier >>= base
+            while frontier:
+                reached |= succ[
+                    base + (frontier & -frontier).bit_length() - 1
+                ]
+                frontier &= frontier - 1
+            frontier = reached & expand_v & ~mask
+            mask |= frontier
+        problematic = 0
+        entries = 0
+        base = ((mask & -mask).bit_length() - 1) & ~63
+        members = mask >> base
+        while members:
+            i = base + (members & -members).bit_length() - 1
+            members &= members - 1
+            predecessors = pred[i]
+            if not predecessors & mask:
+                entries |= 1 << i
+            else:
+                external = predecessors & ~mask
+                if external:
+                    problematic |= external
+        if not problematic:
+            return (web_id, mask, entries)
+        pending = problematic
+
+
+def _merge_overlapping_packed(
+    packed, expand_v: int, existing: list, new_web: tuple, next_id: list
+) -> list:
+    """Mask mirror of :func:`_merge_overlapping` (same recursion, same
+    id consumption, same result-list order)."""
+    new_mask = new_web[1]
+    overlapping = [w for w in existing if w[1] & new_mask]
+    remaining = [w for w in existing if not (w[1] & new_mask)]
+    if not overlapping:
+        return existing + [new_web]
+    seeds = new_mask
+    for entry in overlapping:
+        seeds |= entry[1]
+    merged = _grow_web_packed(packed, expand_v, seeds, next_id)
+    return _merge_overlapping_packed(
+        packed, expand_v, remaining, merged, next_id
+    )
 
 
 def _grow_web(
@@ -408,10 +578,19 @@ def _screen_webs(
             # cannot be promoted (no real entry procedure exists there).
             web.discarded_reason = "external-caller"
             continue
-        referencing = [
-            name for name in web.nodes if web.variable in sets.l_ref[name]
-        ]
-        if not referencing:  # pragma: no cover - defensive
+        stamp = getattr(web, "_packed_nodes", None)
+        if stamp is not None and stamp[2] == len(web.nodes):
+            # Packed-constructed web: count referencing members on the
+            # bitmask instead of probing L_REF per node.
+            packed, mask, _count = stamp
+            lref = packed_variable_masks(graph, sets)[1]
+            referencing_count = (lref.get(web.variable, 0) & mask).bit_count()
+        else:
+            referencing_count = sum(
+                1 for name in web.nodes
+                if web.variable in sets.l_ref[name]
+            )
+        if not referencing_count:  # pragma: no cover - defensive
             web.discarded_reason = "sparse"
             continue
         if len(web.nodes) == 1:
@@ -423,7 +602,7 @@ def _screen_webs(
             if weighted < options.min_single_node_refs:
                 web.discarded_reason = "single-node-low-frequency"
                 continue
-        elif len(referencing) / len(web.nodes) < options.min_lref_ratio:
+        elif referencing_count / len(web.nodes) < options.min_lref_ratio:
             web.discarded_reason = "sparse"
             continue
         if (

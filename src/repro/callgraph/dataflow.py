@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.packed import DenseIndex, PackedGraph, resolve_dataflow
 from repro.callgraph.graph import CallGraph
 
 
@@ -38,9 +39,11 @@ class ReferenceSets:
 
 
 def compute_reference_sets(
-    graph: CallGraph, eligible: set
+    graph: CallGraph, eligible: set, mode: str | None = None
 ) -> ReferenceSets:
     """Run the dataflow over ``graph`` restricted to ``eligible`` globals."""
+    if resolve_dataflow(mode) == "packed":
+        return _compute_reference_sets_packed(graph, eligible)
     l_ref: dict[str, set] = {}
     for name, node in graph.nodes.items():
         l_ref[name] = {
@@ -82,6 +85,140 @@ def compute_reference_sets(
         p_ref={name: frozenset(values) for name, values in p_ref.items()},
         c_ref={name: frozenset(values) for name, values in c_ref.items()},
     )
+
+
+def _compute_reference_sets_packed(
+    graph: CallGraph, eligible: set
+) -> ReferenceSets:
+    """Bitmask kernel: same equations, one big-int op per edge visit.
+
+    Globals get a dense bit index; each node's three facts are single
+    integers, and the two fixpoints run on worklists (seeded in the same
+    reverse postorder the reference sweeps use, re-queueing only the
+    affected neighbours) instead of whole-graph changed-flag passes.
+    The fixpoint of a monotone union system is unique, so the resulting
+    frozensets equal the reference kernel's exactly.
+    """
+    packed = PackedGraph.of(graph)
+    names = packed.names
+    node_of = packed.index.index_of
+    count = len(names)
+
+    referenced: set = set()
+    for node in graph.nodes.values():
+        referenced.update(
+            g for g in node.summary.global_refs if g in eligible
+        )
+    globals_index = DenseIndex(sorted(referenced))
+
+    # ``decoded`` (mask -> frozenset) also serves the final conversion:
+    # L_REF frozensets are built from the reference lists right here,
+    # sparing a bit-decode per node.
+    decoded: dict[int, frozenset] = {}
+    l_sets: dict[str, frozenset] = {}
+    l_mask = [0] * count
+    lref_by_variable: dict[str, int] = {}
+    index_of = globals_index.index_of
+    for name, node in graph.nodes.items():
+        mask = 0
+        node_bit = 1 << node_of[name]
+        refs = []
+        for g in node.summary.global_refs:
+            if g in eligible:
+                mask |= 1 << index_of[g]
+                refs.append(g)
+                lref_by_variable[g] = lref_by_variable.get(g, 0) | node_bit
+        l_mask[node_of[name]] = mask
+        cached = decoded.get(mask)
+        if cached is None:
+            cached = decoded[mask] = frozenset(refs)
+        l_sets[name] = cached
+
+    order = [node_of[name] for name in _reverse_postorder(graph)]
+    pred_idx = [0] * count
+    succ_idx = [0] * count
+    for name, node in graph.nodes.items():
+        i = node_of[name]
+        pred_idx[i] = [node_of[p] for p in node.predecessors]
+        succ_idx[i] = [node_of[s] for s in node.successors]
+
+    # P_REF: top-down; seed so callers pop before callees.
+    p_mask = [0] * count
+    stack = list(reversed(order))
+    queued = set(stack)
+    while stack:
+        i = stack.pop()
+        queued.discard(i)
+        incoming = 0
+        for j in pred_idx[i]:
+            incoming |= p_mask[j] | l_mask[j]
+        if incoming != p_mask[i]:
+            p_mask[i] = incoming
+            for j in succ_idx[i]:
+                if j not in queued:
+                    queued.add(j)
+                    stack.append(j)
+
+    # C_REF: bottom-up; seed so callees pop before callers.
+    c_mask = [0] * count
+    stack = list(order)
+    queued = set(stack)
+    while stack:
+        i = stack.pop()
+        queued.discard(i)
+        outgoing = 0
+        for j in succ_idx[i]:
+            outgoing |= c_mask[j] | l_mask[j]
+        if outgoing != c_mask[i]:
+            c_mask[i] = outgoing
+            for j in pred_idx[i]:
+                if j not in queued:
+                    queued.add(j)
+                    stack.append(j)
+
+    # Many nodes share a mask (empty, or one module's working set), so
+    # the mask -> frozenset decoding is deduplicated.
+    def frozenset_of(mask: int) -> frozenset:
+        value = decoded.get(mask)
+        if value is None:
+            value = globals_index.frozenset_of(mask)
+            decoded[mask] = value
+        return value
+
+    sets = ReferenceSets(
+        l_ref=l_sets,
+        p_ref={name: frozenset_of(p_mask[i]) for i, name in enumerate(names)},
+        c_ref={name: frozenset_of(c_mask[i]) for i, name in enumerate(names)},
+    )
+
+    # Stash the variable-major transpose for the packed web kernels
+    # (they would otherwise rebuild it from the frozensets).  L_REF was
+    # transposed inline above; P_REF / C_REF facts repeat heavily across
+    # the nodes of a module, so those are grouped by identical mask
+    # first and each distinct mask is decoded once.
+    items = globals_index.items
+
+    def transpose(mask_list: list) -> dict:
+        groups: dict[int, int] = {}
+        for i, node_mask in enumerate(mask_list):
+            if node_mask:
+                groups[node_mask] = groups.get(node_mask, 0) | (1 << i)
+        by_variable: dict[str, int] = {}
+        get = by_variable.get
+        for globals_mask, nodes_mask in groups.items():
+            base = ((globals_mask & -globals_mask).bit_length() - 1) & ~63
+            remaining = globals_mask >> base
+            while remaining:
+                g = base + (remaining & -remaining).bit_length() - 1
+                remaining &= remaining - 1
+                name = items[g]
+                by_variable[name] = get(name, 0) | nodes_mask
+        return by_variable
+
+    sets._packed_variable_masks = (
+        packed, lref_by_variable, transpose(p_mask), transpose(c_mask)
+    )
+    return sets
 
 
 def _reverse_postorder(graph: CallGraph) -> list[str]:

@@ -144,7 +144,14 @@ class CallGraph:
     # -- strongly connected components -------------------------------------
 
     def strongly_connected_components(self) -> list[list[str]]:
-        """Tarjan's algorithm; components in reverse topological order."""
+        """Tarjan's algorithm; components in reverse topological order.
+
+        The result is memoized (topology is immutable once built) and
+        shared between callers — callers must not mutate it.
+        """
+        cached = getattr(self, "_scc_cache", None)
+        if cached is not None:
+            return cached
         index_counter = [0]
         stack: list[str] = []
         lowlink: dict[str, int] = {}
@@ -194,6 +201,7 @@ class CallGraph:
         for name in sorted(self.nodes):
             if name not in index:
                 strongconnect(name)
+        self._scc_cache = components
         return components
 
     def recursive_nodes(self) -> set[str]:
@@ -216,6 +224,8 @@ class CallGraph:
         heuristic local frequencies are propagated top-down through the
         SCC condensation, boosting recursive components.
         """
+        # Weight-derived caches must not survive a re-normalization.
+        self._priority_info = None
         if profile is not None:
             for node in self.nodes.values():
                 node.weight = float(profile.node_count(node.name))

@@ -121,6 +121,126 @@ class FuzzProgramGenerator(ProgramGenerator):
         )
         return "\n".join(helper) + "\n" + "\n".join(lines)
 
+    # -- synthetic scale programs ------------------------------------------
+
+    def synthesize_large(self, modules: int, procedures: int) -> list:
+        """Synthesize summary files for a huge program directly.
+
+        Returns a list of :class:`~repro.frontend.summary.ModuleSummary`
+        — the analyzer's input — for a program of exactly ``modules``
+        compilation units and ``procedures`` procedures.  Parsing 50k
+        procedures of Tiny-C through phase 1 would take longer than the
+        analysis being measured, so the scale harness synthesizes what
+        phase 1 *would have produced*: a wide, shallow call-graph forest
+        (``main`` calling every module root, binary call trees inside
+        each module, occasional cross-module and self-recursive edges),
+        module-local globals plus a few program-wide hot ones, and
+        seeded register-need estimates.  Deterministic per
+        ``(seed, modules, procedures)``.
+        """
+        from repro.frontend.summary import (
+            GlobalSummary,
+            ModuleSummary,
+            ProcedureSummary,
+        )
+
+        if modules < 1:
+            raise ValueError("modules must be >= 1")
+        if procedures < modules:
+            raise ValueError("procedures must be >= modules")
+        rng = random.Random(
+            f"progen-large-{self.seed}-{modules}-{procedures}"
+        )
+
+        per_module = [procedures // modules] * modules
+        for m in range(procedures % modules):
+            per_module[m] += 1
+
+        shared = [f"shared_g{k}" for k in range(4)]
+        summaries: list = []
+        module_names = [f"mod{m:04d}" for m in range(modules)]
+        proc_names: dict[int, list] = {}
+        for m, module in enumerate(module_names):
+            proc_names[m] = [
+                "main" if m == 0 and i == 0 else f"m{m}_p{i}"
+                for i in range(per_module[m])
+            ]
+
+        address_taken = sorted(
+            rng.sample(
+                [n for names in proc_names.values() for n in names
+                 if n != "main"],
+                k=min(2, max(0, procedures - 1)),
+            )
+        )
+
+        for m, module in enumerate(module_names):
+            # Globals scale with module size: real C programs of this
+            # vintage carry roughly one file-scope scalar per procedure
+            # (state flags, counters, cursors — the "hundreds of
+            # globals" character of the paper's larger benchmarks).
+            local_globals = [
+                f"m{m}_g{j}"
+                for j in range(max(2, per_module[m]))
+            ]
+            globals_ = [
+                GlobalSummary(name=g, module=module) for g in local_globals
+            ]
+            if m == 0:
+                globals_ += [
+                    GlobalSummary(name=g, module=module) for g in shared
+                ]
+            procs = []
+            names = proc_names[m]
+            for i, name in enumerate(names):
+                refs: dict = {}
+                stores: dict = {}
+                for g in rng.sample(
+                    local_globals,
+                    k=rng.randint(1, min(6, len(local_globals))),
+                ):
+                    refs[g] = rng.randint(1, 200)
+                    if rng.random() < 0.5:
+                        stores[g] = rng.randint(1, refs[g])
+                if rng.random() < 0.05:
+                    refs[rng.choice(shared)] = rng.randint(1, 50)
+                calls: dict = {}
+                for child in (2 * i + 1, 2 * i + 2):
+                    if child < len(names):
+                        calls[names[child]] = rng.randint(1, 100)
+                if name == "main":
+                    for other in range(1, modules):
+                        calls[proc_names[other][0]] = rng.randint(1, 20)
+                elif i == 0 and m + 1 < modules and rng.random() < 0.15:
+                    target = rng.randrange(m + 1, modules)
+                    calls[proc_names[target][0]] = rng.randint(1, 10)
+                if rng.random() < 0.02:
+                    calls[name] = rng.randint(1, 5)  # self-recursion
+                procs.append(ProcedureSummary(
+                    name=name,
+                    module=module,
+                    global_refs=refs,
+                    global_stores=stores,
+                    calls=calls,
+                    address_taken_procs=(
+                        address_taken if name == "main" else []
+                    ),
+                    makes_indirect_calls=(
+                        name != "main" and rng.random() < 0.0005
+                    ),
+                    indirect_call_freq=rng.randint(1, 10),
+                    callee_saves_needed=rng.randint(0, 8),
+                    caller_saves_needed=rng.randint(0, 6),
+                    max_call_args=rng.randint(0, 5),
+                    num_params=rng.randint(0, 4),
+                ))
+            summaries.append(ModuleSummary(
+                module_name=module,
+                globals=globals_,
+                procedures=procs,
+            ))
+        return summaries
+
     # -- seeded mutation ---------------------------------------------------
 
     def mutate(self, sources: dict, step: int) -> dict:

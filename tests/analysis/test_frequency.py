@@ -102,3 +102,63 @@ def test_many_values_across_call_need_many_registers():
     source_parts.append("}")
     usage = usage_of("\n".join(source_parts), opt_level=1)
     assert usage.callee_saves_needed >= 6
+
+
+def test_single_liveness_solve_per_function(monkeypatch):
+    """``analyze_function_usage`` solves liveness once and threads the
+    result (plus the pre-walked instruction tuples) into both register
+    estimates — regression for the hot path that used to re-solve the
+    fixpoint three times per function."""
+    import repro.analysis.frequency as frequency
+
+    calls = []
+    real = frequency.compute_ir_liveness
+    monkeypatch.setattr(
+        frequency,
+        "compute_ir_liveness",
+        lambda function: (calls.append(function), real(function))[1],
+    )
+    module = lower_source(
+        """
+        int g;
+        int f(int n) {
+          int s = 0;
+          int i;
+          for (i = 0; i < n; i++) { s += other(i); g = s; }
+          return s;
+        }
+        int other(int x) { return x + 1; }
+        """,
+        "m",
+    )
+    analyze_function_usage(module.functions["f"])
+    assert len(calls) == 1
+
+
+def test_estimates_identical_across_kernels(monkeypatch):
+    """Packed bitmask peaks equal the reference set-cardinality peaks."""
+    source = """
+        int g;
+        int h;
+        int f(int n) {
+          int a = n + 1;
+          int b = n + 2;
+          int c = other(a);
+          g = a + b + c;
+          h = other(b) + other(c);
+          return g + h;
+        }
+        int other(int x) { return x * 2; }
+    """
+    results = {}
+    for mode in ("packed", "reference"):
+        monkeypatch.setenv("REPRO_DATAFLOW", mode)
+        module = lower_source(source, "m")
+        usage = analyze_function_usage(module.functions["f"])
+        results[mode] = (
+            usage.callee_saves_needed,
+            usage.caller_saves_needed,
+            dict(usage.global_refs),
+        )
+    assert results["packed"] == results["reference"]
+    assert results["packed"][1] > 0  # values do live across those calls

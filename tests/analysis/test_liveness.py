@@ -85,3 +85,65 @@ def test_call_is_barrier_for_pinned_temps():
     # pinned is both defined and used inside the block; the define set
     # must contain it.
     assert pinned in fact.define
+
+
+def _diamond_function():
+    """entry -> (left | right) -> join, with a value defined in entry,
+    conditionally overwritten on one arm, and consumed at the join."""
+    func = IRFunction("f")
+    func.add_entry_block()
+    cond = func.new_temp("c")
+    value = func.new_temp("v")
+    left = func.new_block("left")
+    right = func.new_block("right")
+    join = func.new_block("join")
+    func.entry.append(Move(cond, Const(1)))
+    func.entry.append(Move(value, Const(10)))
+    func.entry.terminator = CJump(cond, left.label, right.label)
+    left.append(Move(value, Const(20)))
+    left.terminator = Jump(join.label)
+    right.terminator = Jump(join.label)
+    join.terminator = Return(value)
+    return func, value
+
+
+def test_diamond_converges_in_one_visit_per_block(monkeypatch):
+    """Regression for the worklist seeding order: a backward solver
+    seeded in reverse post-order and popped LIFO sweeps successors
+    first, so an acyclic diamond must converge in exactly one worklist
+    pop per block — re-visits mean the seed order regressed to the old
+    every-pass-over-every-block scheme."""
+    for mode in ("packed", "reference"):
+        monkeypatch.setenv("REPRO_DATAFLOW", mode)
+        func, value = _diamond_function()
+        result = compute_ir_liveness(func)
+        assert result.block_visits == len(func.blocks) == 4, mode
+        # And the facts themselves: v flows through both arms.
+        for label in ("left", "right"):
+            block = next(l for l in func.blocks if label in l)
+            assert value in result.live_out(block), mode
+
+
+def test_loop_requires_revisits_but_terminates(monkeypatch):
+    """A back edge needs at least one re-visit (visits > blocks) and the
+    count is identical across kernels — the packed solver mirrors the
+    reference worklist pop for pop."""
+    visits = {}
+    for mode in ("packed", "reference"):
+        monkeypatch.setenv("REPRO_DATAFLOW", mode)
+        module = lower_source(
+            """
+            int f(int n) {
+              int s = 0;
+              int i;
+              for (i = 0; i < n; i++) s += i;
+              return s;
+            }
+            """,
+            "m",
+        )
+        func = module.functions["f"]
+        result = compute_ir_liveness(func)
+        assert result.block_visits > len(func.blocks), mode
+        visits[mode] = result.block_visits
+    assert visits["packed"] == visits["reference"]
