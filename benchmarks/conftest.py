@@ -151,6 +151,13 @@ _ALLOCATOR_TOURNAMENT: dict = {}
 _SCALABILITY: dict = {}
 
 
+# Compile-service load harness (bench_service_load.py): concurrent
+# edit-session throughput, cache hit rate, and request latency
+# percentiles against the daemon, written alongside the tables at
+# session end.
+_SERVICE_LOAD: dict = {}
+
+
 @pytest.fixture(scope="session")
 def paper_results():
     """name -> :class:`WorkloadResults` for every Table 3 workload."""
@@ -265,6 +272,7 @@ def write_bench_report(json_path) -> dict:
         ("simulator_throughput", _SIM_THROUGHPUT),
         ("allocator_tournament", _ALLOCATOR_TOURNAMENT),
         ("scalability", _SCALABILITY),
+        ("service_load", _SERVICE_LOAD),
     ):
         if section:
             payload[key] = section
@@ -280,7 +288,7 @@ def pytest_sessionfinish(session, exitstatus):
     written = []
     if (_BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION
             or _OBSERVABILITY or _SIM_THROUGHPUT
-            or _ALLOCATOR_TOURNAMENT or _SCALABILITY):
+            or _ALLOCATOR_TOURNAMENT or _SCALABILITY or _SERVICE_LOAD):
         json_path = os.path.join(
             os.path.dirname(__file__), "BENCH_results.json"
         )

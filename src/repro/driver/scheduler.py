@@ -179,6 +179,12 @@ class CompilationScheduler:
             driver; ``None`` means one worker per CPU.
         cache_dir: Root of the artifact cache, or ``None`` to disable
             caching entirely.
+        cache: An existing :class:`~repro.driver.cache.ArtifactCache`
+            to compile against, shared with other schedulers — the
+            compile service hands every session's scheduler one sharded
+            cache so concurrent sessions dedupe phase-1/phase-2 work
+            against each other.  Mutually exclusive with ``cache_dir``;
+            the cache (and its statistics) stays caller-owned.
         verify: Run the post-link allocation auditor
             (:mod:`repro.verify.auditor`) on every linked executable and
             raise :class:`~repro.verify.auditor.AuditError` on any
@@ -221,6 +227,7 @@ class CompilationScheduler:
         incremental: bool | None = None,
         trace=None,
         allocator: str | None = None,
+        cache: ArtifactCache | None = None,
     ):
         self.allocator = allocator
         if jobs is None:
@@ -241,9 +248,14 @@ class CompilationScheduler:
             self._owns_tracer = True
         else:
             self.tracer = trace
-        self.cache = (
-            ArtifactCache(cache_dir) if cache_dir is not None else None
-        )
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache_dir or cache, not both")
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = (
+                ArtifactCache(cache_dir) if cache_dir is not None else None
+            )
         if verify is None:
             verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
         self.verify = verify

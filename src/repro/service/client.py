@@ -1,0 +1,126 @@
+"""Blocking client for the compile service.
+
+A thin synchronous wrapper over the newline-JSON protocol
+(:mod:`repro.service.protocol`) used by the test suite, the load
+benchmark, and ``examples/compiler_explorer.py --connect``.  One
+client owns one connection; requests are answered in order, so a
+client is safe to share only within one thread (the load test gives
+each session thread its own client — connections are cheap).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service.protocol import (
+    ServiceError,
+    decode_frame,
+    request_frame,
+)
+
+
+class ServiceClient:
+    """Synchronous connection to a running :class:`CompileService`."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def connect_unix(cls, path: str,
+                     timeout: float | None = 60.0) -> "ServiceClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(str(path))
+        return cls(sock)
+
+    @classmethod
+    def connect_tcp(cls, host: str, port: int,
+                    timeout: float | None = 60.0) -> "ServiceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship arbitrary bytes (robustness tests forge bad frames)."""
+        self._file.write(data)
+        self._file.flush()
+
+    def recv_response(self) -> dict:
+        """Read one response frame (raises ConnectionError on EOF)."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    def request(self, operation: str, **params) -> dict:
+        """One round-trip; returns the ``result`` object or raises
+        :class:`ServiceError` on a structured error reply."""
+        self._next_id += 1
+        request_id = self._next_id
+        self.send_raw(request_frame(request_id, operation, **params))
+        response = self.recv_response()
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "unknown"),
+                error.get("message", "no message"),
+            )
+        return response.get("result", {})
+
+    def close(self) -> None:
+        # Closing flushes any buffered unsent bytes; if the server
+        # already hung up (oversized frame, drain) that flush hits a
+        # dead socket, which is not this caller's problem.
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations -------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def open_session(self, sources: dict | None = None, **options) -> dict:
+        """Open a session; returns the result (``result["session"]`` is
+        the id).  ``options``: opt_level, config, allocator, max_cycles."""
+        params = dict(options)
+        if sources is not None:
+            params["sources"] = sources
+        return self.request("open_session", **params)
+
+    def edit(self, session: str, module: str, text: str | None) -> dict:
+        """Upsert one module's source (``None`` removes the module)."""
+        return self.request(
+            "edit", session=session, module=module, text=text
+        )
+
+    def compile(self, session: str) -> dict:
+        return self.request("compile", session=session)
+
+    def profile(self, session: str) -> dict:
+        return self.request("profile", session=session)
+
+    def stats(self, session: str | None = None) -> dict:
+        if session is None:
+            return self.request("stats")
+        return self.request("stats", session=session)
+
+    def close_session(self, session: str) -> dict:
+        return self.request("close", session=session)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

@@ -1,0 +1,183 @@
+"""Sharded artifact cache: prefix routing, per-shard LRU independence,
+byte-identical single-shard default, shared-cache scheduler wiring."""
+
+import os
+
+import pytest
+
+from repro import AnalyzerOptions, CompilationScheduler
+from repro.driver.cache import ArtifactCache
+from repro.linker.link import executable_fingerprint
+
+
+def key_for_shard(cache: ArtifactCache, shard: int, tag: int) -> str:
+    """A 64-hex-char key that routes to ``shard`` (prefix-addressed:
+    the first 8 hex chars mod the shard count pick the home)."""
+    prefix = format(shard, "08x")
+    assert int(prefix, 16) % cache.shards == shard
+    return prefix + format(tag, "056x")
+
+
+class TestDefaultSingleShard:
+    def test_default_is_one_shard(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        assert cache.shards == 1
+
+    def test_layout_matches_historical(self, tmp_path):
+        """One shard means the exact historical on-disk layout —
+        no shard directory level, same two-char fan-out."""
+        cache = ArtifactCache(tmp_path / "c")
+        key = "ab" + "0" * 62
+        cache.store("phase1", key, {"x": 1})
+        expected = tmp_path / "c" / "ab" / (key + ".pkl")
+        assert expected.exists()
+        assert cache.load("phase1", key) == {"x": 1}
+
+    def test_env_knob(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "4")
+        cache = ArtifactCache(tmp_path / "c")
+        assert cache.shards == 4
+        monkeypatch.delenv("REPRO_CACHE_SHARDS")
+        assert ArtifactCache(tmp_path / "d").shards == 1
+
+    def test_explicit_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "4")
+        assert ArtifactCache(tmp_path / "c", shards=2).shards == 2
+
+    def test_invalid_shards(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path / "c", shards=0)
+
+
+class TestPrefixRouting:
+    def test_keys_route_by_prefix(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c", shards=4)
+        for shard in range(4):
+            key = key_for_shard(cache, shard, tag=1)
+            assert cache.shard_of(key) == shard
+            cache.store("phase1", key, shard)
+            expected = (
+                tmp_path / "c" / f"shard-{shard:03d}"
+                / key[:2] / (key + ".pkl")
+            )
+            assert expected.exists()
+
+    def test_round_trip_across_shards(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c", shards=8)
+        keys = {}
+        for shard in range(8):
+            for tag in range(3):
+                key = key_for_shard(cache, shard, tag)
+                keys[key] = (shard, tag)
+                cache.store("phase2", key, (shard, tag))
+        for key, value in keys.items():
+            assert cache.load("phase2", key) == value
+        assert len(cache) == 24
+
+    def test_sharded_and_single_are_independent_layouts(self, tmp_path):
+        single = ArtifactCache(tmp_path / "c", shards=1)
+        key = key_for_shard(ArtifactCache(tmp_path / "x", shards=2),
+                            0, tag=7)
+        single.store("phase1", key, "payload")
+        sharded = ArtifactCache(tmp_path / "c2", shards=2)
+        sharded.store("phase1", key, "payload")
+        single_paths = sorted(
+            os.path.relpath(os.path.join(dirpath, name), single.root)
+            for dirpath, _dirs, files in os.walk(single.root)
+            for name in files
+        )
+        assert not any(p.startswith("shard-") for p in single_paths)
+
+
+class TestEvictionIndependence:
+    def entry_cost(self, tmp_path) -> int:
+        """On-disk bytes of one probe entry (pickle + framing)."""
+        probe = ArtifactCache(tmp_path / "probe", shards=2)
+        key = key_for_shard(probe, 0, tag=0)
+        probe.store("phase1", key, b"v" * 1000)
+        return probe.total_bytes()
+
+    def test_filling_one_shard_never_evicts_another(self, tmp_path):
+        size = self.entry_cost(tmp_path)
+        cache = ArtifactCache(
+            tmp_path / "c", max_bytes=3 * size, shards=2
+        )
+        victim_key = key_for_shard(cache, 1, tag=999)
+        cache.store("phase1", victim_key, b"v" * 1000)
+        # Overflow shard 0 many times over its own cap.
+        for tag in range(10):
+            cache.store(
+                "phase1", key_for_shard(cache, 0, tag), b"v" * 1000
+            )
+        assert cache.stats.evictions["phase1"] > 0
+        # Shard 1's only entry was never a victim of shard 0's LRU.
+        assert cache.load("phase1", victim_key) == b"v" * 1000
+        # And shard 0 itself respected its own cap.
+        assert cache.shard_bytes(0) <= 3 * size
+
+    def test_cap_is_per_shard_not_global(self, tmp_path):
+        size = self.entry_cost(tmp_path)
+        cache = ArtifactCache(
+            tmp_path / "c", max_bytes=3 * size, shards=4
+        )
+        # 2 entries per shard: every shard is under its own cap even
+        # though the cache as a whole holds 8 > 3 entries.
+        for shard in range(4):
+            for tag in range(2):
+                cache.store(
+                    "phase1",
+                    key_for_shard(cache, shard, tag),
+                    b"v" * 1000,
+                )
+        assert cache.stats.evictions == {}
+        assert len(cache) == 8
+        assert cache.total_bytes() > 3 * size
+
+    def test_single_shard_eviction_unchanged(self, tmp_path):
+        """The historical global-LRU behavior at shards=1: a store
+        can evict any older entry, wherever its key points."""
+        size = self.entry_cost(tmp_path)
+        cache = ArtifactCache(tmp_path / "c", max_bytes=2 * size)
+        helper = ArtifactCache(tmp_path / "h", shards=2)
+        for tag in range(4):
+            cache.store(
+                "phase1", key_for_shard(helper, tag % 2, tag),
+                b"v" * 1000,
+            )
+        assert cache.stats.evictions["phase1"] >= 2
+        assert cache.total_bytes() <= 2 * size
+
+
+class TestSchedulerSharedCache:
+    SOURCES = {
+        "m": "int g; int main() { g = 2; print(g * 21); return 0; }"
+    }
+
+    def test_cache_kwarg_shares_entries(self, tmp_path):
+        shared = ArtifactCache(tmp_path / "c", shards=4)
+        options = AnalyzerOptions.config("C")
+        with CompilationScheduler(jobs=1, cache=shared) as first:
+            a = first.compile_program(dict(self.SOURCES), 2, options)
+        with CompilationScheduler(jobs=1, cache=shared) as second:
+            b = second.compile_program(dict(self.SOURCES), 2, options)
+        assert executable_fingerprint(
+            a.executable
+        ) == executable_fingerprint(b.executable)
+        # The second scheduler recompiled nothing.
+        assert b.metrics.stage_tasks.get("phase1", 0) == 0
+        assert b.metrics.stage_tasks.get("phase2", 0) == 0
+        assert shared.stats.hits["phase1"] >= 1
+        assert shared.stats.hits["phase2"] >= 1
+
+    def test_cache_and_cache_dir_conflict(self, tmp_path):
+        shared = ArtifactCache(tmp_path / "c")
+        with pytest.raises(ValueError):
+            CompilationScheduler(
+                cache=shared, cache_dir=str(tmp_path / "d")
+            )
+
+    def test_scheduler_cache_stays_caller_owned(self, tmp_path):
+        shared = ArtifactCache(tmp_path / "c", shards=2)
+        scheduler = CompilationScheduler(jobs=1, cache=shared)
+        assert scheduler.cache is shared
+        scheduler.close()

@@ -1,0 +1,24 @@
+"""Shared fixtures: one daemon per test module, clients per test."""
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A running daemon (unix + TCP + metrics) shared by one module."""
+    tmp = tmp_path_factory.mktemp("service")
+    with ServiceThread(
+        unix_path=str(tmp / "svc.sock"),
+        host="127.0.0.1",
+        metrics_port=0,
+    ) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient.connect_unix(service.service.unix_path) as conn:
+        yield conn
