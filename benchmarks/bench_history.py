@@ -1,0 +1,127 @@
+"""Fold each benchmark session into the tracked perf history.
+
+Every bench session already writes ``BENCH_results.json``; this module
+appends the session as one point of ``benchmarks/BENCH_history.jsonl``
+— the git SHA, a UTC timestamp, and every numeric scalar of the
+results flattened to dotted paths (see
+:mod:`repro.obs.sentinel`).  The history is the input of the
+perf-regression sentinel, ``repro-explain bench --check``.
+
+Runs two ways:
+
+* automatically, from ``benchmarks/conftest.py`` at session end, so a
+  bench run cannot forget to record itself;
+* standalone — ``python benchmarks/bench_history.py [--check]`` —
+  to (re)append the current results file, optionally running the
+  sentinel in the same breath (non-zero exit on regression).
+
+A point is keyed by SHA: re-running benches on the same commit
+replaces its point instead of stacking duplicates, so CI's partial
+runs converge to the final full session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+DEFAULT_RESULTS = os.path.join(BENCH_DIR, "BENCH_results.json")
+DEFAULT_HISTORY = os.path.join(BENCH_DIR, "BENCH_history.jsonl")
+
+try:
+    import repro  # noqa: F401 — just probing the path
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def git_sha(root: str = REPO_ROOT) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def append_session(
+    results_path: str = DEFAULT_RESULTS,
+    history_path: str = DEFAULT_HISTORY,
+    sha: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Append the results file as one history point; returns it."""
+    from repro.obs.sentinel import append_history
+
+    with open(results_path, encoding="utf-8") as handle:
+        results = json.load(handle)
+    if sha is None:
+        sha = git_sha()
+    if timestamp is None:
+        timestamp = datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds")
+    return append_history(history_path, results, sha, timestamp)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append the bench results to the perf history"
+        " (and optionally run the regression sentinel)."
+    )
+    parser.add_argument(
+        "--results", default=DEFAULT_RESULTS,
+        help="BENCH_results.json to fold (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY,
+        help="history JSONL to append to (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--sha", default=None,
+        help="override the git SHA key (default: rev-parse HEAD)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run the sentinel after appending; exit non-zero on"
+        " regression",
+    )
+    args = parser.parse_args(argv)
+
+    entry = append_session(
+        results_path=args.results,
+        history_path=args.history,
+        sha=args.sha,
+    )
+    print(
+        f"recorded {entry['sha'][:12]} "
+        f"({len(entry['metrics'])} scalars) -> {args.history}"
+    )
+    if not args.check:
+        return 0
+    from repro.obs.sentinel import (
+        check_regressions,
+        format_check,
+        read_history,
+    )
+
+    entries = read_history(args.history)
+    regressions = check_regressions(entries)
+    print(format_check(entries, regressions), end="")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -284,6 +284,26 @@ def write_bench_report(json_path) -> dict:
     return payload
 
 
+def _append_bench_history(json_path):
+    """Fold the session into BENCH_history.jsonl (sentinel input).
+
+    Loaded by path: ``benchmarks/`` is not a package, and the bench
+    modules are imported by pytest under their own names.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_history",
+        os.path.join(os.path.dirname(__file__), "bench_history.py"),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.append_session(results_path=json_path)
+    return os.path.join(
+        os.path.dirname(__file__), "BENCH_history.jsonl"
+    )
+
+
 def pytest_sessionfinish(session, exitstatus):
     written = []
     if (_BENCH_WORKLOADS or _SCHEDULER_METRICS or _INCREMENTAL_SESSION
@@ -302,6 +322,13 @@ def pytest_sessionfinish(session, exitstatus):
         )
         write_bench_report(snapshot)
         written.append(snapshot)
+        # One history point per session (keyed by SHA, so partial CI
+        # runs converge): the perf-regression sentinel's time series.
+        try:
+            written.append(_append_bench_history(json_path))
+        except Exception as err:  # noqa: BLE001 — history is advisory;
+            # a bench session must not fail for want of its bookkeeping.
+            _RESULT_LINES.append(f"(bench history not recorded: {err})")
     if not _RESULT_LINES:
         return
     path = os.path.join(os.path.dirname(__file__), "latest_results.txt")

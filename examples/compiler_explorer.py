@@ -228,6 +228,12 @@ def connect(args) -> None:
                         f"phase2 {out['phase2_compiled']} compiled / "
                         f"{out['phase2_cached']} cached"
                     )
+                    print(
+                        f"timing: {out['seconds'] * 1000:.1f}ms compile"
+                        f" ({out['queue_seconds'] * 1000:.1f}ms queued,"
+                        f" {out['lock_seconds'] * 1000:.1f}ms on the"
+                        f" session lock)"
+                    )
                     if out["analyze"]:
                         reused = out["analyze"].get("webs_reused", 0)
                         redone = out["analyze"].get("webs_recomputed", 0)

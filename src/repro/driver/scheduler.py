@@ -365,6 +365,40 @@ class CompilationScheduler:
                 self._executor = None
         return [task_fn(item) for item in items]
 
+    def _run_labeled_tasks(
+        self, stage: str, task_fn, items: list, labels: list
+    ) -> list:
+        """:meth:`_run_tasks` plus one ``module`` span per item.
+
+        The span carries the stage and module name so flamegraph
+        folding can attribute phase time per module.  Canonicalized
+        streams must stay identical between serial and parallel runs,
+        so both paths emit the same begin/end pairs in item order; only
+        the *timing* differs — inline execution runs each task inside
+        its span (real per-module seconds), while the pool path
+        computes first and then emits empty spans (~0 seconds each,
+        the fan-out wall-clock stays on the enclosing stage span).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run_tasks(task_fn, items)
+        if self.jobs > 1 and len(items) > 1:
+            try:
+                computed = list(self._get_executor().map(task_fn, items))
+            except BrokenProcessPool:
+                self._executor = None
+            else:
+                for label in labels:
+                    with tracer.span("module", stage=stage,
+                                     module=label):
+                        pass
+                return computed
+        results: list = []
+        for item, label in zip(items, labels):
+            with tracer.span("module", stage=stage, module=label):
+                results.append(task_fn(item))
+        return results
+
     # -- pipeline stages --------------------------------------------------
 
     def run_phase1(self, sources, opt_level: int = 2) -> list:
@@ -385,8 +419,11 @@ class CompilationScheduler:
                         continue
                 pending.append((index, (name, text, opt_level), key))
             self._count_tasks("phase1", len(pending))
-            computed = self._run_tasks(
-                _phase1_task, [item for _, item, _ in pending]
+            computed = self._run_labeled_tasks(
+                "phase1",
+                _phase1_task,
+                [item for _, item, _ in pending],
+                [item[0] for _, item, _ in pending],
             )
             for (index, _item, key), result in zip(pending, computed):
                 results[index] = result
@@ -499,7 +536,8 @@ class CompilationScheduler:
                         continue
                 pending.append((index, key))
             self._count_tasks("phase2", len(pending))
-            computed = self._run_tasks(
+            computed = self._run_labeled_tasks(
+                "phase2",
                 _phase2_task,
                 [
                     (
@@ -507,6 +545,13 @@ class CompilationScheduler:
                         database,
                         opt_level,
                         resolved,
+                    )
+                    for index, _key in pending
+                ],
+                [
+                    getattr(
+                        phase1_results[index].ir_module, "name",
+                        str(index),
                     )
                     for index, _key in pending
                 ],

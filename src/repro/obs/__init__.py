@@ -15,13 +15,26 @@ those decisions.  This package is what lets a human (or a later tool)
 * :mod:`repro.obs.metrics` — a unified counter/gauge/histogram registry
   folding scheduler, incremental, audit, and simulator counters into
   one exportable view;
+* :mod:`repro.obs.flame` — span-stream profiling: collapsed-stack
+  flamegraph folding, self-time tables, per-request latency
+  breakdowns over daemon trace streams;
+* :mod:`repro.obs.sentinel` — the perf-regression sentinel judging
+  each bench session against the tracked benchmark history;
 * :mod:`repro.obs.report` — the ``repro-explain`` CLI rendering
-  paper-style allocation reports and answering ``why`` / ``why-not``
-  queries.
+  paper-style allocation reports, answering ``why`` / ``why-not``
+  queries, and fronting the ``flame`` / ``slow`` / ``bench`` views.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and usage.
 """
 
+from repro.obs.flame import (
+    fold_spans,
+    render_collapsed,
+    request_summaries,
+    self_time_table,
+    slowest_requests,
+    span_tree,
+)
 from repro.obs.metrics import MetricsRegistry, unified_registry
 from repro.obs.report import compile_workload, render_report, report_data
 from repro.obs.provenance import (
@@ -33,10 +46,12 @@ from repro.obs.tracer import (
     NULL_TRACER,
     Tracer,
     activate,
+    canonicalize_request_trace,
     canonicalize_trace,
     current_tracer,
     read_trace,
     suppressed,
+    trace_groups,
 )
 
 __all__ = [
@@ -44,15 +59,23 @@ __all__ = [
     "NULL_TRACER",
     "Tracer",
     "activate",
+    "canonicalize_request_trace",
     "canonicalize_trace",
     "compile_workload",
     "current_tracer",
     "explain_global",
     "explain_procedure",
+    "fold_spans",
     "format_explanation",
     "read_trace",
+    "render_collapsed",
     "render_report",
     "report_data",
+    "request_summaries",
+    "self_time_table",
+    "slowest_requests",
+    "span_tree",
     "suppressed",
+    "trace_groups",
     "unified_registry",
 ]

@@ -29,6 +29,21 @@ DEFAULT_BUCKETS = (
     1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
 )
 
+#: The one bucket schema for wall-clock histograms, shared by the
+#: service request-latency histograms and the per-phase compile
+#: histograms so their prometheus exposition stays structurally stable
+#: across runs and directly comparable between metric families.
+#: Explicit log-spaced bounds (1/2.5/5 per decade) from 100µs to one
+#: minute — request latencies and single phases both land inside.
+SECONDS_BUCKETS = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 60.0,
+)
+
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))

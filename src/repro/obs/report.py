@@ -16,6 +16,15 @@ and renders what the allocator *decided* and what it *cost*:
 Everything is rendered from the trace record stream alone, so
 ``--from-trace`` and a fresh compile share one code path.
 
+Three profiling/sentinel commands ride on the same trace plumbing:
+``flame`` folds a span stream (a compile trace or a daemon's
+``REPRO_SERVICE_TRACE`` stream) into collapsed stacks plus a self-time
+table, ``slow`` ranks a daemon trace's requests by latency with
+queue-wait and per-phase breakdowns, and ``bench`` renders the
+benchmark history — ``bench --check`` is the perf-regression sentinel
+(:mod:`repro.obs.sentinel`), exiting non-zero when the newest history
+point regressed past the threshold.
+
 Usage::
 
     repro-explain [report] --workload othello --config C
@@ -24,6 +33,9 @@ Usage::
     repro-explain proc main --workload othello
     repro-explain metrics --workload othello
     repro-explain report --from-trace trace.jsonl
+    repro-explain flame --from-trace service.jsonl --out out.folded
+    repro-explain slow --from-trace service.jsonl --top 5
+    repro-explain bench --check
 """
 
 from __future__ import annotations
@@ -42,7 +54,10 @@ from repro.obs.provenance import (
 )
 from repro.obs.tracer import Tracer, activate, canonicalize_trace, read_trace
 
-COMMANDS = ("report", "why", "why-not", "proc", "metrics")
+COMMANDS = (
+    "report", "why", "why-not", "proc", "metrics",
+    "flame", "slow", "bench",
+)
 
 
 # -- compilation front-end -------------------------------------------------
@@ -467,6 +482,119 @@ def render_metrics(snapshot, stats, database, invalidation=None) -> str:
     return registry.to_text()
 
 
+def render_self_time(records, top: int = 20) -> str:
+    """The flame view's text companion: heaviest self-time first."""
+    from repro.obs.flame import self_time_table
+
+    rows = self_time_table(records)[:top]
+    if not rows:
+        return "(no spans in trace)\n"
+    return (
+        _table(
+            ["span", "self s", "total s", "count"],
+            [
+                [
+                    row["label"],
+                    f"{row['self_seconds']:.6f}",
+                    f"{row['total_seconds']:.6f}",
+                    row["count"],
+                ]
+                for row in rows
+            ],
+        )
+        + "\n"
+    )
+
+
+def render_slow(records, top: int = 10) -> str:
+    """Slowest daemon requests with waits and per-phase breakdown."""
+    from repro.obs.flame import PHASE_SPANS, slowest_requests
+
+    rows = slowest_requests(records, top=top)
+    if not rows:
+        return (
+            "(no request spans in trace — is this a daemon "
+            "REPRO_SERVICE_TRACE stream?)\n"
+        )
+    headers = ["trace", "req", "op", "seconds", "queue", "lock"]
+    headers += list(PHASE_SPANS) + ["error"]
+    body = []
+    for row in rows:
+        line = [
+            row["trace"],
+            row["request"],
+            row["op"],
+            f"{row['seconds']:.6f}",
+            f"{row['queue_wait']:.6f}",
+            f"{row['lock_wait']:.6f}",
+        ]
+        for phase in PHASE_SPANS:
+            seconds = row["phases"].get(phase)
+            line.append("-" if seconds is None else f"{seconds:.6f}")
+        line.append(row["error"] or "-")
+        body.append(line)
+    return _table(headers, body) + "\n"
+
+
+def _default_history_path() -> str:
+    env = os.environ.get("REPRO_BENCH_HISTORY", "").strip()
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks", "BENCH_history.jsonl")
+
+
+def run_bench_command(args) -> int:
+    """``repro-explain bench``: history view / ``--check`` sentinel."""
+    from repro.obs import sentinel
+
+    history_path = args.history or _default_history_path()
+    entries = sentinel.read_history(history_path)
+    if args.check:
+        regressions = sentinel.check_regressions(
+            entries, threshold=args.threshold, window=args.window
+        )
+        if args.json:
+            print(json.dumps(
+                {
+                    "history": history_path,
+                    "points": len(entries),
+                    "regressions": regressions,
+                },
+                indent=2,
+            ))
+        else:
+            print(
+                sentinel.format_check(
+                    entries, regressions, threshold=args.threshold
+                ),
+                end="",
+            )
+        return 1 if regressions else 0
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    if not entries:
+        print(f"no bench history at {history_path}")
+        return 0
+    print(f"bench history: {history_path} ({len(entries)} point(s))")
+    print(
+        _table(
+            ["sha", "timestamp", "metrics"],
+            [
+                [
+                    str(entry.get("sha", "?"))[:12],
+                    entry.get("timestamp", "?"),
+                    len(entry.get("metrics", {})),
+                ]
+                for entry in entries
+            ],
+        )
+    )
+    return 0
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -528,6 +656,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of text",
     )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="flame: write the collapsed-stack file here (stdout gets"
+        " the self-time table instead)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="slow: how many requests to list (default: 10)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="bench: run the perf-regression sentinel (non-zero exit"
+        " on regression)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        help="bench: history JSONL (default:"
+        " benchmarks/BENCH_history.jsonl, or REPRO_BENCH_HISTORY)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="bench --check: fractional regression threshold"
+        " (default: 0.25, or REPRO_SENTINEL_THRESHOLD)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="bench --check: trailing baseline window (default: 5,"
+        " or REPRO_SENTINEL_WINDOW)",
+    )
     return parser
 
 
@@ -547,6 +713,13 @@ def main(argv=None) -> int:
             "metrics folds scheduler/simulator state and cannot be"
             " rendered from a saved trace; drop --from-trace"
         )
+    if args.command == "slow" and not args.from_trace:
+        parser.error(
+            "slow ranks daemon requests and needs --from-trace"
+            " pointing at a REPRO_SERVICE_TRACE stream"
+        )
+    if args.command == "bench":
+        return run_bench_command(args)
 
     snapshot = stats = database = invalidation = None
     if args.from_trace:
@@ -574,6 +747,32 @@ def main(argv=None) -> int:
             print(json.dumps(report_data(records), indent=2))
         else:
             print(render_report(records, title=title), end="")
+        return 0
+
+    if args.command == "flame":
+        from repro.obs.flame import fold_spans, render_collapsed
+
+        collapsed = render_collapsed(fold_spans(records))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(collapsed)
+            print(f"wrote {args.out}")
+            print(render_self_time(records), end="")
+        elif args.json:
+            print(json.dumps(fold_spans(records), indent=2))
+        else:
+            print(collapsed, end="")
+        return 0
+
+    if args.command == "slow":
+        if args.json:
+            from repro.obs.flame import slowest_requests
+
+            print(json.dumps(
+                slowest_requests(records, top=args.top), indent=2
+            ))
+        else:
+            print(render_slow(records, top=args.top), end="")
         return 0
 
     if args.command == "metrics":

@@ -1,0 +1,231 @@
+"""Perf-regression sentinel over the benchmark history.
+
+Each bench session appends one point to a tracked JSONL history
+(``benchmarks/BENCH_history.jsonl``): the git SHA, a timestamp, and
+every numeric scalar of ``BENCH_results.json`` flattened to dotted
+paths (``service_load.compiles_per_sec``, ``simulator.speedup`` ...).
+The sentinel (``repro-explain bench --check``) then compares the
+newest point against the mean of a trailing window and reports every
+tracked scalar that moved past a threshold in its *bad* direction.
+
+Direction is inferred from the metric name (:func:`metric_direction`):
+throughputs, rates and speedups regress *down*; seconds, cycles and
+overheads regress *up*; metrics whose good direction cannot be
+inferred are not judged at all — a sentinel that guesses wrong
+directions trains people to ignore it.
+
+The check is a tripwire, not a verdict: CI runs it as a soft-fail
+annotation because single-machine wall-clock noise is real.  The
+window mean (rather than only the previous point) keeps one noisy
+historical sample from hiding or faking a trend.
+
+Knobs: ``REPRO_SENTINEL_THRESHOLD`` (fractional, default ``0.25``)
+and ``REPRO_SENTINEL_WINDOW`` (points, default ``5``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: A scalar must move past this fraction of the baseline (in its bad
+#: direction) to be reported.  Generous by default: these benches run
+#: on shared CI machines.
+DEFAULT_THRESHOLD = 0.25
+
+#: How many prior history points form the baseline mean.
+DEFAULT_WINDOW = 5
+
+#: Name fragments implying "bigger is better" / "bigger is worse".
+#: Checked in this order; first hit wins (so ``*_per_sec`` beats the
+#: ``sec`` fragment inside it).
+_HIGHER_BETTER = (
+    "per_sec", "per_second", "hit_rate", "speedup", "throughput",
+    "ratio_reused", "reuse",
+)
+_LOWER_BETTER = (
+    "seconds", "_ms", "millis", "micros", "_us", "cycles",
+    "overhead", "latency", "bytes", "misses",
+)
+
+
+def sentinel_threshold() -> float:
+    raw = os.environ.get("REPRO_SENTINEL_THRESHOLD", "").strip()
+    return float(raw) if raw else DEFAULT_THRESHOLD
+
+
+def sentinel_window() -> int:
+    raw = os.environ.get("REPRO_SENTINEL_WINDOW", "").strip()
+    return max(1, int(raw)) if raw else DEFAULT_WINDOW
+
+
+def metric_direction(name: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 not judged."""
+    lowered = name.lower()
+    for fragment in _HIGHER_BETTER:
+        if fragment in lowered:
+            return 1
+    for fragment in _LOWER_BETTER:
+        if fragment in lowered:
+            return -1
+    return 0
+
+
+def flatten_scalars(payload, prefix: str = "") -> dict:
+    """Every numeric leaf of a nested dict, as ``dotted.path: value``.
+
+    Booleans are excluded (they are ints to ``isinstance``, but a
+    flipped flag is not a 20% regression); lists are skipped entirely
+    — history points track named scalars, not positions.
+    """
+    flat: dict = {}
+    if not isinstance(payload, dict):
+        return flat
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[path] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten_scalars(value, path))
+    return flat
+
+
+# -- history file ----------------------------------------------------------
+
+
+def read_history(path) -> list:
+    """Parse the history JSONL (oldest first); missing file -> []."""
+    entries: list = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError:
+        return entries
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def write_history(path, entries) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True))
+            handle.write("\n")
+
+
+def append_history(path, results: dict, sha: str,
+                   timestamp: str) -> dict:
+    """Fold one bench session into the history; returns the new entry.
+
+    An existing entry for the same SHA is *replaced*, not duplicated:
+    CI may run partial bench subsets before the full session, and the
+    history should converge to one point per commit, the last (most
+    complete) run winning.
+    """
+    entry = {
+        "sha": sha,
+        "timestamp": timestamp,
+        "metrics": flatten_scalars(results),
+    }
+    entries = [
+        existing
+        for existing in read_history(path)
+        if existing.get("sha") != sha
+    ]
+    entries.append(entry)
+    write_history(path, entries)
+    return entry
+
+
+# -- the check -------------------------------------------------------------
+
+
+def check_regressions(entries, threshold: float | None = None,
+                      window: int | None = None) -> list:
+    """Judge the newest history point against its trailing window.
+
+    Returns regression rows ``[{"metric", "newest", "baseline",
+    "delta", "direction"}, ...]`` (``delta`` is the signed fractional
+    change vs the baseline mean), sorted worst-relative-move first.
+    Empty when there is nothing to compare (fewer than two points) —
+    an empty history is not a regression.
+    """
+    if threshold is None:
+        threshold = sentinel_threshold()
+    if window is None:
+        window = sentinel_window()
+    if len(entries) < 2:
+        return []
+    newest = entries[-1].get("metrics", {})
+    trailing = entries[max(0, len(entries) - 1 - window):-1]
+    regressions: list = []
+    for metric in sorted(newest):
+        direction = metric_direction(metric)
+        if direction == 0:
+            continue
+        history = [
+            entry["metrics"][metric]
+            for entry in trailing
+            if metric in entry.get("metrics", {})
+        ]
+        if not history:
+            continue
+        baseline = sum(history) / len(history)
+        if baseline == 0:
+            continue
+        delta = (newest[metric] - baseline) / abs(baseline)
+        # A regression is a move past the threshold *against* the
+        # metric's good direction.
+        if delta * direction < -threshold:
+            regressions.append(
+                {
+                    "metric": metric,
+                    "newest": newest[metric],
+                    "baseline": baseline,
+                    "delta": delta,
+                    "direction": (
+                        "higher-better" if direction > 0
+                        else "lower-better"
+                    ),
+                }
+            )
+    return sorted(
+        regressions,
+        key=lambda row: (-abs(row["delta"]), row["metric"]),
+    )
+
+
+def format_check(entries, regressions,
+                 threshold: float | None = None) -> str:
+    """Human-readable sentinel verdict (the ``bench --check`` body)."""
+    if threshold is None:
+        threshold = sentinel_threshold()
+    lines: list = []
+    if len(entries) < 2:
+        lines.append(
+            f"perf sentinel: {len(entries)} history point(s) — "
+            "nothing to compare yet"
+        )
+        return "\n".join(lines) + "\n"
+    newest = entries[-1]
+    lines.append(
+        f"perf sentinel: {newest.get('sha', '?')[:12]} "
+        f"vs trailing window of {min(len(entries) - 1, sentinel_window())}"
+        f" (threshold {threshold:.0%})"
+    )
+    if not regressions:
+        lines.append("no tracked scalar regressed past the threshold")
+        return "\n".join(lines) + "\n"
+    width = max(len(row["metric"]) for row in regressions)
+    lines.append(f"{len(regressions)} regression(s):")
+    for row in regressions:
+        lines.append(
+            f"  {row['metric'].ljust(width)}  "
+            f"{row['baseline']:.6g} -> {row['newest']:.6g}  "
+            f"({row['delta']:+.1%}, {row['direction']})"
+        )
+    return "\n".join(lines) + "\n"

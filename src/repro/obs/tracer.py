@@ -24,9 +24,17 @@ Instrumentation sites never hold a tracer; they fetch the ambient one
 via :func:`current_tracer`, which answers the no-op :data:`NULL_TRACER`
 unless a real tracer was installed with :func:`activate` (the scheduler
 does this around every stage when constructed with ``trace=`` or with
-``REPRO_TRACE`` set).  The null tracer's methods are empty and its
-``enabled`` flag is ``False``, so disabled tracing costs one global
-read and one attribute check per instrumentation site.
+``REPRO_TRACE`` set).  The ambient slot is a :class:`~contextvars.
+ContextVar`, so concurrent service requests running on separate worker
+threads each see their own request-scoped tracer.  The null tracer's
+methods are empty and its ``enabled`` flag is ``False``, so disabled
+tracing costs one context-variable read and one attribute check per
+instrumentation site.
+
+The compile service writes many requests' records into one daemon
+stream, tagging each record with its request's ``trace`` id; see
+:func:`trace_groups` / :func:`canonicalize_request_trace` for how those
+interleaved streams are recovered and compared deterministically.
 """
 
 from __future__ import annotations
@@ -34,9 +42,25 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 
-#: Keys holding timing values; stripped by :func:`canonicalize_trace`.
+#: Keys holding timing values; stripped by :func:`canonicalize_trace`
+#: (at the record top level *and* inside event ``data`` payloads, so
+#: instrumentation may attach wall-clock readings to events without
+#: breaking stream determinism).
 TIMING_FIELDS = ("seconds",)
+
+#: Record-level keys that vary between otherwise-equivalent service
+#: runs: global write ordinals (interleaving-dependent) — stripped by
+#: :func:`canonicalize_request_trace` only; in-process streams keep
+#: their dense per-tracer ordinals.
+VOLATILE_FIELDS = ("ord",)
+
+#: ``data`` keys carrying server-assigned correlation ids whose values
+#: depend on request arrival order (session names are handed out
+#: first-come-first-served), stripped by
+#: :func:`canonicalize_request_trace`.
+VOLATILE_DATA_FIELDS = ("session",)
 
 
 def _jsonable(value):
@@ -190,24 +214,26 @@ class Tracer:
 
 # -- ambient tracer -------------------------------------------------------
 
-_CURRENT = NULL_TRACER
+#: Context-local so the compile service can activate one request-scoped
+#: tracer per worker thread without cross-request contamination; plain
+#: single-threaded callers see classic global behavior.
+_CURRENT: ContextVar = ContextVar("repro_ambient_tracer",
+                                  default=NULL_TRACER)
 
 
 def current_tracer():
     """The ambient tracer (the no-op :data:`NULL_TRACER` by default)."""
-    return _CURRENT
+    return _CURRENT.get()
 
 
 @contextmanager
 def activate(tracer):
     """Install ``tracer`` as the ambient tracer for the dynamic extent."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = tracer
+    token = _CURRENT.set(tracer)
     try:
         yield tracer
     finally:
-        _CURRENT = previous
+        _CURRENT.reset(token)
 
 
 @contextmanager
@@ -233,6 +259,23 @@ def read_trace(path) -> list:
     return records
 
 
+def _strip_timing(record: dict) -> dict:
+    cleaned = {
+        key: value
+        for key, value in record.items()
+        if key not in TIMING_FIELDS
+    }
+    data = cleaned.get("data")
+    if isinstance(data, dict) and any(key in data
+                                      for key in TIMING_FIELDS):
+        cleaned["data"] = {
+            key: value
+            for key, value in data.items()
+            if key not in TIMING_FIELDS
+        }
+    return cleaned
+
+
 def canonicalize_trace(records) -> list:
     """Ordinal-sorted records with timing fields stripped.
 
@@ -240,13 +283,58 @@ def canonicalize_trace(records) -> list:
     when their canonicalized traces compare equal; the determinism
     suite asserts exactly this.
     """
+    return [
+        _strip_timing(record)
+        for record in sorted(records, key=lambda r: r.get("ord", 0))
+    ]
+
+
+def trace_groups(records) -> dict:
+    """Split a daemon trace into per-trace-id record streams.
+
+    The compile service appends each finished request's records to one
+    shared JSONL file, tagging every record with the request's
+    ``trace`` id (client-chosen; defaults to the session name).  File
+    order is preserved within each group: the service flushes a
+    request's block atomically from the event loop, and requests
+    within one trace are serialized by the client's request/response
+    cycle, so per-group order is deterministic even when groups
+    interleave arbitrarily in the file.  Untagged records (plain
+    scheduler traces) land under ``""``.
+    """
+    groups: dict = {}
+    for record in records:
+        groups.setdefault(record.get("trace", ""), []).append(record)
+    return groups
+
+
+def canonicalize_request_trace(records) -> list:
+    """Canonical form of one trace group's record stream.
+
+    Like :func:`canonicalize_trace` but for service request streams:
+    records keep their file order (per-request ordinals restart at
+    zero, so a global ordinal sort would jumble multi-request traces),
+    the interleaving-dependent fields in :data:`VOLATILE_FIELDS` are
+    dropped, and server-assigned correlation ids
+    (:data:`VOLATILE_DATA_FIELDS`) are dropped from span/event
+    payloads.  A trace group from a concurrent daemon run compares
+    byte-equal to the same session run serially exactly when their
+    canonicalized streams match — the service tracing suite asserts
+    this.
+    """
     canonical = []
-    for record in sorted(records, key=lambda r: r.get("ord", 0)):
-        canonical.append(
-            {
+    for record in records:
+        cleaned = _strip_timing(record)
+        for key in VOLATILE_FIELDS:
+            cleaned.pop(key, None)
+        data = cleaned.get("data")
+        if isinstance(data, dict) and any(
+            key in data for key in VOLATILE_DATA_FIELDS
+        ):
+            cleaned["data"] = {
                 key: value
-                for key, value in record.items()
-                if key not in TIMING_FIELDS
+                for key, value in data.items()
+                if key not in VOLATILE_DATA_FIELDS
             }
-        )
+        canonical.append(cleaned)
     return canonical

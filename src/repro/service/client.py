@@ -20,28 +20,38 @@ from repro.service.protocol import (
 
 
 class ServiceClient:
-    """Synchronous connection to a running :class:`CompileService`."""
+    """Synchronous connection to a running :class:`CompileService`.
 
-    def __init__(self, sock: socket.socket):
+    ``trace`` is an optional client-chosen trace id stamped onto every
+    request this client sends; when the daemon runs with request
+    tracing enabled (``REPRO_SERVICE_TRACE``), all of this client's
+    span trees carry that id in the daemon's trace stream.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 trace: str | None = None):
         self._sock = sock
         self._file = sock.makefile("rwb")
         self._next_id = 0
+        self.trace = trace
 
     # -- constructors -----------------------------------------------------
 
     @classmethod
     def connect_unix(cls, path: str,
-                     timeout: float | None = 60.0) -> "ServiceClient":
+                     timeout: float | None = 60.0,
+                     trace: str | None = None) -> "ServiceClient":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(timeout)
         sock.connect(str(path))
-        return cls(sock)
+        return cls(sock, trace=trace)
 
     @classmethod
     def connect_tcp(cls, host: str, port: int,
-                    timeout: float | None = 60.0) -> "ServiceClient":
+                    timeout: float | None = 60.0,
+                    trace: str | None = None) -> "ServiceClient":
         sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+        return cls(sock, trace=trace)
 
     # -- plumbing ---------------------------------------------------------
 
@@ -62,6 +72,8 @@ class ServiceClient:
         :class:`ServiceError` on a structured error reply."""
         self._next_id += 1
         request_id = self._next_id
+        if self.trace is not None and "trace" not in params:
+            params["trace"] = self.trace
         self.send_raw(request_frame(request_id, operation, **params))
         response = self.recv_response()
         if not response.get("ok"):

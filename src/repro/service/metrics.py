@@ -23,15 +23,15 @@ exposition text the ``/metrics`` endpoint serves.
 
 from __future__ import annotations
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import SECONDS_BUCKETS, MetricsRegistry
 from repro.service.protocol import PROTOCOL_VERSION
 
-#: Request latencies live in milliseconds-to-minutes, far below the
-#: registry's default cycle-count buckets.
-LATENCY_BUCKETS = (
-    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
-    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
-)
+#: Request latencies and per-phase compile histograms share one
+#: explicit log-spaced bucket schema (``repro.obs.metrics.
+#: SECONDS_BUCKETS``), so the prometheus exposition is structurally
+#: stable across runs and the two families diff cleanly against each
+#: other.
+LATENCY_BUCKETS = SECONDS_BUCKETS
 
 
 def record_request(registry: MetricsRegistry, operation: str,
@@ -54,10 +54,20 @@ def fold_compile_delta(registry: MetricsRegistry, delta) -> None:
     per-compile delta are deltas of the *shared* cache's counters and
     would double-count concurrent sessions' traffic; the shared cache
     is exported once, as totals, by :func:`fold_service_state`.
+
+    Each stage's wall-clock additionally lands in the per-phase
+    latency histogram ``repro_service_phase_seconds`` (one observation
+    per compile per stage, shared :data:`LATENCY_BUCKETS` schema), so
+    ``/metrics`` answers "where do compiles spend their time" with a
+    distribution, not just a running total.
     """
     for stage, seconds in delta.stage_seconds.items():
         registry.inc(
             "repro_service_stage_seconds_total", seconds, stage=stage
+        )
+        registry.observe(
+            "repro_service_phase_seconds", seconds,
+            buckets=LATENCY_BUCKETS, phase=stage,
         )
     for stage, count in delta.stage_tasks.items():
         registry.inc(
@@ -67,6 +77,20 @@ def fold_compile_delta(registry: MetricsRegistry, delta) -> None:
         registry.inc(
             "repro_service_analyze_total", count, counter=counter
         )
+
+
+def record_compile_waits(registry: MetricsRegistry,
+                         queue_seconds: float,
+                         lock_seconds: float) -> None:
+    """Observe one compile's queue/session-lock waits (same schema)."""
+    registry.observe(
+        "repro_service_phase_seconds", queue_seconds,
+        buckets=LATENCY_BUCKETS, phase="queue-wait",
+    )
+    registry.observe(
+        "repro_service_phase_seconds", lock_seconds,
+        buckets=LATENCY_BUCKETS, phase="lock-wait",
+    )
 
 
 def fold_service_state(registry: MetricsRegistry, service) -> None:
@@ -150,6 +174,7 @@ def server_stats(service) -> dict:
         "jobs_active": service.jobs_active,
         "workers": service.workers,
         "draining": service.draining,
+        "trace_path": service.trace_path,
     }
     if cache is not None:
         payload["cache"] = {

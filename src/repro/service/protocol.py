@@ -73,7 +73,12 @@ class ProtocolError(Exception):
 
 
 #: operation -> {field: (allowed types, required)}.  ``id``, ``type``
-#: and ``version`` are frame-level and validated separately.
+#: and ``version`` are frame-level and validated separately.  Every
+#: operation accepts an optional ``trace`` context field — a
+#: client-chosen trace id correlating the requests of one logical
+#: session; when the daemon runs with ``REPRO_SERVICE_TRACE`` set,
+#: each request's span tree is tagged with it in the daemon's trace
+#: stream (untagged requests fall back to their session name).
 REQUEST_SCHEMA = {
     "open_session": {
         "sources": ((dict,), False),
@@ -103,6 +108,10 @@ REQUEST_SCHEMA = {
     "ping": {},
     "shutdown": {},
 }
+
+for _schema in REQUEST_SCHEMA.values():
+    _schema["trace"] = ((str, type(None)), False)
+del _schema
 
 #: Analyzer configuration letters ``open_session`` accepts (plus null
 #: for the level-2 baseline without interprocedural allocation).

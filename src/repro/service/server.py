@@ -43,11 +43,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import os
 import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import asynccontextmanager
 from dataclasses import dataclass, field
 
 from repro.analyzer.database import ProgramDatabase
@@ -57,6 +59,7 @@ from repro.driver.pipeline import collect_profile
 from repro.driver.scheduler import CompilationScheduler
 from repro.linker.link import executable_fingerprint
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer, activate
 from repro.service import metrics as service_metrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -90,6 +93,10 @@ def _default_workers() -> int:
 def _default_shards() -> int:
     raw = os.environ.get("REPRO_CACHE_SHARDS", "").strip()
     return int(raw) if raw else DEFAULT_SERVICE_SHARDS
+
+
+def _default_trace_path() -> str | None:
+    return os.environ.get("REPRO_SERVICE_TRACE", "").strip() or None
 
 
 @dataclass
@@ -128,6 +135,13 @@ class CompileService:
         metrics_port: Enable the HTTP ``/metrics`` endpoint on this
             port (``None`` disables; ``0`` picks a free port).
         drain_timeout: Seconds ``stop()`` waits for in-flight requests.
+        trace_path: Write every request's span tree to this JSONL file
+            (one stream per daemon; records are tagged with each
+            request's ``trace`` id so concurrent sessions' streams can
+            be regrouped deterministically — see
+            :func:`repro.obs.tracer.trace_groups`).  ``None`` (the
+            default) reads ``REPRO_SERVICE_TRACE``; unset disables
+            request tracing entirely.
     """
 
     def __init__(
@@ -141,6 +155,7 @@ class CompileService:
         metrics_host: str = "127.0.0.1",
         metrics_port: int | None = None,
         drain_timeout: float = 30.0,
+        trace_path: str | None = None,
     ):
         if unix_path is None and host is None:
             raise ValueError("need a unix_path and/or a TCP host")
@@ -165,6 +180,16 @@ class CompileService:
         self.metrics_host = metrics_host
         self.metrics_port = metrics_port
         self.drain_timeout = drain_timeout
+        if trace_path is None:
+            trace_path = _default_trace_path()
+        self.trace_path = str(trace_path) if trace_path else None
+        # Written only from the event loop (_flush_request_trace), so
+        # concurrent requests' record blocks never interleave mid-line.
+        self._trace_file = (
+            open(self.trace_path, "w", encoding="utf-8")
+            if self.trace_path
+            else None
+        )
 
         self.registry = MetricsRegistry()
         self.sessions: dict[str, Session] = {}
@@ -281,6 +306,10 @@ class CompileService:
             with contextlib.suppress(OSError):
                 self._cache_tempdir.cleanup()
             self._cache_tempdir = None
+        if self._trace_file is not None:
+            with contextlib.suppress(OSError):
+                self._trace_file.close()
+            self._trace_file = None
 
     # -- connection handling ----------------------------------------------
 
@@ -333,6 +362,8 @@ class CompileService:
         self._idle.clear()
         operation = "invalid"
         outcome = "error"
+        tracer = NULL_TRACER
+        trace_id = None
         try:
             try:
                 payload = decode_frame(line, limit=self._max_frame)
@@ -341,25 +372,58 @@ class CompileService:
                 return error_response(
                     err.request_id, err.code, err.message
                 )
-            try:
-                result = await self._dispatch(operation, params)
-                outcome = "ok"
-                return ok_response(request_id, result)
-            except ServiceError as err:
-                return error_response(request_id, err.code, err.message)
-            except Exception as err:  # noqa: BLE001 — the server must
-                # survive anything a compile can throw (front-end
-                # errors, audit failures, pickling trouble); the
-                # failure is the client's news, not the daemon's end.
-                return error_response(
-                    request_id,
-                    "internal-error",
-                    f"{type(err).__name__}: {err}",
-                )
+            # The request span: every record of this request — the
+            # queue/lock waits recorded on the loop and the scheduler's
+            # phase spans recorded in the worker thread — nests under
+            # it in a private, request-scoped tracer whose ordinals and
+            # span ids restart per request (that privacy is what makes
+            # per-trace streams deterministic under concurrency).
+            trace_id = (
+                params.pop("trace", None)
+                or params.get("session")
+                or "-"
+            )
+            if self._trace_file is not None:
+                tracer = Tracer()
+            with tracer.span(
+                "request",
+                op=operation,
+                request=request_id,
+                trace=trace_id,
+                session=params.get("session"),
+            ):
+                try:
+                    result = await self._dispatch(
+                        operation, params, tracer
+                    )
+                    outcome = "ok"
+                    return ok_response(request_id, result)
+                except ServiceError as err:
+                    if tracer.enabled:
+                        tracer.event("request-error", code=err.code)
+                    return error_response(
+                        request_id, err.code, err.message
+                    )
+                except Exception as err:  # noqa: BLE001 — the server
+                    # must survive anything a compile can throw
+                    # (front-end errors, audit failures, pickling
+                    # trouble); the failure is the client's news, not
+                    # the daemon's end.
+                    if tracer.enabled:
+                        tracer.event(
+                            "request-error", code="internal-error"
+                        )
+                    return error_response(
+                        request_id,
+                        "internal-error",
+                        f"{type(err).__name__}: {err}",
+                    )
         finally:
             self._active_requests -= 1
             if self._active_requests == 0:
                 self._idle.set()
+            if tracer.enabled:
+                self._flush_request_trace(tracer, trace_id)
             service_metrics.record_request(
                 self.registry,
                 operation,
@@ -367,11 +431,44 @@ class CompileService:
                 time.perf_counter() - started,
             )
 
+    def _flush_request_trace(self, tracer, trace_id) -> None:
+        """Append one finished request's records to the daemon stream.
+
+        Runs on the event loop only, after the request span has closed,
+        so each request's block lands contiguously; within one trace id
+        the client's request/response cycle already serializes blocks,
+        which keeps every per-trace stream in deterministic order no
+        matter how many other traces interleave around it.
+        """
+        file = self._trace_file
+        if file is None:
+            return
+        lines = []
+        for record in tracer.records:
+            tagged = dict(record)
+            tagged["trace"] = trace_id
+            lines.append(json.dumps(tagged, sort_keys=True))
+        if lines:
+            file.write("\n".join(lines) + "\n")
+            file.flush()
+
     # -- operations -------------------------------------------------------
 
-    async def _dispatch(self, operation: str, params: dict) -> dict:
+    async def _dispatch(
+        self, operation: str, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         handler = getattr(self, f"_op_{operation}")
-        return await handler(params)
+        return await handler(params, tracer)
+
+    @asynccontextmanager
+    async def _locked(self, session: Session, tracer):
+        """Acquire the session lock under a ``lock-wait`` span."""
+        with tracer.span("lock-wait"):
+            await session.lock.acquire()
+        try:
+            yield
+        finally:
+            session.lock.release()
 
     def _session(self, name: str) -> Session:
         session = self.sessions.get(name)
@@ -381,8 +478,16 @@ class CompileService:
             )
         return session
 
-    async def _run_job(self, fn):
-        """Admit one compute job to the bounded worker pool."""
+    async def _run_job(self, fn, tracer=NULL_TRACER):
+        """Admit one compute job to the bounded worker pool.
+
+        Returns ``(result, queue_seconds)`` where ``queue_seconds`` is
+        the time spent waiting for a worker slot (also recorded as a
+        ``queue-wait`` span).  After the job returns, a
+        ``worker-handoff`` event records how long the job sat between
+        submission to the pool and its first instruction on a worker
+        thread — pool-side latency the semaphore cannot see.
+        """
         if self.draining:
             raise ServiceError(
                 "shutting-down", "service is draining; no new jobs"
@@ -390,16 +495,39 @@ class CompileService:
         loop = asyncio.get_running_loop()
         self.jobs_pending += 1
         try:
-            async with self._job_slots:
-                self.jobs_active += 1
-                try:
-                    return await loop.run_in_executor(self._pool, fn)
-                finally:
-                    self.jobs_active -= 1
+            queue_started = time.perf_counter()
+            with tracer.span("queue-wait"):
+                await self._job_slots.acquire()
+            queue_seconds = time.perf_counter() - queue_started
+            self.jobs_active += 1
+            try:
+                submitted = time.perf_counter()
+                handoff: dict = {}
+
+                def entered():
+                    handoff["start"] = time.perf_counter()
+                    return fn()
+
+                result = await loop.run_in_executor(
+                    self._pool, entered
+                )
+                if tracer.enabled:
+                    tracer.event(
+                        "worker-handoff",
+                        seconds=(
+                            handoff.get("start", submitted) - submitted
+                        ),
+                    )
+                return result, queue_seconds
+            finally:
+                self.jobs_active -= 1
+                self._job_slots.release()
         finally:
             self.jobs_pending -= 1
 
-    async def _op_open_session(self, params: dict) -> dict:
+    async def _op_open_session(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         if self.draining:
             raise ServiceError(
                 "shutting-down", "service is draining; no new sessions"
@@ -431,10 +559,12 @@ class CompileService:
             "protocol_version": PROTOCOL_VERSION,
         }
 
-    async def _op_edit(self, params: dict) -> dict:
+    async def _op_edit(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         session = self._session(params["session"])
         module, text = params["module"], params["text"]
-        async with session.lock:
+        async with self._locked(session, tracer):
             if text is None:
                 if module not in session.sources:
                     raise ServiceError(
@@ -451,9 +581,13 @@ class CompileService:
                 "modules": sorted(session.sources),
             }
 
-    async def _op_compile(self, params: dict) -> dict:
+    async def _op_compile(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         session = self._session(params["session"])
-        async with session.lock:
+        lock_started = time.perf_counter()
+        async with self._locked(session, tracer):
+            lock_seconds = time.perf_counter() - lock_started
             if not session.sources:
                 raise ServiceError(
                     "empty-session",
@@ -468,34 +602,64 @@ class CompileService:
             profile = session.profile
 
             def job():
-                before = scheduler.metrics_snapshot()
-                started = time.perf_counter()
-                phase1 = scheduler.run_phase1(sources, opt_level)
-                summaries = [result.summary for result in phase1]
-                if config is not None:
-                    options = AnalyzerOptions.config(
-                        config,
-                        profile if config in ("B", "F") else None,
-                    )
-                    database = scheduler.analyze(summaries, options)
-                else:
-                    database = ProgramDatabase()
-                executable = scheduler.compile_with_database(
-                    phase1, database, opt_level
-                )
-                fingerprint = executable_fingerprint(executable)
-                delta = scheduler.metrics_snapshot().minus(before)
-                return (
-                    fingerprint,
-                    delta,
-                    time.perf_counter() - started,
-                )
+                # Point the session's scheduler at the request-scoped
+                # tracer so its phase1/analyze/phase2/link spans nest
+                # under this request's span tree.  Safe because the
+                # session lock serializes this session's compiles, and
+                # `activate` makes the same tracer ambient for this
+                # worker thread only (ContextVar, not a global).
+                previous = scheduler.tracer
+                scheduler.tracer = tracer
+                try:
+                    with activate(tracer):
+                        before = scheduler.metrics_snapshot()
+                        started = time.perf_counter()
+                        phase1 = scheduler.run_phase1(
+                            sources, opt_level
+                        )
+                        summaries = [
+                            result.summary for result in phase1
+                        ]
+                        if config is not None:
+                            options = AnalyzerOptions.config(
+                                config,
+                                profile
+                                if config in ("B", "F")
+                                else None,
+                            )
+                            database = scheduler.analyze(
+                                summaries, options
+                            )
+                        else:
+                            database = ProgramDatabase()
+                        executable = scheduler.compile_with_database(
+                            phase1, database, opt_level
+                        )
+                        fingerprint = executable_fingerprint(
+                            executable
+                        )
+                        delta = scheduler.metrics_snapshot().minus(
+                            before
+                        )
+                        return (
+                            fingerprint,
+                            delta,
+                            time.perf_counter() - started,
+                        )
+                finally:
+                    scheduler.tracer = previous
 
-            fingerprint, delta, seconds = await self._run_job(job)
+            with tracer.span("compile"):
+                (fingerprint, delta, seconds), queue_seconds = (
+                    await self._run_job(job, tracer)
+                )
             session.compiles += 1
             session.last_fingerprint = fingerprint
             self.compiles_total += 1
             service_metrics.fold_compile_delta(self.registry, delta)
+            service_metrics.record_compile_waits(
+                self.registry, queue_seconds, lock_seconds
+            )
             modules = len(sources)
             phase1_compiled = delta.stage_tasks.get("phase1", 0)
             phase2_compiled = delta.stage_tasks.get("phase2", 0)
@@ -510,11 +674,15 @@ class CompileService:
                 "analyze": dict(delta.analyze),
                 "stage_seconds": dict(delta.stage_seconds),
                 "seconds": seconds,
+                "queue_seconds": queue_seconds,
+                "lock_seconds": lock_seconds,
             }
 
-    async def _op_profile(self, params: dict) -> dict:
+    async def _op_profile(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         session = self._session(params["session"])
-        async with session.lock:
+        async with self._locked(session, tracer):
             if not session.sources:
                 raise ServiceError(
                     "empty-session",
@@ -531,7 +699,7 @@ class CompileService:
                     phase1, opt_level, max_cycles, scheduler=scheduler
                 )
 
-            profile = await self._run_job(job)
+            profile, _queue_seconds = await self._run_job(job, tracer)
             session.profile = profile
             return {
                 "session": session.name,
@@ -542,23 +710,32 @@ class CompileService:
                 },
             }
 
-    async def _op_stats(self, params: dict) -> dict:
+    async def _op_stats(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         name = params.get("session")
         if name is not None:
             return service_metrics.session_stats(self._session(name))
         return service_metrics.server_stats(self)
 
-    async def _op_close(self, params: dict) -> dict:
+    async def _op_close(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         session = self._session(params["session"])
-        async with session.lock:  # let an in-flight compile finish
+        # let an in-flight compile finish
+        async with self._locked(session, tracer):
             self.sessions.pop(session.name, None)
             session.scheduler.close()
         return {"session": session.name, "closed": True}
 
-    async def _op_ping(self, params: dict) -> dict:
+    async def _op_ping(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         return {"pong": True, "protocol_version": PROTOCOL_VERSION}
 
-    async def _op_shutdown(self, params: dict) -> dict:
+    async def _op_shutdown(
+        self, params: dict, tracer=NULL_TRACER
+    ) -> dict:
         # Reply first, then drain: the requester gets its answer.
         asyncio.get_running_loop().create_task(self.stop())
         return {"draining": True}

@@ -1,0 +1,132 @@
+"""Span-stream profiling: tree rebuild, folding, request summaries."""
+
+import time
+
+from repro.obs.flame import (
+    fold_spans,
+    frame_label,
+    render_collapsed,
+    request_summaries,
+    self_time_table,
+    slowest_requests,
+    span_tree,
+)
+from repro.obs.tracer import Tracer
+
+
+def _sample_records():
+    tracer = Tracer()
+    with tracer.span("request", op="compile", request=1, trace="t"):
+        with tracer.span("compile"):
+            with tracer.span("phase1"):
+                with tracer.span("module", stage="phase1",
+                                 module="othello"):
+                    time.sleep(0.002)
+            with tracer.span("phase2"):
+                time.sleep(0.001)
+            tracer.event("worker-handoff", seconds=0.5)
+    return tracer.records
+
+
+def test_span_tree_rebuilds_nesting():
+    roots = span_tree(_sample_records())
+    assert len(roots) == 1
+    request = roots[0]
+    assert request["name"] == "request"
+    assert request["data"]["op"] == "compile"
+    compile_span = request["children"][0]
+    assert [c["name"] for c in compile_span["children"]] == [
+        "phase1", "phase2"
+    ]
+    module = compile_span["children"][0]["children"][0]
+    assert frame_label(module) == "module:othello"
+    assert module["seconds"] > 0
+    assert compile_span["events"][0]["type"] == "worker-handoff"
+
+
+def test_span_tree_survives_torn_stream():
+    records = _sample_records()
+    # Drop the trailing span-end records: open spans keep seconds=0.
+    torn = records[:-2]
+    roots = span_tree(torn)
+    assert roots[0]["name"] == "request"
+    assert roots[0]["seconds"] == 0.0
+
+
+def test_fold_spans_self_time():
+    records = _sample_records()
+    folded = fold_spans(records)
+    module_stack = (
+        "request;compile;phase1;module:othello"
+    )
+    assert module_stack in folded
+    assert folded[module_stack] >= 1000  # slept 2ms, µs weights
+    # Self-time: the module's sleep must not double-count into phase1.
+    roots = span_tree(records)
+    phase1 = roots[0]["children"][0]["children"][0]
+    module = phase1["children"][0]
+    phase1_self = folded.get("request;compile;phase1", 0)
+    assert phase1_self <= int(phase1["seconds"] * 1e6) - int(
+        module["seconds"] * 1e6
+    ) + 2
+
+
+def test_render_collapsed_format():
+    text = render_collapsed(fold_spans(_sample_records()))
+    assert text.endswith("\n")
+    for line in text.strip().splitlines():
+        stack, weight = line.rsplit(" ", 1)
+        assert ";" in stack or stack == "request"
+        assert int(weight) > 0
+    # Sorted, so output is deterministic given identical weights.
+    stacks = [line.rsplit(" ", 1)[0]
+              for line in text.strip().splitlines()]
+    assert stacks == sorted(stacks)
+
+
+def test_self_time_table_orders_by_self_time():
+    rows = self_time_table(_sample_records())
+    labels = [row["label"] for row in rows]
+    assert "module:othello" in labels
+    assert rows == sorted(
+        rows, key=lambda row: (-row["self_seconds"], row["label"])
+    )
+    for row in rows:
+        assert row["self_seconds"] <= row["total_seconds"] + 1e-9
+        assert row["count"] >= 1
+
+
+def _tagged(records, trace):
+    return [dict(record, trace=trace) for record in records]
+
+
+def test_request_summaries_and_slowest():
+    fast = Tracer()
+    with fast.span("request", op="ping", request=1, trace="a"):
+        pass
+    slow = Tracer()
+    with slow.span("request", op="compile", request=1, trace="b",
+                   session="s1"):
+        with slow.span("lock-wait"):
+            pass
+        with slow.span("compile"):
+            with slow.span("queue-wait"):
+                pass
+            with slow.span("phase1"):
+                time.sleep(0.002)
+    records = _tagged(fast.records, "a") + _tagged(slow.records, "b")
+    rows = request_summaries(records)
+    assert {row["trace"] for row in rows} == {"a", "b"}
+    ranked = slowest_requests(records, top=1)
+    assert len(ranked) == 1
+    assert ranked[0]["trace"] == "b"
+    assert ranked[0]["phases"]["phase1"] > 0
+    assert ranked[0]["lock_wait"] >= 0.0
+    assert ranked[0]["error"] is None
+
+
+def test_request_summaries_ignores_plain_scheduler_traces():
+    tracer = Tracer()
+    with tracer.span("phase1"):
+        pass
+    assert request_summaries(tracer.records) == []

@@ -1,0 +1,179 @@
+"""The perf-regression sentinel: flattening, history, verdicts, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import sentinel
+from repro.obs.report import main as explain_main
+
+
+def test_flatten_scalars_dotted_paths():
+    flat = sentinel.flatten_scalars(
+        {
+            "service_load": {
+                "compiles_per_sec": 12.5,
+                "sessions": 100,
+                "byte_identical": True,
+                "latency": {"compile": {"p95_ms": 40.0}},
+            },
+            "legend": {"A": "Spill motion only"},
+        }
+    )
+    assert flat["service_load.compiles_per_sec"] == 12.5
+    assert flat["service_load.sessions"] == 100.0
+    assert flat["service_load.latency.compile.p95_ms"] == 40.0
+    # Booleans and strings are not perf scalars.
+    assert "service_load.byte_identical" not in flat
+    assert "legend.A" not in flat
+
+
+def test_metric_direction_heuristics():
+    assert sentinel.metric_direction(
+        "service_load.compiles_per_sec") == 1
+    assert sentinel.metric_direction("cache_hit_rate") == 1
+    assert sentinel.metric_direction("simulator.speedup") == 1
+    assert sentinel.metric_direction(
+        "observability.compile_seconds") == -1
+    assert sentinel.metric_direction("latency.compile.p95_ms") == -1
+    assert sentinel.metric_direction("workloads.othello.cycles") == -1
+    # Unjudgeable names are skipped rather than guessed.
+    assert sentinel.metric_direction("sessions") == 0
+
+
+def _entry(sha, **metrics):
+    return {"sha": sha, "timestamp": "2026-08-08T00:00:00+00:00",
+            "metrics": metrics}
+
+
+def test_check_flags_regressions_in_bad_direction_only():
+    entries = [
+        _entry("a", compiles_per_sec=10.0, compile_seconds=2.0),
+        _entry("b", compiles_per_sec=10.0, compile_seconds=2.0),
+        _entry("c", compiles_per_sec=5.0, compile_seconds=1.0),
+    ]
+    rows = sentinel.check_regressions(
+        entries, threshold=0.25, window=5
+    )
+    # Throughput halved (bad); seconds halved (good, not flagged).
+    assert [row["metric"] for row in rows] == ["compiles_per_sec"]
+    assert rows[0]["delta"] == pytest.approx(-0.5)
+    assert rows[0]["direction"] == "higher-better"
+
+
+def test_check_uses_trailing_window_mean():
+    entries = [
+        _entry("a", compile_seconds=1.0),
+        _entry("b", compile_seconds=3.0),
+        _entry("c", compile_seconds=2.5),
+    ]
+    # Baseline mean = 2.0; newest 2.5 is +25%, inside a 30% threshold
+    # but outside 20%.
+    assert not sentinel.check_regressions(
+        entries, threshold=0.30, window=5
+    )
+    assert sentinel.check_regressions(
+        entries, threshold=0.20, window=5
+    )
+
+
+def test_check_handles_sparse_and_short_histories():
+    assert sentinel.check_regressions([], threshold=0.1) == []
+    assert sentinel.check_regressions(
+        [_entry("a", compile_seconds=1.0)], threshold=0.1
+    ) == []
+    # A metric present only in the newest point has no baseline.
+    entries = [
+        _entry("a", compile_seconds=1.0),
+        _entry("b", compile_seconds=1.0, new_seconds=9.0),
+    ]
+    rows = sentinel.check_regressions(entries, threshold=0.1)
+    assert rows == []
+
+
+def test_append_history_replaces_same_sha(tmp_path):
+    path = tmp_path / "history.jsonl"
+    sentinel.append_history(
+        path, {"x_seconds": 1.0}, "sha1", "t1"
+    )
+    sentinel.append_history(
+        path, {"x_seconds": 2.0}, "sha2", "t2"
+    )
+    sentinel.append_history(
+        path, {"x_seconds": 3.0}, "sha2", "t3"
+    )
+    entries = sentinel.read_history(path)
+    assert [entry["sha"] for entry in entries] == ["sha1", "sha2"]
+    assert entries[-1]["metrics"]["x_seconds"] == 3.0
+    assert entries[-1]["timestamp"] == "t3"
+
+
+def test_format_check_renders_delta_table():
+    entries = [
+        _entry("aaaaaaaaaaaaaaaa", compiles_per_sec=10.0),
+        _entry("bbbbbbbbbbbbbbbb", compiles_per_sec=4.0),
+    ]
+    rows = sentinel.check_regressions(entries, threshold=0.25)
+    text = sentinel.format_check(entries, rows, threshold=0.25)
+    assert "bbbbbbbbbbbb" in text
+    assert "compiles_per_sec" in text
+    assert "-60.0%" in text
+    assert "higher-better" in text
+
+
+def _write_history(path, entries):
+    sentinel.write_history(path, entries)
+
+
+def test_bench_check_cli_exit_codes(tmp_path, capsys):
+    history = tmp_path / "BENCH_history.jsonl"
+    healthy = [
+        _entry("a", compiles_per_sec=10.0),
+        _entry("b", compiles_per_sec=10.1),
+    ]
+    _write_history(history, healthy)
+    assert explain_main(
+        ["bench", "--check", "--history", str(history)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "no tracked scalar regressed" in out
+
+    regressed = healthy + [_entry("c", compiles_per_sec=2.0)]
+    _write_history(history, regressed)
+    assert explain_main(
+        ["bench", "--check", "--history", str(history)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "compiles_per_sec" in out
+
+    # JSON mode carries the same verdict machine-readably.
+    assert explain_main(
+        ["bench", "--check", "--history", str(history), "--json"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["points"] == 3
+    assert payload["regressions"][0]["metric"] == "compiles_per_sec"
+
+
+def test_bench_cli_lists_history(tmp_path, capsys):
+    history = tmp_path / "BENCH_history.jsonl"
+    _write_history(history, [_entry("abcdef1234567890", x_seconds=1.0)])
+    assert explain_main(
+        ["bench", "--history", str(history)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "abcdef123456" in out
+    assert "1 point(s)" in out
+
+
+def test_threshold_and_window_knobs(monkeypatch):
+    monkeypatch.setenv("REPRO_SENTINEL_THRESHOLD", "0.5")
+    monkeypatch.setenv("REPRO_SENTINEL_WINDOW", "2")
+    assert sentinel.sentinel_threshold() == 0.5
+    assert sentinel.sentinel_window() == 2
+    entries = [
+        _entry("a", compile_seconds=1.0),
+        _entry("b", compile_seconds=1.4),
+    ]
+    # +40% is inside the 50% env threshold.
+    assert sentinel.check_regressions(entries) == []
